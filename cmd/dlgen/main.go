@@ -1,0 +1,82 @@
+// Command dlgen materialises the synthetic corpora: JPEG files on disk
+// (the online backends' input) and/or an LMDB snapshot of offline
+// records (the offline baseline's input).
+//
+//	dlgen -kind mnist -count 1000 -out ./data/mnist
+//	dlgen -kind ilsvrc -count 200 -out ./data/ilsvrc -lmdb ./data/ilsvrc.lmdb -outw 224 -outh 224
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dlbooster/internal/dataset"
+	"dlbooster/internal/lmdb"
+)
+
+func main() {
+	kind := flag.String("kind", "mnist", "corpus kind: mnist or ilsvrc")
+	count := flag.Int("count", 1000, "number of images")
+	out := flag.String("out", "", "directory for JPEG files (optional)")
+	lmdbPath := flag.String("lmdb", "", "path for an LMDB snapshot of decoded records (optional)")
+	outW := flag.Int("outw", 0, "record width for -lmdb (default: source size)")
+	outH := flag.Int("outh", 0, "record height for -lmdb (default: source size)")
+	progressive := flag.Bool("progressive", false, "encode multi-scan (SOF2) JPEGs")
+	flag.Parse()
+
+	var spec dataset.Spec
+	switch *kind {
+	case "mnist":
+		spec = dataset.MNISTLike(*count)
+	case "ilsvrc":
+		spec = dataset.ILSVRCLike(*count)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	spec.Progressive = *progressive
+	if *out == "" && *lmdbPath == "" {
+		fatal(fmt.Errorf("nothing to do: pass -out and/or -lmdb"))
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for i := 0; i < spec.Count; i++ {
+			data, err := spec.JPEG(i)
+			if err != nil {
+				fatal(err)
+			}
+			name := filepath.Join(*out, fmt.Sprintf("%08d_label%03d.jpg", i, spec.Label(i)))
+			if err := os.WriteFile(name, data, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d JPEGs to %s\n", spec.Count, *out)
+	}
+
+	if *lmdbPath != "" {
+		w, h := *outW, *outH
+		if w == 0 {
+			w = spec.W
+		}
+		if h == 0 {
+			h = spec.H
+		}
+		db := lmdb.New()
+		if err := dataset.ConvertToLMDB(spec, db, w, h); err != nil {
+			fatal(err)
+		}
+		if err := db.SaveTo(*lmdbPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("converted %d records (%dx%d) into %s\n", spec.Count, w, h, *lmdbPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dlgen: %v\n", err)
+	os.Exit(1)
+}

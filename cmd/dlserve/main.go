@@ -1,0 +1,278 @@
+// Command dlserve demonstrates the online-inference workflow of paper
+// Figure 1 over real TCP: clients send JPEG frames, the server decodes
+// them through the DLBooster pipeline (or the CPU baseline), runs the
+// batch inference engine on a simulated GPU, and returns per-image
+// predictions with receipt-to-prediction latency.
+//
+// Server:  dlserve -listen :7878 -backend dlbooster -batch 8
+// Client:  dlserve -connect 127.0.0.1:7878 -n 64
+//
+// Wire protocol, both directions big-endian:
+//
+//	request:  uint32 payloadLen | payload (one JPEG)
+//	response: uint32 seq | uint32 label | uint64 latencyNanos
+//
+// The server fills strict batches; clients should send a multiple of the
+// server's batch size (the final partial batch is flushed only when a
+// connection count is a multiple, or at server shutdown).
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dlbooster/internal/backends"
+	"dlbooster/internal/core"
+	"dlbooster/internal/dataset"
+	"dlbooster/internal/engine"
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/gpu"
+	"dlbooster/internal/metrics"
+	"dlbooster/internal/perf"
+	"dlbooster/internal/queue"
+)
+
+const maxFrame = 32 << 20
+
+func main() {
+	listen := flag.String("listen", "", "serve on this address (server mode)")
+	connect := flag.String("connect", "", "send to this address (client mode)")
+	backendName := flag.String("backend", "dlbooster", "server backend: dlbooster or cpu")
+	batch := flag.Int("batch", 8, "server batch size")
+	n := flag.Int("n", 64, "client: number of images to send")
+	size := flag.Int("size", 224, "server decoder output edge")
+	pace := flag.Bool("pace", false, "server: pace GPU compute at the calibrated GoogLeNet rate")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *listen != "":
+		err = serve(*listen, *backendName, *batch, *size, *pace)
+	case *connect != "":
+		err = client(*connect, *n)
+	default:
+		err = fmt.Errorf("pass -listen (server) or -connect (client)")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// conns routes predictions back to their connection.
+type conns struct {
+	mu     sync.Mutex
+	byID   map[int]net.Conn
+	nextID int
+}
+
+func (c *conns) add(nc net.Conn) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	c.byID[c.nextID] = nc
+	return c.nextID
+}
+
+func (c *conns) remove(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.byID, id)
+}
+
+// send writes one prediction, serialising writes per connection.
+func (c *conns) send(p engine.Prediction) {
+	c.mu.Lock()
+	nc := c.byID[p.ClientID]
+	if nc == nil {
+		c.mu.Unlock()
+		return
+	}
+	var buf [16]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(p.Seq))
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.Label))
+	binary.BigEndian.PutUint64(buf[8:], uint64(p.Latency))
+	_, _ = nc.Write(buf[:])
+	c.mu.Unlock()
+}
+
+func serve(addr, backendName string, batch, size int, pace bool) error {
+	var backend backends.Backend
+	switch backendName {
+	case "dlbooster":
+		b, err := backends.NewDLBooster(core.Config{
+			BatchSize: batch, OutW: size, OutH: size, Channels: 3, PoolBatches: 8,
+		})
+		if err != nil {
+			return err
+		}
+		backend = b
+	case "cpu":
+		b, err := backends.NewCPU(backends.CPUConfig{
+			BatchSize: batch, OutW: size, OutH: size, Channels: 3,
+			PoolBatches: 8, Workers: 4,
+		})
+		if err != nil {
+			return err
+		}
+		backend = b
+	default:
+		return fmt.Errorf("unknown backend %q", backendName)
+	}
+	defer backend.Close()
+
+	dev, err := gpu.NewDevice(0, 1<<31)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	solver, err := core.NewSolver(dev, 2, batch*size*size*3)
+	if err != nil {
+		return err
+	}
+	disp, err := core.NewDispatcher(backend.Batches(), backend.RecycleBatch, []*core.Solver{solver}, core.DispatcherConfig{})
+	if err != nil {
+		return err
+	}
+	cs := &conns{byID: make(map[int]net.Conn)}
+	lat := &metrics.Histogram{}
+	inf, err := engine.NewInference(engine.InferenceConfig{
+		Profile: perf.GoogLeNet, Solver: solver, Classes: 1000,
+		PaceCompute: pace, Latency: lat,
+		Emit: cs.send,
+	})
+	if err != nil {
+		return err
+	}
+
+	items := queue.New[core.Item](256)
+	go func() {
+		if err := backend.RunEpoch(core.CollectorFromQueue(items)); err != nil {
+			fmt.Fprintf(os.Stderr, "dlserve: backend: %v\n", err)
+		}
+		backend.CloseBatches()
+	}()
+	go func() {
+		if err := disp.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "dlserve: dispatcher: %v\n", err)
+		}
+	}()
+	go func() {
+		if _, err := inf.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "dlserve: engine: %v\n", err)
+		}
+	}()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dlserve: %s backend, batch %d, listening on %s\n", backend.Name(), batch, ln.Addr())
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go handleConn(nc, cs, items)
+	}
+}
+
+func handleConn(nc net.Conn, cs *conns, items *queue.Queue[core.Item]) {
+	id := cs.add(nc)
+	defer func() {
+		cs.remove(id)
+		_ = nc.Close()
+	}()
+	seq := 0
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(nc, hdr[:]); err != nil {
+			return
+		}
+		length := binary.BigEndian.Uint32(hdr[:])
+		if length == 0 || length > maxFrame {
+			return
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(nc, payload); err != nil {
+			return
+		}
+		item := core.Item{
+			Ref:  fpga.DataRef{Inline: payload},
+			Meta: core.ItemMeta{ClientID: id, Seq: seq, ReceivedAt: time.Now()},
+		}
+		seq++
+		if err := items.Push(item); err != nil {
+			return
+		}
+	}
+}
+
+func client(addr string, n int) error {
+	spec := dataset.ILSVRCLike(minInt(n, 64))
+	payloads := make([][]byte, spec.Count)
+	for i := range payloads {
+		data, err := spec.JPEG(i)
+		if err != nil {
+			return err
+		}
+		payloads[i] = data
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+
+	done := make(chan error, 1)
+	var latencies []float64
+	go func() {
+		var buf [16]byte
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(nc, buf[:]); err != nil {
+				done <- err
+				return
+			}
+			latencies = append(latencies, float64(binary.BigEndian.Uint64(buf[8:]))/1e6)
+		}
+		done <- nil
+	}()
+
+	start := time.Now()
+	var hdr [4]byte
+	for i := 0; i < n; i++ {
+		p := payloads[i%len(payloads)]
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+		if _, err := nc.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := nc.Write(p); err != nil {
+			return err
+		}
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	sort.Float64s(latencies)
+	fmt.Printf("sent %d images in %v (%.0f images/s)\n", n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	if len(latencies) > 0 {
+		fmt.Printf("server-side receipt→prediction latency: p50=%.2fms p95=%.2fms max=%.2fms\n",
+			latencies[len(latencies)/2], latencies[len(latencies)*95/100], latencies[len(latencies)-1])
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

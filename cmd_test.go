@@ -1,0 +1,120 @@
+package dlbooster
+
+// Exec-level smoke tests: build each command once and drive its primary
+// flow, so flag wiring and main-package glue stay working.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles every command into a temp dir once per test run.
+func buildCmds(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"dlbench", "dlgen", "dltrain", "dlserve"} {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins
+}
+
+func TestCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec smoke tests in -short mode")
+	}
+	bins := buildCmds(t)
+
+	t.Run("dlbench", func(t *testing.T) {
+		out, err := exec.Command(bins["dlbench"], "-fig", "econ").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "cores replaced per FPGA") {
+			t.Fatalf("unexpected output:\n%s", out)
+		}
+		out, err = exec.Command(bins["dlbench"], "-list").CombinedOutput()
+		if err != nil || !strings.Contains(string(out), "fig7a") {
+			t.Fatalf("dlbench -list: %v\n%s", err, out)
+		}
+		if out, err := exec.Command(bins["dlbench"], "-fig", "nope").CombinedOutput(); err == nil {
+			t.Fatalf("unknown figure accepted:\n%s", out)
+		}
+	})
+
+	t.Run("dlgen", func(t *testing.T) {
+		dir := t.TempDir()
+		lmdbPath := filepath.Join(dir, "snap.lmdb")
+		out, err := exec.Command(bins["dlgen"],
+			"-kind", "mnist", "-count", "6",
+			"-out", filepath.Join(dir, "jpgs"),
+			"-lmdb", lmdbPath, "-outw", "28", "-outh", "28").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		files, err := os.ReadDir(filepath.Join(dir, "jpgs"))
+		if err != nil || len(files) != 6 {
+			t.Fatalf("jpgs: %v, %d files", err, len(files))
+		}
+		if fi, err := os.Stat(lmdbPath); err != nil || fi.Size() == 0 {
+			t.Fatalf("lmdb snapshot: %v", err)
+		}
+		if out, err := exec.Command(bins["dlgen"], "-kind", "bogus").CombinedOutput(); err == nil {
+			t.Fatalf("bogus kind accepted:\n%s", out)
+		}
+	})
+
+	t.Run("dltrain", func(t *testing.T) {
+		out, err := exec.Command(bins["dltrain"],
+			"-backend", "dlbooster", "-images", "64", "-batch", "16",
+			"-gpus", "2", "-epochs", "2").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		s := string(out)
+		if !strings.Contains(s, "hybrid mode") {
+			t.Fatalf("epoch 2 did not use the cache:\n%s", s)
+		}
+		if !strings.Contains(s, "images trained:    128") {
+			t.Fatalf("wrong image count:\n%s", s)
+		}
+	})
+
+	t.Run("dlserve", func(t *testing.T) {
+		// Server in background on a fixed local port, then the client.
+		srv := exec.Command(bins["dlserve"], "-listen", "127.0.0.1:39471", "-batch", "4", "-size", "64")
+		var srvOut bytes.Buffer
+		srv.Stdout, srv.Stderr = &srvOut, &srvOut
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			_ = srv.Process.Kill()
+			_, _ = srv.Process.Wait()
+		}()
+		// The client retries until the server listens.
+		var out []byte
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			out, err = exec.Command(bins["dlserve"], "-connect", "127.0.0.1:39471", "-n", "16").CombinedOutput()
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("client: %v\n%s\nserver:\n%s", err, out, srvOut.String())
+		}
+		if !strings.Contains(string(out), "receipt→prediction latency") {
+			t.Fatalf("client output:\n%s", out)
+		}
+	})
+}

@@ -1,0 +1,17 @@
+// Package dlbooster is a from-scratch Go reproduction of "DLBooster:
+// Boosting End-to-End Deep Learning Workflows with Offloading Data
+// Preprocessing Pipelines" (Cheng et al., ICPP 2019).
+//
+// The library lives under internal/: the paper's contribution in
+// internal/core (host bridger, FPGAReader, Dispatcher, hybrid cache),
+// every substrate it depends on (simulated FPGA decoder, GPU devices,
+// NVMe disk, 40 Gbps NIC, an LMDB-style store, and a baseline JPEG codec
+// implemented from scratch), the three baseline backends, the compute
+// engines, and the virtual-time experiment models that regenerate every
+// figure of the paper's evaluation. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// benchmark per paper table/figure plus ablation and substrate
+// microbenchmarks.
+package dlbooster

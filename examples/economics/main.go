@@ -1,0 +1,25 @@
+// Economics example: the §5.4 cost analysis — what replacing decode
+// cores with an FPGA is worth to users and providers.
+//
+//	go run ./examples/economics
+package main
+
+import (
+	"fmt"
+
+	"dlbooster/internal/econ"
+	"dlbooster/internal/perf"
+)
+
+func main() {
+	fmt.Print(econ.Analyze(perf.AlexNet.EpochImages).Report())
+
+	// What the freed cores mean at fleet scale: per the paper, a
+	// well-optimised FPGA decoder replaces 30 cores of JPEG decode.
+	fmt.Println()
+	for _, servers := range []int{1, 10, 100} {
+		a := econ.Analyze(0)
+		fmt.Printf("%4d server(s) with one FPGA each: %4d cores freed, $%8.0f/yr resale revenue\n",
+			servers, servers*a.CoresReplaced, float64(servers)*a.AnnualRevenuePerFPGA)
+	}
+}

@@ -1,0 +1,3 @@
+module dlbooster
+
+go 1.22

@@ -1,0 +1,23 @@
+package audio
+
+import "testing"
+
+// FuzzDecodeWAV: the WAV parser must never panic and must only produce
+// clips with consistent geometry.
+func FuzzDecodeWAV(f *testing.F) {
+	if wav, err := EncodeWAV(Synth(1, 16000, 2000)); err == nil {
+		f.Add(wav)
+	}
+	f.Add([]byte("RIFF\x00\x00\x00\x00WAVE"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clip, err := DecodeWAV(data)
+		if err == nil && clip != nil {
+			if clip.SampleRate <= 0 {
+				t.Fatalf("accepted clip with rate %d", clip.SampleRate)
+			}
+			// And the spectrogram path must be safe on whatever parsed.
+			_, _ = ExtractFrames(clip, DefaultSpectrogramParams())
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package audio
+
+import (
+	"fmt"
+
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/pix"
+)
+
+// SpeechMirror is the pluggable FPGA decoder image for speech workloads
+// (§3.1): WAV parsing in the parser stage, framing + per-frame DCT in
+// the heavy compute stage (where the JPEG mirror runs Huffman decoding),
+// and log-magnitude image formation in the reconstruction stage. The
+// device's resizer then scales the spectrogram to the model's input
+// geometry exactly as it scales photos.
+type SpeechMirror struct {
+	Params SpectrogramParams
+}
+
+// Name implements fpga.Mirror.
+func (SpeechMirror) Name() string { return "speech" }
+
+// Parse implements fpga.Mirror: WAV header + PCM extraction.
+func (m SpeechMirror) Parse(data []byte) (any, error) {
+	return DecodeWAV(data)
+}
+
+// EntropyDecode implements fpga.Mirror: the compute-heavy stage.
+func (m SpeechMirror) EntropyDecode(job any) (any, error) {
+	clip, ok := job.(*Clip)
+	if !ok {
+		return nil, fmt.Errorf("audio: speech mirror got %T", job)
+	}
+	return ExtractFrames(clip, m.Params)
+}
+
+// Reconstruct implements fpga.Mirror: spectrogram image formation.
+func (m SpeechMirror) Reconstruct(job any) (*pix.Image, error) {
+	frames, ok := job.(*Frames)
+	if !ok {
+		return nil, fmt.Errorf("audio: speech mirror got %T", job)
+	}
+	return frames.ToImage(), nil
+}
+
+func init() {
+	fpga.RegisterMirror(SpeechMirror{Params: DefaultSpectrogramParams()})
+}
+
+var _ fpga.Mirror = SpeechMirror{}

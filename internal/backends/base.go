@@ -1,0 +1,189 @@
+package backends
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/hugepage"
+	"dlbooster/internal/metrics"
+	"dlbooster/internal/queue"
+)
+
+// base carries the machinery every host-side backend shares: the batch
+// buffer pool, the Full queue, decode counters and the optional epoch
+// cache. Concrete backends embed it and supply their own RunEpoch.
+type base struct {
+	batchSize            int
+	outW, outH, channels int
+	pool                 *hugepage.Pool
+	full                 *queue.Queue[*core.Batch]
+
+	images metrics.Counter
+	errs   metrics.Counter
+
+	mu  sync.Mutex
+	seq int
+
+	cacheLimit    int64
+	cacheMu       sync.Mutex
+	cache         []cachedBatch
+	cacheBytes    int64
+	cacheOverflow bool
+
+	closeOnce sync.Once
+}
+
+type cachedBatch struct {
+	data   []byte
+	metas  []core.ItemMeta
+	valid  []bool
+	images int
+}
+
+// baseConfig is the geometry shared by all backend constructors.
+type baseConfig struct {
+	BatchSize            int
+	OutW, OutH, Channels int
+	PoolBatches          int
+	CacheLimitBytes      int64
+}
+
+func newBase(cfg baseConfig) (*base, error) {
+	if cfg.BatchSize <= 0 {
+		return nil, errors.New("backends: batch size must be positive")
+	}
+	if cfg.OutW <= 0 || cfg.OutH <= 0 || (cfg.Channels != 1 && cfg.Channels != 3) {
+		return nil, fmt.Errorf("backends: bad geometry %dx%dx%d", cfg.OutW, cfg.OutH, cfg.Channels)
+	}
+	if cfg.PoolBatches == 0 {
+		cfg.PoolBatches = 8
+	}
+	if cfg.PoolBatches < 2 {
+		return nil, errors.New("backends: need at least 2 pool batches")
+	}
+	pool, err := hugepage.NewPool(cfg.BatchSize*cfg.OutW*cfg.OutH*cfg.Channels, cfg.PoolBatches)
+	if err != nil {
+		return nil, err
+	}
+	return &base{
+		batchSize: cfg.BatchSize,
+		outW:      cfg.OutW, outH: cfg.OutH, channels: cfg.Channels,
+		pool:       pool,
+		full:       queue.New[*core.Batch](cfg.PoolBatches),
+		cacheLimit: cfg.CacheLimitBytes,
+	}, nil
+}
+
+func (b *base) imageBytes() int { return b.outW * b.outH * b.channels }
+
+// Batches implements Backend.
+func (b *base) Batches() *queue.Queue[*core.Batch] { return b.full }
+
+// RecycleBatch implements Backend.
+func (b *base) RecycleBatch(batch *core.Batch) error {
+	if batch == nil || batch.Buf == nil {
+		return errors.New("backends: nil batch")
+	}
+	return b.pool.Put(batch.Buf)
+}
+
+// CloseBatches implements Backend.
+func (b *base) CloseBatches() { b.full.Close() }
+
+// Close implements Backend.
+func (b *base) Close() {
+	b.closeOnce.Do(func() {
+		b.full.Close()
+		b.pool.Close()
+	})
+}
+
+// Images implements Backend.
+func (b *base) Images() int64 { return b.images.Value() }
+
+// DecodeErrors implements Backend.
+func (b *base) DecodeErrors() int64 { return b.errs.Value() }
+
+// nextSeq issues a batch sequence number.
+func (b *base) nextSeq() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	return b.seq
+}
+
+// publish caches (if enabled) and pushes a finished batch.
+func (b *base) publish(batch *core.Batch) error {
+	if batch.Images == 0 {
+		return b.pool.Put(batch.Buf)
+	}
+	batch.AssembledAt = time.Now()
+	if b.cacheLimit > 0 {
+		b.cacheBatch(batch)
+	}
+	return b.full.Push(batch)
+}
+
+func (b *base) cacheBatch(batch *core.Batch) {
+	b.cacheMu.Lock()
+	defer b.cacheMu.Unlock()
+	if b.cacheOverflow {
+		return
+	}
+	n := int64(batch.Images * batch.ImageBytes())
+	if b.cacheBytes+n > b.cacheLimit {
+		b.cacheOverflow = true
+		b.cache = nil
+		b.cacheBytes = 0
+		return
+	}
+	b.cache = append(b.cache, cachedBatch{
+		data:   append([]byte(nil), batch.Bytes()...),
+		metas:  append([]core.ItemMeta(nil), batch.Metas...),
+		valid:  append([]bool(nil), batch.Valid...),
+		images: batch.Images,
+	})
+	b.cacheBytes += n
+}
+
+// CacheComplete implements Backend.
+func (b *base) CacheComplete() bool {
+	b.cacheMu.Lock()
+	defer b.cacheMu.Unlock()
+	return b.cacheLimit > 0 && !b.cacheOverflow && len(b.cache) > 0
+}
+
+// ReplayCache implements Backend.
+func (b *base) ReplayCache() error {
+	b.cacheMu.Lock()
+	snapshot := b.cache
+	ok := b.cacheLimit > 0 && !b.cacheOverflow && len(b.cache) > 0
+	b.cacheMu.Unlock()
+	if !ok {
+		return core.ErrCacheUnavailable
+	}
+	for _, cb := range snapshot {
+		buf, err := b.pool.Get()
+		if err != nil {
+			return fmt.Errorf("backends: pool closed: %w", err)
+		}
+		copy(buf.Bytes(), cb.data)
+		batch := &core.Batch{
+			Buf:    buf,
+			Images: cb.images,
+			W:      b.outW, H: b.outH, C: b.channels,
+			Metas:       append([]core.ItemMeta(nil), cb.metas...),
+			Valid:       append([]bool(nil), cb.valid...),
+			Seq:         b.nextSeq(),
+			AssembledAt: time.Now(),
+		}
+		b.images.Add(int64(cb.images))
+		if err := b.full.Push(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}

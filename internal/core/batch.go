@@ -1,0 +1,76 @@
+// Package core implements DLBooster itself: the host bridger of paper
+// §3.4 — the asynchronous FPGAReader (Algorithm 1) driving the FPGA
+// decoder, the HugePage MemManager (Algorithm 2, via internal/hugepage),
+// the round-robin asynchronous Dispatcher (Algorithm 3) feeding GPU
+// compute engines, and the hybrid first-epoch cache of §3.1. The API
+// surface mirrors Table 1 of the paper; see table1_test.go for the
+// name-by-name mapping.
+package core
+
+import (
+	"time"
+
+	"dlbooster/internal/gpu"
+	"dlbooster/internal/hugepage"
+)
+
+// ItemMeta carries per-image bookkeeping across the pipeline: identity
+// for training labels, timestamps for the online-inference latency
+// metric (receipt → prediction, §5.3).
+type ItemMeta struct {
+	Label      int
+	ClientID   int
+	Seq        int
+	ReceivedAt time.Time
+}
+
+// Batch is one filled HugePage buffer carrying Images decoded rasters of
+// identical geometry, laid out back to back at ImageBytes stride — the
+// large-block unit whose single-copy dispatch is DLBooster's first
+// performance lever (§5.2 reason 1).
+type Batch struct {
+	Buf         *hugepage.Buffer
+	Images      int
+	W, H, C     int
+	Metas       []ItemMeta
+	Valid       []bool // false marks slots whose decode failed
+	Seq         int    // batch sequence number
+	AssembledAt time.Time
+}
+
+// ImageBytes returns the per-slot stride.
+func (b *Batch) ImageBytes() int { return b.W * b.H * b.C }
+
+// Bytes returns the filled prefix of the underlying buffer.
+func (b *Batch) Bytes() []byte { return b.Buf.Bytes()[:b.Images*b.ImageBytes()] }
+
+// Image returns the raster bytes of slot i.
+func (b *Batch) Image(i int) []byte {
+	s := b.ImageBytes()
+	return b.Buf.Bytes()[i*s : (i+1)*s]
+}
+
+// ValidCount returns the number of successfully decoded slots.
+func (b *Batch) ValidCount() int {
+	n := 0
+	for _, v := range b.Valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// DeviceBatch is a batch landed in GPU memory, handed to a compute
+// engine through its Trans Queue.
+type DeviceBatch struct {
+	Buf     *gpu.Buffer
+	Images  int
+	W, H, C int
+	Metas   []ItemMeta
+	Valid   []bool
+	Seq     int
+}
+
+// ImageBytes returns the per-slot stride.
+func (b *DeviceBatch) ImageBytes() int { return b.W * b.H * b.C }

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/hugepage"
+	"dlbooster/internal/metrics"
+	"dlbooster/internal/queue"
+)
+
+// Config assembles a DLBooster backend.
+type Config struct {
+	// BatchSize is images per batch buffer (per-GPU batch in the paper).
+	BatchSize int
+	// OutW/OutH/Channels is the decoder output geometry (the resizer's
+	// target, e.g. 224×224×3).
+	OutW, OutH, Channels int
+	// PoolBatches is the number of HugePage batch buffers (default 8).
+	// It bounds decode-ahead: when all are in flight, the FPGAReader
+	// blocks, which is the back-pressure of Algorithm 1.
+	PoolBatches int
+	// FPGA is the decoder geometry (zero value = the paper's 4/2/1).
+	FPGA fpga.Config
+	// FPGADevices is the number of decoder boards; commands round-robin
+	// across them. "The bottleneck can be overcome by plugging more
+	// FPGA devices" (§5.3). Default 1.
+	FPGADevices int
+	// Mirror names the decoder image to load (default "jpeg").
+	Mirror string
+	// Source resolves disk DataRefs (nil if inputs are inline/NIC).
+	Source fpga.DataSource
+	// CacheLimitBytes enables the hybrid first-epoch cache of §3.1 when
+	// positive: processed batches are retained in memory up to the
+	// limit, and later epochs replay from memory. MNIST fits; ILSVRC
+	// does not (Figure 6 discussion).
+	CacheLimitBytes int64
+}
+
+func (c *Config) normalize() error {
+	if c.BatchSize <= 0 {
+		return errors.New("core: batch size must be positive")
+	}
+	if c.OutW <= 0 || c.OutH <= 0 {
+		return fmt.Errorf("core: bad output geometry %dx%d", c.OutW, c.OutH)
+	}
+	if c.Channels != 1 && c.Channels != 3 {
+		return fmt.Errorf("core: channels %d must be 1 or 3", c.Channels)
+	}
+	if c.PoolBatches == 0 {
+		c.PoolBatches = 8
+	}
+	if c.PoolBatches < 2 {
+		return errors.New("core: need at least 2 pool batches for pipelining")
+	}
+	if c.Mirror == "" {
+		c.Mirror = "jpeg"
+	}
+	if c.FPGADevices == 0 {
+		c.FPGADevices = 1
+	}
+	if c.FPGADevices < 0 {
+		return fmt.Errorf("core: %d FPGA devices", c.FPGADevices)
+	}
+	return nil
+}
+
+// Booster is the DLBooster data-preprocessing backend.
+type Booster struct {
+	cfg  Config
+	pool *hugepage.Pool
+	devs []*fpga.Device
+	ch   *FPGAChannel
+	full *queue.Queue[*Batch]
+
+	images metrics.Counter
+	errors metrics.Counter
+	seq    int
+	cmdID  uint64
+
+	cacheMu       sync.Mutex
+	cache         []cachedBatch
+	cacheBytes    int64
+	cacheOverflow bool
+
+	closeOnce sync.Once
+}
+
+type cachedBatch struct {
+	data   []byte
+	metas  []ItemMeta
+	valid  []bool
+	images int
+}
+
+// New builds the backend: HugePage pool, FPGA device with the requested
+// mirror, and the Full_Batch_Queue the Dispatcher consumes.
+func New(cfg Config) (*Booster, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	imageBytes := cfg.OutW * cfg.OutH * cfg.Channels
+	pool, err := hugepage.NewPool(imageBytes*cfg.BatchSize, cfg.PoolBatches)
+	if err != nil {
+		return nil, err
+	}
+	mirror, err := fpga.LoadMirror(cfg.Mirror)
+	if err != nil {
+		return nil, err
+	}
+	devs := make([]*fpga.Device, cfg.FPGADevices)
+	for i := range devs {
+		dev, err := fpga.New(cfg.FPGA, pool.Arena(), cfg.Source, mirror)
+		if err != nil {
+			for _, d := range devs[:i] {
+				d.Close()
+			}
+			return nil, err
+		}
+		devs[i] = dev
+	}
+	return &Booster{
+		cfg:  cfg,
+		pool: pool,
+		devs: devs,
+		ch:   newFPGAChannel(devs),
+		full: queue.New[*Batch](cfg.PoolBatches),
+	}, nil
+}
+
+// Batches returns the Full_Batch_Queue the Dispatcher drains.
+func (b *Booster) Batches() *queue.Queue[*Batch] { return b.full }
+
+// Pool exposes the MemManager, for tests and the Table 1 surface.
+func (b *Booster) Pool() *hugepage.Pool { return b.pool }
+
+// Device exposes the first FPGA decoder, for stats.
+func (b *Booster) Device() *fpga.Device { return b.devs[0] }
+
+// Devices exposes every FPGA decoder board.
+func (b *Booster) Devices() []*fpga.Device { return b.devs }
+
+// Channel exposes the FPGAChannel bound to the decoder (Table 1).
+func (b *Booster) Channel() *FPGAChannel { return b.ch }
+
+// Images returns the count of successfully decoded images.
+func (b *Booster) Images() int64 { return b.images.Value() }
+
+// DecodeErrors returns the count of failed decodes.
+func (b *Booster) DecodeErrors() int64 { return b.errors.Value() }
+
+// RecycleBatch returns a consumed batch's buffer to the pool (Table 1
+// recycle_item). The Dispatcher calls it after stream synchronisation.
+func (b *Booster) RecycleBatch(batch *Batch) error {
+	if batch == nil || batch.Buf == nil {
+		return errors.New("core: nil batch")
+	}
+	return b.pool.Put(batch.Buf)
+}
+
+// CloseBatches marks the end of the batch stream, letting consumers
+// drain and exit.
+func (b *Booster) CloseBatches() { b.full.Close() }
+
+// Close tears the backend down.
+func (b *Booster) Close() {
+	b.closeOnce.Do(func() {
+		b.ch.close()
+		b.full.Close()
+		b.pool.Close()
+	})
+}
+
+// building tracks one batch buffer being filled by in-flight decodes.
+type building struct {
+	batch       *Batch
+	outstanding int
+	sealed      bool
+}
+
+// pendingSlot maps a command to its batch slot.
+type pendingSlot struct {
+	bld  *building
+	slot int
+}
+
+// RunEpoch drives one pass of the collector through the FPGA decoder —
+// Algorithm 1 of the paper. It returns once every input item has been
+// decoded (or failed) and every completed batch is on the Full queue. A
+// consumer must drain Batches() concurrently, or the pool back-pressure
+// will pause the reader once all buffers are in flight.
+//
+// When the cache is enabled, processed batches are also retained in
+// memory (until the limit), making later epochs servable by ReplayCache.
+func (b *Booster) RunEpoch(col DataCollector) error {
+	if col == nil {
+		return errors.New("core: nil collector")
+	}
+	imageBytes := b.cfg.OutW * b.cfg.OutH * b.cfg.Channels
+	pending := make(map[uint64]pendingSlot)
+	var cur *building
+	stream, _ := col.(StreamingCollector)
+
+	process := func(comps []fpga.Completion) error {
+		for _, c := range comps {
+			ps, ok := pending[c.ID]
+			if !ok {
+				return fmt.Errorf("core: completion for unknown cmd %d", c.ID)
+			}
+			delete(pending, c.ID)
+			if c.Err != nil {
+				b.errors.Add(1)
+				ps.bld.batch.Valid[ps.slot] = false
+			} else {
+				b.images.Add(1)
+				ps.bld.batch.Valid[ps.slot] = true
+			}
+			ps.bld.outstanding--
+			if ps.bld.sealed && ps.bld.outstanding == 0 {
+				if err := b.finishBatch(ps.bld.batch); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for {
+		var item Item
+		var ok bool
+		if stream == nil {
+			item, ok = col.Next()
+		} else {
+			// Streaming input can pause indefinitely; keep draining
+			// FINISH signals while waiting so in-flight batches publish
+			// promptly (the FPGA-handler daemon's job in §3.2 — the
+			// paper's closed-loop workload never pauses, but an online
+			// server's arrivals do).
+			for {
+				if len(pending) == 0 {
+					item, ok = col.Next()
+					break
+				}
+				var alive bool
+				item, ok, alive = stream.NextTimeout(200 * time.Microsecond)
+				if ok || !alive {
+					break
+				}
+				if err := process(b.ch.DrainOut()); err != nil {
+					return err
+				}
+			}
+		}
+		if !ok {
+			break
+		}
+		if cur == nil {
+			// Algorithm 1 lines 5–10: peek the free queue; while no
+			// buffer is available and decodes are still in flight,
+			// process completions (blocking on the FINISH queue rather
+			// than the pool — a buffer can only come back through a
+			// finished batch or through the consumer, and blocking on
+			// the pool alone would deadlock when every buffer belongs
+			// to a batch whose completions nobody is draining).
+			for !b.pool.Available() && len(pending) > 0 {
+				comp, err := b.ch.WaitCompletion()
+				if err != nil {
+					return fmt.Errorf("core: decoder closed mid-epoch: %w", err)
+				}
+				if err := process(append([]fpga.Completion{comp}, b.ch.DrainOut()...)); err != nil {
+					return err
+				}
+			}
+			buf, err := b.pool.Get()
+			if err != nil {
+				return fmt.Errorf("core: memory pool closed: %w", err)
+			}
+			cur = b.newBuilding(buf)
+		}
+		slot := cur.batch.Images
+		cur.batch.Images++
+		cur.batch.Metas = append(cur.batch.Metas, item.Meta)
+		cur.batch.Valid = append(cur.batch.Valid, false)
+		cur.outstanding++
+		b.cmdID++
+		id := b.cmdID
+		pending[id] = pendingSlot{bld: cur, slot: slot}
+		// Algorithm 1 lines 11–12: encapsulate the physical address
+		// (base + offset of this datum in the batch) into the cmd.
+		cmd := fpga.Cmd{
+			ID:       id,
+			Data:     item.Ref,
+			DMAAddr:  cur.batch.Buf.PhysAddr(),
+			DMAOff:   slot * imageBytes,
+			OutW:     b.cfg.OutW,
+			OutH:     b.cfg.OutH,
+			Channels: b.cfg.Channels,
+		}
+		if err := b.ch.SubmitCmd(cmd); err != nil {
+			return err
+		}
+		// Lines 13–15: pull processed batches with best effort.
+		if err := process(b.ch.DrainOut()); err != nil {
+			return err
+		}
+		if cur.batch.Images == b.cfg.BatchSize {
+			cur.sealed = true
+			cur = nil
+		}
+	}
+	// Flush: seal the partial batch and wait out all in-flight decodes.
+	if cur != nil {
+		cur.sealed = true
+		if cur.outstanding == 0 && cur.batch.Images >= 0 {
+			if err := b.finishBatch(cur.batch); err != nil {
+				return err
+			}
+		}
+		cur = nil
+	}
+	for len(pending) > 0 {
+		comp, err := b.ch.WaitCompletion()
+		if err != nil {
+			return fmt.Errorf("core: decoder closed with %d decodes outstanding", len(pending))
+		}
+		if err := process([]fpga.Completion{comp}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Booster) newBuilding(buf *hugepage.Buffer) *building {
+	b.seq++
+	return &building{batch: &Batch{
+		Buf: buf,
+		W:   b.cfg.OutW, H: b.cfg.OutH, C: b.cfg.Channels,
+		Seq: b.seq,
+	}}
+}
+
+// finishBatch timestamps, optionally caches, and publishes a batch.
+func (b *Booster) finishBatch(batch *Batch) error {
+	if batch.Images == 0 {
+		// An empty sealed batch (stream ended exactly at a boundary):
+		// return the buffer instead of publishing nothing.
+		return b.pool.Put(batch.Buf)
+	}
+	batch.AssembledAt = time.Now()
+	if b.cfg.CacheLimitBytes > 0 {
+		b.cacheBatch(batch)
+	}
+	return b.full.Push(batch)
+}
+
+func (b *Booster) cacheBatch(batch *Batch) {
+	b.cacheMu.Lock()
+	defer b.cacheMu.Unlock()
+	if b.cacheOverflow {
+		return
+	}
+	n := int64(batch.Images * batch.ImageBytes())
+	if b.cacheBytes+n > b.cfg.CacheLimitBytes {
+		// The dataset does not fit: drop the cache entirely, as keeping
+		// a partial epoch would serve skewed data (ILSVRC case).
+		b.cacheOverflow = true
+		b.cache = nil
+		b.cacheBytes = 0
+		return
+	}
+	cb := cachedBatch{
+		data:   append([]byte(nil), batch.Bytes()...),
+		metas:  append([]ItemMeta(nil), batch.Metas...),
+		valid:  append([]bool(nil), batch.Valid...),
+		images: batch.Images,
+	}
+	b.cache = append(b.cache, cb)
+	b.cacheBytes += n
+}
+
+// CacheComplete reports whether a full epoch is cached and replayable.
+func (b *Booster) CacheComplete() bool {
+	b.cacheMu.Lock()
+	defer b.cacheMu.Unlock()
+	return b.cfg.CacheLimitBytes > 0 && !b.cacheOverflow && len(b.cache) > 0
+}
+
+// CachedBatches returns the number of cached batches.
+func (b *Booster) CachedBatches() int {
+	b.cacheMu.Lock()
+	defer b.cacheMu.Unlock()
+	return len(b.cache)
+}
+
+// ErrCacheUnavailable is returned by ReplayCache when no complete epoch
+// is cached (caching disabled, first epoch not run, or dataset too big).
+var ErrCacheUnavailable = errors.New("core: epoch cache unavailable")
+
+// ReplayCache serves one epoch from the in-memory cache: the offline-like
+// fast path of the hybrid service (§3.1). Batches still flow through
+// pool buffers and the Full queue so the downstream pipeline is
+// identical.
+func (b *Booster) ReplayCache() error {
+	b.cacheMu.Lock()
+	snapshot := b.cache
+	ok := b.cfg.CacheLimitBytes > 0 && !b.cacheOverflow && len(b.cache) > 0
+	b.cacheMu.Unlock()
+	if !ok {
+		return ErrCacheUnavailable
+	}
+	for _, cb := range snapshot {
+		buf, err := b.pool.Get()
+		if err != nil {
+			return fmt.Errorf("core: memory pool closed: %w", err)
+		}
+		copy(buf.Bytes(), cb.data)
+		b.seq++
+		batch := &Batch{
+			Buf:    buf,
+			Images: cb.images,
+			W:      b.cfg.OutW, H: b.cfg.OutH, C: b.cfg.Channels,
+			Metas:       append([]ItemMeta(nil), cb.metas...),
+			Valid:       append([]bool(nil), cb.valid...),
+			Seq:         b.seq,
+			AssembledAt: time.Now(),
+		}
+		b.images.Add(int64(cb.images))
+		if err := b.full.Push(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FPGAChannel binds the host bridger to its FPGA decoders — the
+// FPGAChannel abstraction of §3.4.1, exposing the submit_cmd/drain_out
+// API of Table 1. With more than one board, commands round-robin across
+// devices and their FINISH signals merge into one completion stream, so
+// the FPGAReader is indifferent to how many boards are plugged in.
+type FPGAChannel struct {
+	devs   []*fpga.Device
+	merged *queue.Queue[fpga.Completion]
+	fwd    sync.WaitGroup
+
+	mu sync.Mutex
+	rr int
+}
+
+func newFPGAChannel(devs []*fpga.Device) *FPGAChannel {
+	c := &FPGAChannel{
+		devs:   devs,
+		merged: queue.New[fpga.Completion](256 * len(devs)),
+	}
+	// One forwarder per board moves FINISH signals into the merged
+	// stream; when every board closes, the stream closes.
+	for _, d := range devs {
+		c.fwd.Add(1)
+		go func(d *fpga.Device) {
+			defer c.fwd.Done()
+			for {
+				comp, err := d.WaitCompletion()
+				if err != nil {
+					return
+				}
+				if err := c.merged.Push(comp); err != nil {
+					return
+				}
+			}
+		}(d)
+	}
+	go func() {
+		c.fwd.Wait()
+		c.merged.Close()
+	}()
+	return c
+}
+
+// SubmitCmd submits a decode command to the next board round-robin and
+// launches the decoding operation (Table 1: submit_cmd).
+func (c *FPGAChannel) SubmitCmd(cmd fpga.Cmd) error {
+	c.mu.Lock()
+	d := c.devs[c.rr%len(c.devs)]
+	c.rr++
+	c.mu.Unlock()
+	return d.Submit(cmd)
+}
+
+// DrainOut queries the decoders' processing signals asynchronously,
+// returning all completions so far (Table 1: drain_out).
+func (c *FPGAChannel) DrainOut() []fpga.Completion { return c.merged.Drain() }
+
+// WaitCompletion blocks for the next FINISH signal from any board.
+func (c *FPGAChannel) WaitCompletion() (fpga.Completion, error) {
+	comp, err := c.merged.Pop()
+	if err != nil {
+		return fpga.Completion{}, fpga.ErrClosed
+	}
+	return comp, nil
+}
+
+// close shuts every board down and waits for the merged stream to end.
+func (c *FPGAChannel) close() {
+	for _, d := range c.devs {
+		d.Close()
+	}
+	c.fwd.Wait()
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/nic"
+	"dlbooster/internal/nvme"
+	"dlbooster/internal/queue"
+)
+
+// Item is one unit of raw input: where its bytes live (a DataRef the
+// FPGA DataReader understands) plus metadata.
+type Item struct {
+	Ref  fpga.DataRef
+	Meta ItemMeta
+}
+
+// DataCollector is the data abstraction of §3.4.1: it "translates the
+// metadata (block information) that describes the storage information of
+// the data on the disk or generates the metadata ... that describes
+// where the data are placed by NICs". Next returns false when the stream
+// ends; implementations must be safe for a single consumer.
+type DataCollector interface {
+	Next() (Item, bool)
+}
+
+// StreamingCollector is implemented by collectors whose input can pause
+// indefinitely (network feeds, item queues). NextTimeout waits up to d:
+// ok reports an item, alive=false reports end of stream. The FPGAReader
+// uses it to keep draining decoder completions while arrivals stall —
+// otherwise a sealed batch whose FINISH signals land after the last
+// arrival would sit unpublished until the next request (the paper's
+// closed-loop evaluation never pauses, but an online server does).
+type StreamingCollector interface {
+	DataCollector
+	NextTimeout(d time.Duration) (item Item, ok bool, alive bool)
+}
+
+// diskCollector walks an NVMe manifest once, in order (Table 1
+// load_from_disk).
+type diskCollector struct {
+	infos []nvme.FileInfo
+	label func(name string, index int) int
+	pos   int
+}
+
+// LoadFromDisk builds a collector over the device's manifest. label maps
+// an object to its class; nil means label 0.
+func LoadFromDisk(dev *nvme.Device, label func(name string, index int) int) (DataCollector, error) {
+	if dev == nil {
+		return nil, errors.New("core: nil disk device")
+	}
+	infos := dev.Manifest()
+	if len(infos) == 0 {
+		return nil, errors.New("core: disk manifest is empty")
+	}
+	return &diskCollector{infos: infos, label: label}, nil
+}
+
+func (c *diskCollector) Next() (Item, bool) {
+	if c.pos >= len(c.infos) {
+		return Item{}, false
+	}
+	fi := c.infos[c.pos]
+	i := c.pos
+	c.pos++
+	lbl := 0
+	if c.label != nil {
+		lbl = c.label(fi.Name, i)
+	}
+	return Item{
+		Ref:  fpga.DataRef{Path: fi.Name, Length: fi.Size},
+		Meta: ItemMeta{Label: lbl, Seq: i, ReceivedAt: time.Now()},
+	}, true
+}
+
+// netCollector receives frames from the simulated fabric (Table 1
+// load_from_net). The stream ends when the fabric closes.
+type netCollector struct {
+	fabric *nic.Fabric
+	limit  int // 0 = unlimited
+	seen   int
+}
+
+// LoadFromNet builds a collector over a fabric. limit > 0 stops the
+// stream after that many frames (experiment runs); 0 runs until the
+// fabric closes.
+func LoadFromNet(fabric *nic.Fabric, limit int) (DataCollector, error) {
+	if fabric == nil {
+		return nil, errors.New("core: nil fabric")
+	}
+	if limit < 0 {
+		return nil, errors.New("core: negative frame limit")
+	}
+	return &netCollector{fabric: fabric, limit: limit}, nil
+}
+
+func (c *netCollector) Next() (Item, bool) {
+	if c.limit > 0 && c.seen >= c.limit {
+		return Item{}, false
+	}
+	fr, err := c.fabric.Recv()
+	if err != nil {
+		return Item{}, false
+	}
+	c.seen++
+	return Item{
+		Ref:  fpga.DataRef{Inline: fr.Payload},
+		Meta: ItemMeta{ClientID: fr.ClientID, Seq: fr.Seq, ReceivedAt: fr.SentAt},
+	}, true
+}
+
+// NextTimeout implements StreamingCollector.
+func (c *netCollector) NextTimeout(d time.Duration) (Item, bool, bool) {
+	if c.limit > 0 && c.seen >= c.limit {
+		return Item{}, false, false
+	}
+	fr, ok, err := c.fabric.RecvTimeout(d)
+	if err != nil {
+		return Item{}, false, false
+	}
+	if !ok {
+		return Item{}, false, true
+	}
+	c.seen++
+	return Item{
+		Ref:  fpga.DataRef{Inline: fr.Payload},
+		Meta: ItemMeta{ClientID: fr.ClientID, Seq: fr.Seq, ReceivedAt: fr.SentAt},
+	}, true, true
+}
+
+// sliceCollector serves an in-memory item list (tests, cached replays).
+type sliceCollector struct {
+	items []Item
+	pos   int
+}
+
+// CollectorFromItems wraps a fixed item list.
+func CollectorFromItems(items []Item) DataCollector {
+	return &sliceCollector{items: items}
+}
+
+func (c *sliceCollector) Next() (Item, bool) {
+	if c.pos >= len(c.items) {
+		return Item{}, false
+	}
+	it := c.items[c.pos]
+	c.pos++
+	return it, true
+}
+
+// queueCollector adapts a queue of items, for producers that generate
+// input concurrently.
+type queueCollector struct {
+	q *queue.Queue[Item]
+}
+
+// CollectorFromQueue wraps a queue; the stream ends when the queue is
+// closed and drained.
+func CollectorFromQueue(q *queue.Queue[Item]) DataCollector {
+	return &queueCollector{q: q}
+}
+
+func (c *queueCollector) Next() (Item, bool) {
+	it, err := c.q.Pop()
+	if err != nil {
+		return Item{}, false
+	}
+	return it, true
+}
+
+// NextTimeout implements StreamingCollector.
+func (c *queueCollector) NextTimeout(d time.Duration) (Item, bool, bool) {
+	it, ok, err := c.q.PopTimeout(d)
+	if err != nil {
+		return Item{}, false, false
+	}
+	return it, ok, true
+}
+
+var (
+	_ StreamingCollector = (*netCollector)(nil)
+	_ StreamingCollector = (*queueCollector)(nil)
+)

@@ -1,0 +1,221 @@
+// Package dataset synthesises the paper's two corpora at configurable
+// scale: an MNIST-like set (28×28 grayscale, 60k images, fits in memory)
+// and an ILSVRC2012-like set (≈500×375 colour JPEGs, 1.28M images, does
+// not fit). The evaluation depends on the size, format and volume of the
+// data, not on its semantic content, so images are deterministic
+// procedural textures: same seed → byte-identical corpus, which keeps
+// every experiment reproducible.
+//
+// The package also implements the offline-conversion path (decode +
+// resize + pack into the lmdb store) whose ≈2-hour cost for ILSVRC12 the
+// paper charges against offline backends.
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dlbooster/internal/imageproc"
+	"dlbooster/internal/jpeg"
+	"dlbooster/internal/lmdb"
+	"dlbooster/internal/nvme"
+	"dlbooster/internal/pix"
+)
+
+// Spec describes a synthetic corpus.
+type Spec struct {
+	Name    string
+	Count   int
+	W, H    int
+	C       int // 1 or 3
+	Classes int
+	Quality int  // JPEG quality for the encoded form
+	Sub420  bool // chroma subsampling for the encoded form
+	// Progressive encodes the corpus as multi-scan (SOF2) JPEGs. The
+	// simulated FPGA decoder, like real hardware decoders, is
+	// baseline-only; progressive corpora exercise the software decode
+	// fallback of the CPU backends.
+	Progressive bool
+	Seed        int64
+}
+
+// MNISTLike returns the paper's LeNet-5 corpus at a given scale
+// (60,000 in the paper).
+func MNISTLike(count int) Spec {
+	return Spec{Name: "mnist-like", Count: count, W: 28, H: 28, C: 1, Classes: 10, Quality: 92, Seed: 1998}
+}
+
+// ILSVRCLike returns the paper's AlexNet/ResNet corpus at a given scale
+// (1,281,167 in the paper; experiments use a slice and scale rates).
+func ILSVRCLike(count int) Spec {
+	return Spec{Name: "ilsvrc-like", Count: count, W: 500, H: 375, C: 3, Classes: 1000, Quality: 88, Sub420: true, Seed: 2012}
+}
+
+// Validate checks the spec is usable.
+func (s Spec) Validate() error {
+	if s.Count <= 0 || s.W <= 0 || s.H <= 0 || (s.C != 1 && s.C != 3) || s.Classes <= 0 {
+		return fmt.Errorf("dataset: invalid spec %+v", s)
+	}
+	if s.Quality < 1 || s.Quality > 100 {
+		return fmt.Errorf("dataset: quality %d outside 1..100", s.Quality)
+	}
+	return nil
+}
+
+// splitmix64 provides the per-image deterministic stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Label returns the class of image i.
+func (s Spec) Label(i int) int {
+	return int(splitmix64(uint64(s.Seed)^uint64(i)*0x5851F42D4C957F2D) % uint64(s.Classes))
+}
+
+// Key returns the store/manifest key of image i.
+func (s Spec) Key(i int) string { return fmt.Sprintf("%s/%08d", s.Name, i) }
+
+// Image synthesises image i: a class-dependent low-frequency texture
+// with per-image phase, realistic enough to keep JPEG sizes in the range
+// of natural photos.
+func (s Spec) Image(i int) *pix.Image {
+	img := pix.New(s.W, s.H, s.C)
+	r := splitmix64(uint64(s.Seed) + uint64(i))
+	label := s.Label(i)
+	fx := 1 + float64(r%5)/2
+	fy := 1 + float64((r>>8)%5)/2
+	phase := float64(r>>16%628) / 100
+	amp := 70 + float64(label%40)
+	for y := 0; y < s.H; y++ {
+		wy := float64(y) / float64(s.H)
+		for x := 0; x < s.W; x++ {
+			wx := float64(x) / float64(s.W)
+			base := 128 + amp*math.Sin(fx*math.Pi*wx+phase)*math.Cos(fy*math.Pi*wy)
+			noise := float64(splitmix64(r^uint64(y*s.W+x))%16) - 8
+			for ch := 0; ch < s.C; ch++ {
+				v := base + noise + 12*float64(ch)*math.Sin(3*math.Pi*wx+float64(ch))
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				img.Set(x, y, ch, byte(v))
+			}
+		}
+	}
+	return img
+}
+
+// JPEG returns image i in its encoded (on-disk / on-wire) form.
+func (s Spec) JPEG(i int) ([]byte, error) {
+	opt := jpeg.EncodeOptions{Quality: s.Quality, Subsample420: s.Sub420 && s.C == 3}
+	if s.Progressive {
+		return jpeg.EncodeProgressive(s.Image(i), opt)
+	}
+	return jpeg.Encode(s.Image(i), opt)
+}
+
+// WriteToNVMe stores the encoded corpus onto a simulated disk, returning
+// the manifest in index order.
+func (s Spec) WriteToNVMe(d *nvme.Device) ([]nvme.FileInfo, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	infos := make([]nvme.FileInfo, 0, s.Count)
+	for i := 0; i < s.Count; i++ {
+		data, err := s.JPEG(i)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: encoding %d: %w", i, err)
+		}
+		fi, err := d.Put(s.Key(i), data)
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, fi)
+	}
+	return infos, nil
+}
+
+// Record is one offline-preprocessed training record: a decoded, resized
+// raster plus its label — what the LMDB backend serves at train time.
+type Record struct {
+	Label   int
+	W, H, C int
+	Pixels  []byte // HWC
+}
+
+// EncodeRecord packs a record into the store's value format.
+func EncodeRecord(r Record) ([]byte, error) {
+	if r.W <= 0 || r.H <= 0 || (r.C != 1 && r.C != 3) || len(r.Pixels) != r.W*r.H*r.C {
+		return nil, fmt.Errorf("dataset: invalid record %dx%dx%d with %d pixel bytes", r.W, r.H, r.C, len(r.Pixels))
+	}
+	out := make([]byte, 16+len(r.Pixels))
+	binary.BigEndian.PutUint32(out[0:], uint32(r.Label))
+	binary.BigEndian.PutUint32(out[4:], uint32(r.W))
+	binary.BigEndian.PutUint32(out[8:], uint32(r.H))
+	binary.BigEndian.PutUint32(out[12:], uint32(r.C))
+	copy(out[16:], r.Pixels)
+	return out, nil
+}
+
+// DecodeRecord unpacks a store value.
+func DecodeRecord(data []byte) (Record, error) {
+	if len(data) < 16 {
+		return Record{}, fmt.Errorf("dataset: record of %d bytes too short", len(data))
+	}
+	r := Record{
+		Label: int(binary.BigEndian.Uint32(data[0:])),
+		W:     int(binary.BigEndian.Uint32(data[4:])),
+		H:     int(binary.BigEndian.Uint32(data[8:])),
+		C:     int(binary.BigEndian.Uint32(data[12:])),
+	}
+	if r.W <= 0 || r.H <= 0 || (r.C != 1 && r.C != 3) {
+		return Record{}, fmt.Errorf("dataset: record geometry %dx%dx%d invalid", r.W, r.H, r.C)
+	}
+	if len(data)-16 != r.W*r.H*r.C {
+		return Record{}, fmt.Errorf("dataset: record payload %d, want %d", len(data)-16, r.W*r.H*r.C)
+	}
+	r.Pixels = data[16:]
+	return r, nil
+}
+
+// ConvertToLMDB runs the offline-preprocessing pass: decode every JPEG,
+// resize to outW×outH, and store records keyed by index. This is the
+// conversion whose time cost §2.2 charges against LMDB ("more than 2
+// hours ... for ILSVRC12"); callers wanting the cost model use
+// perf.LMDBPrepareRate, callers wanting the bytes call this.
+func ConvertToLMDB(s Spec, db *lmdb.DB, outW, outH int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if outW <= 0 || outH <= 0 {
+		return fmt.Errorf("dataset: invalid output %dx%d", outW, outH)
+	}
+	for i := 0; i < s.Count; i++ {
+		data, err := s.JPEG(i)
+		if err != nil {
+			return err
+		}
+		img, err := jpeg.Decode(data)
+		if err != nil {
+			return fmt.Errorf("dataset: decoding %d: %w", i, err)
+		}
+		resized, err := imageproc.Resize(img, outW, outH, imageproc.Bilinear)
+		if err != nil {
+			return err
+		}
+		rec, err := EncodeRecord(Record{Label: s.Label(i), W: outW, H: outH, C: s.C, Pixels: resized.Pix})
+		if err != nil {
+			return err
+		}
+		if err := db.Put([]byte(s.Key(i)), rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dlbooster/internal/jpeg"
+	"dlbooster/internal/lmdb"
+	"dlbooster/internal/nvme"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	if err := MNISTLike(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ILSVRCLike(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := MNISTLike(0)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	bad = MNISTLike(10)
+	bad.C = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("2 channels accepted")
+	}
+	bad = MNISTLike(10)
+	bad.Quality = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("quality 0 accepted")
+	}
+}
+
+func TestImagesAreDeterministic(t *testing.T) {
+	s := ILSVRCLike(10)
+	a := s.Image(3)
+	b := s.Image(3)
+	if d, _ := a.MaxAbsDiff(b); d != 0 {
+		t.Fatal("same index produced different images")
+	}
+	c := s.Image(4)
+	if d, _ := a.MaxAbsDiff(c); d == 0 {
+		t.Fatal("different indices produced identical images")
+	}
+	j1, err := s.JPEG(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := s.JPEG(3)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("JPEG encoding not deterministic")
+	}
+}
+
+func TestGeometryMatchesPaper(t *testing.T) {
+	m := MNISTLike(5)
+	img := m.Image(0)
+	if img.W != 28 || img.H != 28 || img.C != 1 {
+		t.Fatalf("MNIST geometry %dx%dx%d", img.W, img.H, img.C)
+	}
+	i := ILSVRCLike(5)
+	img = i.Image(0)
+	if img.W != 500 || img.H != 375 || img.C != 3 {
+		t.Fatalf("ILSVRC geometry %dx%dx%d", img.W, img.H, img.C)
+	}
+}
+
+func TestJPEGSizesPlausible(t *testing.T) {
+	// The inference workload assumes ≈30 KB JPEGs; synthetic images must
+	// land in the same order of magnitude (not trivially compressible).
+	s := ILSVRCLike(6)
+	for i := 0; i < 6; i++ {
+		data, err := s.JPEG(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 8*1024 || len(data) > 120*1024 {
+			t.Fatalf("image %d encodes to %d bytes, outside photo-like range", i, len(data))
+		}
+		// And they must decode.
+		img, err := jpeg.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if img.W != 500 || img.H != 375 {
+			t.Fatalf("decode geometry %dx%d", img.W, img.H)
+		}
+	}
+}
+
+func TestLabelsInRangeAndSpread(t *testing.T) {
+	s := MNISTLike(1000)
+	seen := map[int]int{}
+	for i := 0; i < s.Count; i++ {
+		l := s.Label(i)
+		if l < 0 || l >= s.Classes {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d distinct labels in 1000 samples", len(seen))
+	}
+	// Deterministic.
+	if s.Label(42) != s.Label(42) {
+		t.Fatal("labels not deterministic")
+	}
+}
+
+func TestWriteToNVMe(t *testing.T) {
+	s := MNISTLike(20)
+	d := nvme.New(nvme.Config{})
+	infos, err := s.WriteToNVMe(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 20 || d.Len() != 20 {
+		t.Fatalf("stored %d/%d", len(infos), d.Len())
+	}
+	data, err := d.Read(s.Key(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.JPEG(7)
+	if !bytes.Equal(data, want) {
+		t.Fatal("stored bytes differ from generator output")
+	}
+	bad := s
+	bad.Count = 0
+	if _, err := bad.WriteToNVMe(d); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{Label: 7, W: 4, H: 3, C: 3, Pixels: bytes.Repeat([]byte{9}, 36)}
+	data, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != 7 || back.W != 4 || back.H != 3 || back.C != 3 || !bytes.Equal(back.Pixels, rec.Pixels) {
+		t.Fatalf("record = %+v", back)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	if _, err := EncodeRecord(Record{W: 0, H: 1, C: 1}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := EncodeRecord(Record{W: 2, H: 2, C: 1, Pixels: []byte{1}}); err == nil {
+		t.Fatal("short pixels accepted")
+	}
+	if _, err := DecodeRecord(nil); err == nil {
+		t.Fatal("nil record accepted")
+	}
+	if _, err := DecodeRecord(make([]byte, 16)); err == nil {
+		t.Fatal("zero-geometry record accepted")
+	}
+	good, _ := EncodeRecord(Record{Label: 1, W: 2, H: 2, C: 1, Pixels: []byte{1, 2, 3, 4}})
+	if _, err := DecodeRecord(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+// TestRecordRoundTripProperty: arbitrary geometry and content round-trip.
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(label uint16, wSeed, hSeed uint8, gray bool, fill byte) bool {
+		w, h := int(wSeed)%16+1, int(hSeed)%16+1
+		c := 3
+		if gray {
+			c = 1
+		}
+		rec := Record{Label: int(label), W: w, H: h, C: c, Pixels: bytes.Repeat([]byte{fill}, w*h*c)}
+		data, err := EncodeRecord(rec)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeRecord(data)
+		if err != nil {
+			return false
+		}
+		return back.Label == rec.Label && back.W == w && back.H == h && back.C == c && bytes.Equal(back.Pixels, rec.Pixels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertToLMDB(t *testing.T) {
+	s := MNISTLike(15)
+	db := lmdb.New()
+	if err := ConvertToLMDB(s, db, 28, 28); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 15 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	val, ok, err := db.Get([]byte(s.Key(3)))
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	rec, err := DecodeRecord(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.W != 28 || rec.H != 28 || rec.C != 1 || rec.Label != s.Label(3) {
+		t.Fatalf("record = %+v", rec)
+	}
+	// Records must be the decoded JPEG (lossy match to the source).
+	src := s.Image(3)
+	got := rec.Pixels
+	var worst int
+	for i := range got {
+		d := int(got[i]) - int(src.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 40 {
+		t.Fatalf("record diverges from source by %d", worst)
+	}
+	if err := ConvertToLMDB(s, db, 0, 28); err == nil {
+		t.Fatal("invalid output size accepted")
+	}
+}
+
+func TestConvertILSVRCResizes(t *testing.T) {
+	s := ILSVRCLike(2)
+	db := lmdb.New()
+	if err := ConvertToLMDB(s, db, 224, 224); err != nil {
+		t.Fatal(err)
+	}
+	val, _, _ := db.Get([]byte(s.Key(0)))
+	rec, err := DecodeRecord(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.W != 224 || rec.H != 224 || rec.C != 3 {
+		t.Fatalf("record geometry %dx%dx%d", rec.W, rec.H, rec.C)
+	}
+}
+
+func TestProgressiveCorpus(t *testing.T) {
+	s := MNISTLike(4)
+	s.Progressive = true
+	data, err := s.JPEG(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := jpeg.Decode(data)
+	if err != nil {
+		t.Fatalf("progressive corpus image does not decode: %v", err)
+	}
+	if img.W != 28 || img.H != 28 {
+		t.Fatalf("geometry %dx%d", img.W, img.H)
+	}
+	// Progressive and baseline forms decode to similar pixels.
+	base := MNISTLike(4)
+	bImg, err := jpeg.Decode(mustEncode(t, base, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := img.MaxAbsDiff(bImg); d != 0 {
+		t.Fatalf("progressive pixels differ from baseline by %d (same coefficients expected)", d)
+	}
+}
+
+func mustEncode(t *testing.T, s Spec, i int) []byte {
+	t.Helper()
+	data, err := s.JPEG(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

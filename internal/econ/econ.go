@@ -1,0 +1,61 @@
+// Package econ reproduces the economic analysis of paper §5.4: what
+// offloading preprocessing to an FPGA is worth, to the user renting the
+// VM and to the cloud provider selling the freed cores.
+package econ
+
+import (
+	"fmt"
+	"strings"
+
+	"dlbooster/internal/perf"
+)
+
+// Analysis is the §5.4 comparison for one deployment.
+type Analysis struct {
+	// CoresReplaced is how many decode cores one FPGA displaces.
+	CoresReplaced int
+	// HourlySavings is the market value of the freed cores, $/h.
+	HourlySavings float64
+	// AnnualRevenuePerFPGA is the provider's resale revenue of the
+	// freed cores over a year, $.
+	AnnualRevenuePerFPGA float64
+	// PowerSavedWatts is the power delta of FPGA-decode vs CPU-decode
+	// at equal throughput.
+	PowerSavedWatts float64
+	// OfflinePrepHours is the LMDB conversion time DLBooster's online
+	// service avoids, for a dataset of the given size.
+	OfflinePrepHours float64
+}
+
+// Analyze computes the §5.4 numbers for a dataset of datasetImages.
+func Analyze(datasetImages int) Analysis {
+	cores := perf.FPGAEquivalentCores
+	// Power: the displaced cores' share of CPU package power vs one
+	// FPGA. A 16-core package at perf.CPUWatts gives watts per core.
+	wattsPerCore := perf.CPUWatts / 16.0
+	a := Analysis{
+		CoresReplaced:        cores,
+		HourlySavings:        float64(cores) * perf.CorePricePerHour,
+		AnnualRevenuePerFPGA: float64(cores) * perf.CoreAnnualRevenue,
+		PowerSavedWatts:      float64(cores)*wattsPerCore - perf.FPGAWatts,
+	}
+	if datasetImages > 0 {
+		a.OfflinePrepHours = float64(datasetImages) / perf.LMDBPrepareRate / 3600
+	}
+	return a
+}
+
+// Report renders the analysis in the shape of §5.4's prose.
+func (a Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Economic analysis (paper §5.4)\n")
+	fmt.Fprintf(&b, "  one FPGA decoder replaces:    %d CPU cores of JPEG decode\n", a.CoresReplaced)
+	fmt.Fprintf(&b, "  freed-core resale value:      $%.2f/h (paper: >$1.5/h)\n", a.HourlySavings)
+	fmt.Fprintf(&b, "  provider revenue per FPGA:    $%.0f/year (paper: ~$900/core-year)\n", a.AnnualRevenuePerFPGA)
+	fmt.Fprintf(&b, "  power saved vs CPU decode:    %.0f W (FPGA %.0f W vs CPU %.0f W, GPU %.0f W)\n",
+		a.PowerSavedWatts, perf.FPGAWatts, perf.CPUWatts, perf.GPUWatts)
+	if a.OfflinePrepHours > 0 {
+		fmt.Fprintf(&b, "  offline LMDB prep avoided:    %.1f h (paper: \"more than 2 hours\" for ILSVRC12)\n", a.OfflinePrepHours)
+	}
+	return b.String()
+}

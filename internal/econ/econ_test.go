@@ -1,0 +1,49 @@
+package econ
+
+import (
+	"strings"
+	"testing"
+
+	"dlbooster/internal/perf"
+)
+
+func TestAnalyzeAnchors(t *testing.T) {
+	a := Analyze(perf.AlexNet.EpochImages)
+	if a.CoresReplaced != perf.FPGAEquivalentCores {
+		t.Fatalf("CoresReplaced = %d", a.CoresReplaced)
+	}
+	// §5.4: the freed cores "can still be sold to other tenants for more
+	// than $1.5/h".
+	if a.HourlySavings < 1.5 {
+		t.Fatalf("HourlySavings = %.2f, want >= 1.5", a.HourlySavings)
+	}
+	// §5.4: ~$900 of potential revenue per core-year.
+	if a.AnnualRevenuePerFPGA < 20000 {
+		t.Fatalf("AnnualRevenuePerFPGA = %.0f, want ≈ 30×900", a.AnnualRevenuePerFPGA)
+	}
+	// FPGAs at 25 W must beat the displaced cores' power.
+	if a.PowerSavedWatts <= 0 {
+		t.Fatalf("PowerSavedWatts = %.0f", a.PowerSavedWatts)
+	}
+	// §2.2: "more than 2 hours" for ILSVRC12 (our rate constant rounds
+	// to almost exactly 2.0 h).
+	if a.OfflinePrepHours < 1.9 {
+		t.Fatalf("OfflinePrepHours = %.2f", a.OfflinePrepHours)
+	}
+}
+
+func TestAnalyzeZeroDataset(t *testing.T) {
+	a := Analyze(0)
+	if a.OfflinePrepHours != 0 {
+		t.Fatalf("OfflinePrepHours = %v", a.OfflinePrepHours)
+	}
+}
+
+func TestReportMentionsKeyNumbers(t *testing.T) {
+	r := Analyze(perf.AlexNet.EpochImages).Report()
+	for _, want := range []string{"30 CPU cores", "$3.15/h", "year", "W "} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("report missing %q:\n%s", want, r)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package engine implements the compute-engine layer of the paper's
+// stack: an NVCaffe-like data-parallel training engine and a
+// TensorRT-like batch inference engine. Each GPU engine is fed through
+// its own Trans Queue pair by the core Dispatcher (§3.4.3) and is
+// deliberately ignorant of which preprocessing backend filled it — the
+// interchangeability DLBooster's integration story depends on (§4.2).
+//
+// The engines run real reductions over the device-resident bytes (a
+// deterministic forward-pass proxy), and can optionally pace themselves
+// with the calibrated per-model GPU rates from internal/perf, so
+// wall-clock examples exhibit the paper's throughput ordering while unit
+// tests run unpaced and fast.
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/metrics"
+	"dlbooster/internal/perf"
+)
+
+// forwardProxy runs a deterministic reduction standing in for a forward
+// pass on one image's device bytes, returning a pseudo-logit.
+func forwardProxy(img []byte) uint64 {
+	var acc uint64 = 1469598103934665603 // FNV offset basis
+	for _, b := range img {
+		acc ^= uint64(b)
+		acc *= 1099511628211
+	}
+	return acc
+}
+
+// TrainerConfig configures a data-parallel training run.
+type TrainerConfig struct {
+	// Profile is the model cost profile (batch size, per-GPU rate).
+	Profile perf.TrainProfile
+	// Solvers is one entry per GPU, fed by the Dispatcher.
+	Solvers []*core.Solver
+	// PaceCompute sleeps each iteration for the modelled GPU time, so
+	// end-to-end examples see realistic relative speeds. Off in tests.
+	PaceCompute bool
+	// Busy, when set, receives the engine-side CPU components of
+	// Figure 6(d): "kernels", "update", "transform" — modelled as the
+	// calibrated per-GPU core fractions over the run's duration.
+	Busy *metrics.BusyTracker
+}
+
+// TrainStats summarises a training run.
+type TrainStats struct {
+	Iterations int
+	Images     int64
+	SkippedBad int64
+	// LossProxy is a deterministic digest of everything the model
+	// consumed; equal inputs ⇒ equal digest, which tests use to prove
+	// backend interchangeability.
+	LossProxy uint64
+	Elapsed   time.Duration
+}
+
+// Trainer is the data-parallel training engine.
+type Trainer struct {
+	cfg TrainerConfig
+}
+
+// NewTrainer validates and builds a trainer.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
+	if len(cfg.Solvers) == 0 {
+		return nil, errors.New("engine: no solvers")
+	}
+	if cfg.Profile.IdealRate <= 0 || cfg.Profile.BatchSize <= 0 {
+		return nil, errors.New("engine: invalid training profile")
+	}
+	return &Trainer{cfg: cfg}, nil
+}
+
+// Run trains until every solver's Full queue closes. Each iteration pops
+// one device batch per GPU (lockstep data parallelism), runs the forward
+// proxy, "synchronises gradients" (the lockstep barrier), and recycles
+// device buffers back to the Free Trans Queues.
+func (t *Trainer) Run() (TrainStats, error) {
+	var st TrainStats
+	start := time.Now()
+	syncEff := perf.MultiGPUSyncEfficiency(len(t.cfg.Solvers))
+	for {
+		type popped struct {
+			solver *core.Solver
+			db     *core.DeviceBatch
+		}
+		var batches []popped
+		closed := false
+		for _, s := range t.cfg.Solvers {
+			db, err := s.Full.Pop()
+			if err != nil {
+				closed = true
+				break
+			}
+			batches = append(batches, popped{solver: s, db: db})
+		}
+		if len(batches) == 0 {
+			break
+		}
+		// Even a short round (a solver closed mid-pop) trains on the
+		// batches already taken: the tail of an epoch must not be lost.
+		maxImages := 0
+		for _, p := range batches {
+			db := p.db
+			stride := db.ImageBytes()
+			data := db.Buf.Bytes()
+			for i := 0; i < db.Images; i++ {
+				if i < len(db.Valid) && !db.Valid[i] {
+					st.SkippedBad++
+					continue
+				}
+				st.LossProxy ^= forwardProxy(data[i*stride : (i+1)*stride])
+				st.Images++
+			}
+			if db.Images > maxImages {
+				maxImages = db.Images
+			}
+		}
+		st.Iterations++
+		if t.cfg.PaceCompute {
+			// GPUs run their per-iteration batches concurrently: the
+			// iteration takes the largest batch's time, inflated by
+			// gradient-sync overhead.
+			sleepSeconds(float64(maxImages) / (t.cfg.Profile.IdealRate * syncEff))
+		}
+		for _, p := range batches {
+			if p.solver.Device != nil {
+				p.solver.Device.RecordKernelBusy(kernelTime(t.cfg.Profile, p.db.Images))
+			}
+			if err := p.solver.Free.Push(p.db.Buf); err != nil {
+				return st, err
+			}
+		}
+		if closed {
+			break
+		}
+	}
+	st.Elapsed = time.Since(start)
+	if t.cfg.Busy != nil {
+		// Engine-side CPU components, per GPU, over the run duration
+		// (Figure 6(d) anchors).
+		sec := st.Elapsed.Seconds() * float64(len(t.cfg.Solvers))
+		t.cfg.Busy.Record("kernels", perf.KernelLaunchCores*sec)
+		t.cfg.Busy.Record("update", perf.ModelUpdateCores*sec)
+		t.cfg.Busy.Record("transform", perf.TransformCores*sec)
+	}
+	return st, nil
+}
+
+// kernelTime is the modelled GPU compute time for n images.
+func kernelTime(p perf.TrainProfile, n int) time.Duration {
+	return time.Duration(float64(n) / p.IdealRate * float64(time.Second))
+}
+
+// sleepSeconds isolates pacing for testability.
+var sleepSeconds = func(s float64) { time.Sleep(time.Duration(s * float64(time.Second))) }

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/metrics"
+	"dlbooster/internal/perf"
+)
+
+// Prediction is the engine's answer for one image, returned to the
+// client in the online-inference workflow (Figure 1, step 6).
+type Prediction struct {
+	ClientID int
+	Seq      int
+	Label    int
+	// Latency is receipt-to-prediction, the paper's Figure 8 metric.
+	Latency time.Duration
+}
+
+// InferenceConfig configures a TensorRT-like batch inference engine on
+// one GPU.
+type InferenceConfig struct {
+	// Profile is the model cost profile.
+	Profile perf.InferProfile
+	// Solver is the engine's Trans Queue pair.
+	Solver *core.Solver
+	// Classes is the label space of the classifier head.
+	Classes int
+	// PaceCompute sleeps per batch for the modelled GPU time.
+	PaceCompute bool
+	// Latency, when set, receives per-image latencies in milliseconds.
+	Latency *metrics.Histogram
+	// Emit, when set, receives every prediction (the reply path).
+	Emit func(Prediction)
+}
+
+// InferStats summarises an inference run.
+type InferStats struct {
+	Batches    int
+	Images     int64
+	SkippedBad int64
+	Elapsed    time.Duration
+}
+
+// Inference is the batch inference engine.
+type Inference struct {
+	cfg InferenceConfig
+}
+
+// NewInference validates and builds an engine.
+func NewInference(cfg InferenceConfig) (*Inference, error) {
+	if cfg.Solver == nil {
+		return nil, errors.New("engine: nil solver")
+	}
+	if cfg.Profile.MaxRate <= 0 {
+		return nil, errors.New("engine: invalid inference profile")
+	}
+	if cfg.Classes <= 0 {
+		cfg.Classes = 1000
+	}
+	return &Inference{cfg: cfg}, nil
+}
+
+// Run serves until the solver's Full queue closes.
+func (e *Inference) Run() (InferStats, error) {
+	var st InferStats
+	start := time.Now()
+	for {
+		db, err := e.cfg.Solver.Full.Pop()
+		if err != nil {
+			break
+		}
+		if e.cfg.PaceCompute {
+			sleepSeconds(e.cfg.Profile.BatchSeconds(db.Images))
+		}
+		stride := db.ImageBytes()
+		data := db.Buf.Bytes()
+		done := time.Now()
+		for i := 0; i < db.Images; i++ {
+			if i < len(db.Valid) && !db.Valid[i] {
+				st.SkippedBad++
+				continue
+			}
+			logit := forwardProxy(data[i*stride : (i+1)*stride])
+			p := Prediction{Label: int(logit % uint64(e.cfg.Classes))}
+			if i < len(db.Metas) {
+				p.ClientID = db.Metas[i].ClientID
+				p.Seq = db.Metas[i].Seq
+				if !db.Metas[i].ReceivedAt.IsZero() {
+					p.Latency = done.Sub(db.Metas[i].ReceivedAt)
+					if e.cfg.Latency != nil {
+						e.cfg.Latency.Add(float64(p.Latency) / float64(time.Millisecond))
+					}
+				}
+			}
+			if e.cfg.Emit != nil {
+				e.cfg.Emit(p)
+			}
+			st.Images++
+		}
+		st.Batches++
+		if e.cfg.Solver.Device != nil {
+			e.cfg.Solver.Device.RecordKernelBusy(time.Duration(e.cfg.Profile.BatchSeconds(db.Images) * float64(time.Second)))
+		}
+		if err := e.cfg.Solver.Free.Push(db.Buf); err != nil {
+			return st, err
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return st, nil
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/perf"
+)
+
+// Ablations for the design choices DESIGN.md §5 calls out. Each one
+// switches a single mechanism off (or resizes it) and reruns the
+// affected experiment, so the contribution of that mechanism is isolated.
+
+// AblationCopyMode isolates §5.2 reason 1: batched large-block buffers
+// vs per-datum copies, on the workload where it matters most (LeNet-5,
+// small images, big batches).
+func AblationCopyMode() (Figure, error) {
+	fig := Figure{
+		ID:     "abl-copy",
+		Title:  "Ablation: batched large-block copy vs per-datum copies (LeNet-5, cached, 1 GPU)",
+		Header: []string{"copy mode", "img/s", "loss vs batched"},
+		Notes:  "paper: per-datum copying costs ≈20% on LeNet-5 (§5.2)",
+	}
+	batched, err := RunTraining(TrainSetup{Model: perf.LeNet5, Backend: DLBooster, GPUs: 1, Cached: true})
+	if err != nil {
+		return Figure{}, err
+	}
+	perItem, err := RunTraining(TrainSetup{Model: perf.LeNet5, Backend: DLBooster, GPUs: 1, Cached: true, PerItemCopy: true})
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Rows = [][]string{
+		{"batched (DLBooster)", f0(batched.Throughput), "-"},
+		{"per-datum (baseline style)", f0(perItem.Throughput), f1((1-perItem.Throughput/batched.Throughput)*100) + "%"},
+	}
+	return fig, nil
+}
+
+// AblationSharedStore isolates §5.2 reason 2: the shared LMDB store's
+// reader contention at 2 GPUs (AlexNet, where the paper observes ≈30 %).
+func AblationSharedStore() (Figure, error) {
+	fig := Figure{
+		ID:     "abl-store",
+		Title:  "Ablation: shared vs per-GPU LMDB store (AlexNet, 2 GPUs)",
+		Header: []string{"store", "img/s"},
+		Notes:  "paper: several decoding instances compete for the shared LMDB, ≈30% loss at 2 GPUs",
+	}
+	shared, err := RunTraining(TrainSetup{Model: perf.AlexNet, Backend: LMDBStore, GPUs: 2})
+	if err != nil {
+		return Figure{}, err
+	}
+	private, err := RunTraining(TrainSetup{Model: perf.AlexNet, Backend: LMDBStore, GPUs: 2, LMDBPrivate: true})
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Rows = [][]string{
+		{"shared (paper's baseline)", f0(shared.Throughput)},
+		{"per-GPU stores", f0(private.Throughput)},
+	}
+	return fig, nil
+}
+
+// AblationAsyncReader isolates Algorithm 1's asynchrony: submit-and-wait
+// serialises decode, copy and compute.
+func AblationAsyncReader() (Figure, error) {
+	fig := Figure{
+		ID:     "abl-async",
+		Title:  "Ablation: asynchronous FPGAReader vs synchronous submit-and-wait (AlexNet, 2 GPUs)",
+		Header: []string{"reader", "img/s", "% of boundary"},
+	}
+	bound, err := RunTraining(TrainSetup{Model: perf.AlexNet, Backend: Ideal, GPUs: 2})
+	if err != nil {
+		return Figure{}, err
+	}
+	async, err := RunTraining(TrainSetup{Model: perf.AlexNet, Backend: DLBooster, GPUs: 2})
+	if err != nil {
+		return Figure{}, err
+	}
+	sync, err := RunTraining(TrainSetup{Model: perf.AlexNet, Backend: DLBooster, GPUs: 2, SyncReader: true})
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Rows = [][]string{
+		{"asynchronous (Algorithm 1)", f0(async.Throughput), f1(async.Throughput / bound.Throughput * 100)},
+		{"synchronous submit-and-wait", f0(sync.Throughput), f1(sync.Throughput / bound.Throughput * 100)},
+	}
+	return fig, nil
+}
+
+// AblationUnitWidths sweeps the Huffman/resizer widths of §3.3's load
+// balancing: the knee where widening the Huffman unit stops helping
+// because another stage becomes the straggler.
+func AblationUnitWidths() (Figure, error) {
+	fig := Figure{
+		ID:     "abl-units",
+		Title:  "Ablation: FPGA stage widths (GoogLeNet inference, batch 32)",
+		Header: []string{"huffman ways", "resize ways", "CLBs", "fits fabric", "img/s"},
+		Notes:  "paper deploys 4-way Huffman + 2-way resize (§4.1); wider Huffman exceeds the fabric, narrower starves the pipeline",
+	}
+	for _, hw := range []int{1, 2, 4, 6, 8} {
+		for _, rw := range []int{1, 2} {
+			cfg := fpga.Config{HuffmanWays: hw, ResizeWays: rw, IDCTWays: 1}
+			fits := cfg.CLBUsage() <= fpga.DefaultCLBBudget
+			r, err := RunInference(InferSetup{
+				Model: perf.GoogLeNet, Backend: InferDLBooster, Batch: 32,
+				HuffmanWays: hw, ResizeWays: rw,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			x := f0(r.Throughput)
+			if !fits {
+				x += " (unrealisable)"
+			}
+			fig.Rows = append(fig.Rows, []string{
+				fmt.Sprint(hw), fmt.Sprint(rw), fmt.Sprint(cfg.CLBUsage()), fmt.Sprint(fits), x,
+			})
+		}
+	}
+	return fig, nil
+}
+
+// AblationSelectiveOffload isolates §3.1's selective offloading: moving
+// augmentation onto the FPGA as well costs CLBs that must come out of
+// the Huffman unit, lowering the decode plateau.
+func AblationSelectiveOffload() (Figure, error) {
+	fig := Figure{
+		ID:     "abl-offload",
+		Title:  "Ablation: selective offload (decode+resize) vs offloading augmentation too (GoogLeNet, batch 32)",
+		Header: []string{"offload", "huffman ways affordable", "img/s"},
+		Notes:  "an augmentation unit costs ~10k CLBs, forcing the Huffman unit from 4-way to 2-way on the same fabric",
+	}
+	selective, err := RunInference(InferSetup{Model: perf.GoogLeNet, Backend: InferDLBooster, Batch: 32})
+	if err != nil {
+		return Figure{}, err
+	}
+	// Full offload: 10k CLBs of augmentation leave room for 2-way
+	// Huffman (2·5000 + 8000 + 2·3000 + 10000 = 34k ≤ 40k).
+	full, err := RunInference(InferSetup{
+		Model: perf.GoogLeNet, Backend: InferDLBooster, Batch: 32, HuffmanWays: 2,
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Rows = [][]string{
+		{"selective (paper)", fmt.Sprint(perf.FPGAHuffmanWays), f0(selective.Throughput)},
+		{"decode+resize+augment", "2", f0(full.Throughput)},
+	}
+	return fig, nil
+}
+
+// Ablations runs every ablation.
+func Ablations() ([]Figure, error) {
+	runners := []func() (Figure, error){
+		AblationCopyMode,
+		AblationSharedStore,
+		AblationAsyncReader,
+		AblationUnitWidths,
+		AblationSelectiveOffload,
+	}
+	out := make([]Figure, 0, len(runners))
+	for _, run := range runners {
+		f, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

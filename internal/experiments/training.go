@@ -1,0 +1,272 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) as deterministic virtual-time simulations built from
+// the calibrated device models in internal/perf and the discrete-event
+// kernel in internal/simtime.
+//
+// Each experiment mirrors the functional pipeline's component graph —
+// decode stages, batch buffers, copy engines, GPU engines — but advances
+// virtual time instead of executing decode work, which is what lets a
+// laptop reproduce the shape of results measured on P100s and an Arria
+// 10. The absolute numbers are anchored where the paper gives anchors
+// (see internal/perf); the orderings, ratios and saturation points are
+// emergent from the queueing model.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dlbooster/internal/perf"
+	"dlbooster/internal/simtime"
+)
+
+// TrainBackend names a preprocessing backend in the training experiments.
+type TrainBackend string
+
+// The training backends of Figures 2, 5 and 6.
+const (
+	Ideal      TrainBackend = "ideal"       // synthetic data, no preprocessing
+	CPUBased   TrainBackend = "cpu"         // online CPU decode, best-effort cores
+	CPUDefault TrainBackend = "cpu-default" // online CPU decode, default thread count
+	LMDBStore  TrainBackend = "lmdb"        // offline records from the shared store
+	DLBooster  TrainBackend = "dlbooster"   // FPGA-offloaded online decode
+)
+
+// TrainSetup is one training configuration.
+type TrainSetup struct {
+	Model   perf.TrainProfile
+	Backend TrainBackend
+	GPUs    int
+	// CPUThreads sets the decode pool for the CPU backend; 0 picks the
+	// smallest pool meeting GPU demand (the paper's "best effort"),
+	// capped at the testbed's core budget — the §2.2 scalability limit.
+	CPUThreads int
+	// FPGAs is the number of decoder boards for DLBooster (default 1;
+	// "the bottleneck can be overcome by plugging more FPGA devices").
+	FPGAs int
+	// Cached serves the epoch from memory (epochs ≥ 2 when the dataset
+	// fits, §3.1/Figure 6): decode and store stages drop out, leaving
+	// only copy behaviour to distinguish backends.
+	Cached bool
+
+	// Ablation knobs (DESIGN.md §5). All default to the paper's design.
+
+	// PerItemCopy forces DLBooster to copy each datum separately and
+	// synchronously, like the baselines (§5.2 reason 1 inverted).
+	PerItemCopy bool
+	// LMDBPrivate gives each GPU its own store (removes the shared-DB
+	// contention of §5.2 reason 2).
+	LMDBPrivate bool
+	// SyncReader disables Algorithm 1's asynchrony: each batch is
+	// submitted and waited for, so decode, copy and compute serialise.
+	SyncReader bool
+}
+
+// TrainResult is one simulated training measurement.
+type TrainResult struct {
+	Setup      TrainSetup
+	Throughput float64 // aggregate images/s
+	TotalCores float64
+	Breakdown  map[string]float64 // cores by component (Figure 6(d))
+	CPUThreads int                // resolved decode pool size
+}
+
+// sourcePixels is the size of the *encoded* image the decode stage pays
+// for (ILSVRC photos decode at full size before augmentation crops).
+func sourcePixels(m perf.TrainProfile) int {
+	if m.InputChannels == 1 {
+		return m.ImagePixels // MNIST is stored at input size
+	}
+	return perf.ReferenceImagePixels
+}
+
+// chooseCPUThreads returns the smallest pool whose aggregate decode rate
+// covers demand with a 5 % margin, capped at the testbed's core budget.
+func chooseCPUThreads(demand float64, pixels int) int {
+	perCore := 1 / perf.CPUDecodeSeconds(pixels)
+	for t := 1; t <= perf.TestbedCPUCores-2; t++ {
+		if float64(t)*perCore*perf.CPUThreadEfficiency(t) >= demand*1.05 {
+			return t
+		}
+	}
+	return perf.TestbedCPUCores - 2
+}
+
+// stage is one service station a batch token visits.
+type stage struct {
+	server *simtime.Server
+	svc    simtime.Time
+}
+
+// RunTraining simulates one configuration to steady state and reports
+// the paper's two training metrics: throughput and CPU cores.
+func RunTraining(s TrainSetup) (TrainResult, error) {
+	if s.GPUs < 1 {
+		return TrainResult{}, fmt.Errorf("experiments: %d GPUs", s.GPUs)
+	}
+	if s.Model.IdealRate <= 0 || s.Model.BatchSize <= 0 {
+		return TrainResult{}, fmt.Errorf("experiments: invalid model profile %+v", s.Model)
+	}
+	sim := simtime.New()
+	n := s.GPUs
+	batch := s.Model.BatchSize
+	syncEff := perf.MultiGPUSyncEfficiency(n)
+	iterSvc := simtime.FromSeconds(float64(batch) / (s.Model.IdealRate * syncEff))
+
+	srcPix := sourcePixels(s.Model)
+	batchBytes := batch * s.Model.ImagePixels * s.Model.InputChannels
+	// Copy service: one large block for DLBooster, per-datum pieces for
+	// the baselines (§5.2 reason 1).
+	copyBatched := simtime.FromSeconds(perf.CopySeconds(batchBytes, 1))
+	copyPerItem := simtime.FromSeconds(perf.CopySeconds(batchBytes, batch))
+
+	threads := s.CPUThreads
+	demand := float64(n) * s.Model.IdealRate * syncEff
+	if threads == 0 {
+		threads = chooseCPUThreads(demand, srcPix)
+	}
+	if s.FPGAs == 0 {
+		s.FPGAs = 1
+	}
+	if s.Backend == CPUDefault {
+		threads = perf.DefaultCPUDecodeThreads
+	}
+
+	// Build the preprocessing chain and the per-iteration GPU service.
+	var chain []stage
+	gpuSvc := iterSvc
+	switch s.Backend {
+	case Ideal:
+		// Synthetic data: nothing to prepare, nothing to copy.
+	case DLBooster:
+		scale := float64(srcPix) / perf.ReferenceImagePixels
+		decodeSvc := simtime.FromSeconds(float64(batch) * scale / perf.FPGADecodeRate())
+		if s.SyncReader {
+			// Ablation: submit-and-wait per batch. Decode, copy and
+			// compute serialise on the iteration's critical path.
+			if !s.Cached {
+				gpuSvc += decodeSvc
+			}
+			if s.PerItemCopy {
+				gpuSvc += copyPerItem
+			} else {
+				gpuSvc += copyBatched
+			}
+			break
+		}
+		if !s.Cached {
+			mk := func(unitRate float64) stage {
+				return stage{
+					server: simtime.NewServer(sim, s.FPGAs),
+					svc:    simtime.FromSeconds(float64(batch) * scale / unitRate),
+				}
+			}
+			chain = append(chain,
+				mk(perf.FPGAHuffmanRatePerWay*perf.FPGAHuffmanWays),
+				mk(perf.FPGAIDCTRate),
+				mk(perf.FPGAResizeRatePerWay*perf.FPGAResizeWays),
+			)
+		}
+		if s.PerItemCopy {
+			// Ablation: small-piece synchronous copies (§5.2 reason 1).
+			gpuSvc += copyPerItem
+		} else {
+			// The dispatcher overlaps the (single) large-block copy
+			// with compute: a pipeline stage, not iteration time.
+			chain = append(chain, stage{server: simtime.NewServer(sim, n), svc: copyBatched})
+		}
+	case CPUBased, CPUDefault:
+		if !s.Cached {
+			rate := float64(threads) / perf.CPUDecodeSeconds(srcPix) * perf.CPUThreadEfficiency(threads)
+			chain = append(chain, stage{
+				server: simtime.NewServer(sim, 1),
+				svc:    simtime.FromSeconds(float64(batch) / rate),
+			})
+		}
+		// Per-datum copies sit on the iteration's critical path.
+		gpuSvc += copyPerItem
+	case LMDBStore:
+		if !s.Cached {
+			recordBytes := s.Model.ImagePixels * s.Model.InputChannels
+			if s.LMDBPrivate {
+				// Ablation: one store per GPU, no reader contention.
+				rate := perf.LMDBRecordRate(1, recordBytes)
+				chain = append(chain, stage{
+					server: simtime.NewServer(sim, n),
+					svc:    simtime.FromSeconds(float64(batch) / rate),
+				})
+			} else {
+				rate := perf.LMDBRecordRate(n, recordBytes)
+				chain = append(chain, stage{
+					server: simtime.NewServer(sim, 1), // the shared store
+					svc:    simtime.FromSeconds(float64(batch) / rate),
+				})
+			}
+		}
+		gpuSvc += copyPerItem
+	default:
+		return TrainResult{}, fmt.Errorf("experiments: unknown backend %q", s.Backend)
+	}
+
+	// Closed loop: 4 circulating batch buffers per GPU.
+	gpus := simtime.NewServer(sim, n)
+	var batchesDone int64
+	const (
+		warmup  = 2 * simtime.Second
+		horizon = 12 * simtime.Second
+	)
+	var inject func(int)
+	inject = func(at int) {
+		if at >= len(chain) {
+			gpus.Visit(gpuSvc, func() {
+				if sim.Now() > warmup {
+					batchesDone++
+				}
+				inject(0)
+			})
+			return
+		}
+		st := chain[at]
+		st.server.Visit(st.svc, func() { inject(at + 1) })
+	}
+	for i := 0; i < 4*n; i++ {
+		inject(0)
+	}
+	sim.RunUntil(horizon)
+
+	window := (horizon - warmup).Seconds()
+	throughput := float64(batchesDone) * float64(batch) / window
+
+	// CPU cores (Figure 6): engine constants plus backend-specific
+	// preprocessing, derived from achieved throughput.
+	breakdown := map[string]float64{
+		"kernels":   perf.KernelLaunchCores * float64(n),
+		"update":    perf.ModelUpdateCores * float64(n),
+		"transform": perf.TransformCores * float64(n),
+	}
+	switch {
+	case s.Backend == Ideal:
+		breakdown["preprocess"] = 0
+	case s.Cached:
+		breakdown["preprocess"] = throughput * perf.CacheFeedOverheadSeconds
+	case s.Backend == DLBooster:
+		breakdown["preprocess"] = throughput * perf.FPGACmdOverheadSeconds
+	case s.Backend == LMDBStore:
+		breakdown["preprocess"] = perf.LMDBPerGPUReadCores * float64(n)
+	default: // CPU decode pools
+		breakdown["preprocess"] = throughput * perf.CPUDecodeSeconds(srcPix) / perf.CPUThreadEfficiency(threads)
+	}
+	total := 0.0
+	for _, v := range breakdown {
+		total += v
+	}
+	return TrainResult{
+		Setup:      s,
+		Throughput: round1(throughput),
+		TotalCores: math.Round(total*100) / 100,
+		Breakdown:  breakdown,
+		CPUThreads: threads,
+	}, nil
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }

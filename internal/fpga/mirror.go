@@ -1,0 +1,158 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dlbooster/internal/jpeg"
+	"dlbooster/internal/pix"
+)
+
+// The mirror registry models the paper's pluggable decoder images:
+// "users [can] download relevant preprocessing mirrors to FPGA devices
+// for different applications" (§3.1). Mirrors register by name; a device
+// is created with one, and callers pick by workload.
+
+var (
+	mirrorMu  sync.RWMutex
+	mirrorReg = make(map[string]Mirror)
+)
+
+// RegisterMirror adds a decoder image to the registry. Registering a
+// duplicate name panics: mirror names are deployment identifiers.
+func RegisterMirror(m Mirror) {
+	if m == nil {
+		panic("fpga: registering nil mirror")
+	}
+	mirrorMu.Lock()
+	defer mirrorMu.Unlock()
+	if _, dup := mirrorReg[m.Name()]; dup {
+		panic(fmt.Sprintf("fpga: duplicate mirror %q", m.Name()))
+	}
+	mirrorReg[m.Name()] = m
+}
+
+// LoadMirror fetches a registered decoder image by name.
+func LoadMirror(name string) (Mirror, error) {
+	mirrorMu.RLock()
+	defer mirrorMu.RUnlock()
+	m, ok := mirrorReg[name]
+	if !ok {
+		return nil, fmt.Errorf("fpga: no mirror %q (have %v)", name, mirrorNamesLocked())
+	}
+	return m, nil
+}
+
+// MirrorNames lists registered decoder images.
+func MirrorNames() []string {
+	mirrorMu.RLock()
+	defer mirrorMu.RUnlock()
+	return mirrorNamesLocked()
+}
+
+func mirrorNamesLocked() []string {
+	names := make([]string, 0, len(mirrorReg))
+	for n := range mirrorReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// JPEGMirror is the image-workload decoder of the paper: baseline JPEG
+// split across the hardware stages.
+type JPEGMirror struct{}
+
+// Name implements Mirror.
+func (JPEGMirror) Name() string { return "jpeg" }
+
+// Parse implements Mirror: marker parsing, quant/Huffman table setup.
+func (JPEGMirror) Parse(data []byte) (any, error) {
+	return jpeg.Parse(data)
+}
+
+// EntropyDecode implements Mirror: the Huffman decoding unit.
+func (JPEGMirror) EntropyDecode(job any) (any, error) {
+	h, ok := job.(*jpeg.Header)
+	if !ok {
+		return nil, fmt.Errorf("fpga: jpeg mirror got %T", job)
+	}
+	return h.EntropyDecode()
+}
+
+// Reconstruct implements Mirror: the iDCT & RGB unit.
+func (JPEGMirror) Reconstruct(job any) (*pix.Image, error) {
+	co, ok := job.(*jpeg.Coefficients)
+	if !ok {
+		return nil, fmt.Errorf("fpga: jpeg mirror got %T", job)
+	}
+	planes, err := co.Reconstruct()
+	if err != nil {
+		return nil, err
+	}
+	return planes.ToImage(), nil
+}
+
+// RawMirror decodes the trivial framing used by tests and non-JPEG
+// workloads: a 9-byte header (width, height, channels as big-endian
+// uint24) followed by raw HWC samples. It stands in for the "different
+// DL workloads" mirrors (§3.3) whose decode step is not Huffman-based.
+type RawMirror struct{}
+
+// Name implements Mirror.
+func (RawMirror) Name() string { return "raw" }
+
+type rawJob struct {
+	w, h, c int
+	data    []byte
+}
+
+func be24(b []byte) int { return int(b[0])<<16 | int(b[1])<<8 | int(b[2]) }
+
+// EncodeRaw frames an image in RawMirror's format.
+func EncodeRaw(img *pix.Image) []byte {
+	out := make([]byte, 9+len(img.Pix))
+	put := func(off, v int) {
+		out[off] = byte(v >> 16)
+		out[off+1] = byte(v >> 8)
+		out[off+2] = byte(v)
+	}
+	put(0, img.W)
+	put(3, img.H)
+	put(6, img.C)
+	copy(out[9:], img.Pix)
+	return out
+}
+
+// Parse implements Mirror.
+func (RawMirror) Parse(data []byte) (any, error) {
+	if len(data) < 9 {
+		return nil, fmt.Errorf("fpga: raw frame too short (%d bytes)", len(data))
+	}
+	j := rawJob{w: be24(data), h: be24(data[3:]), c: be24(data[6:]), data: data[9:]}
+	if j.w <= 0 || j.h <= 0 || (j.c != 1 && j.c != 3) {
+		return nil, fmt.Errorf("fpga: raw frame geometry %dx%dx%d invalid", j.w, j.h, j.c)
+	}
+	if len(j.data) != j.w*j.h*j.c {
+		return nil, fmt.Errorf("fpga: raw frame payload %d, want %d", len(j.data), j.w*j.h*j.c)
+	}
+	return j, nil
+}
+
+// EntropyDecode implements Mirror (raw frames have no entropy coding).
+func (RawMirror) EntropyDecode(job any) (any, error) { return job, nil }
+
+// Reconstruct implements Mirror.
+func (RawMirror) Reconstruct(job any) (*pix.Image, error) {
+	j, ok := job.(rawJob)
+	if !ok {
+		return nil, fmt.Errorf("fpga: raw mirror got %T", job)
+	}
+	return pix.FromBytes(j.w, j.h, j.c, j.data)
+}
+
+func init() {
+	RegisterMirror(JPEGMirror{})
+	RegisterMirror(RawMirror{})
+}

@@ -1,0 +1,278 @@
+// Package gpu simulates the GPU devices of the paper's compute engine:
+// device memory that host code cannot touch directly, CUDA-like streams
+// with asynchronous ordered copies, and busy-time accounting.
+//
+// What the paper needed from its P100s was (a) a separate memory space
+// reached only through explicit (async) copies — which forces the
+// Dispatcher design of Algorithm 3 — and (b) a compute resource whose
+// throughput per model is known. (a) is reproduced functionally here;
+// (b) lives in the engine package, driven by internal/perf rates.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed device or stream.
+var ErrClosed = errors.New("gpu: closed")
+
+// ErrOutOfMemory is returned when an allocation exceeds device memory.
+var ErrOutOfMemory = errors.New("gpu: out of device memory")
+
+// Device is one simulated GPU.
+type Device struct {
+	id int
+
+	mu       sync.Mutex
+	memTotal int64
+	memUsed  int64
+	closed   bool
+	streams  []*Stream
+
+	copyBusy   time.Duration // accumulated copy-engine busy time
+	copyBytes  int64
+	kernelBusy time.Duration // accumulated compute (kernel) busy time
+}
+
+// RecordKernelBusy accrues compute-engine busy time — model kernels from
+// the engines, and decode kernels from the nvJPEG backend. The ratio of
+// decode to total kernel time is the GPU-stolen share the paper measures
+// for nvJPEG (≈30 %, §5.3).
+func (d *Device) RecordKernelBusy(dur time.Duration) {
+	if dur < 0 {
+		return
+	}
+	d.mu.Lock()
+	d.kernelBusy += dur
+	d.mu.Unlock()
+}
+
+// KernelBusy returns accumulated compute busy time.
+func (d *Device) KernelBusy() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.kernelBusy
+}
+
+// NewDevice creates a device with the given memory capacity.
+func NewDevice(id int, memBytes int64) (*Device, error) {
+	if memBytes <= 0 {
+		return nil, fmt.Errorf("gpu: memory %d must be positive", memBytes)
+	}
+	return &Device{id: id, memTotal: memBytes}, nil
+}
+
+// ID returns the device ordinal.
+func (d *Device) ID() int { return d.id }
+
+// MemTotal returns the device memory capacity in bytes.
+func (d *Device) MemTotal() int64 { return d.memTotal }
+
+// MemUsed returns the currently allocated bytes.
+func (d *Device) MemUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.memUsed
+}
+
+// CopyStats returns accumulated copy-engine busy time and bytes moved.
+func (d *Device) CopyStats() (time.Duration, int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.copyBusy, d.copyBytes
+}
+
+// Buffer is a device-memory allocation. Host code must not retain the
+// returned views of Bytes across Free.
+type Buffer struct {
+	dev  *Device
+	data []byte
+
+	mu    sync.Mutex
+	freed bool
+}
+
+// Malloc allocates device memory.
+func (d *Device) Malloc(n int) (*Buffer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gpu: allocation size %d must be positive", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if d.memUsed+int64(n) > d.memTotal {
+		return nil, fmt.Errorf("gpu: alloc %d with %d/%d used: %w", n, d.memUsed, d.memTotal, ErrOutOfMemory)
+	}
+	d.memUsed += int64(n)
+	return &Buffer{dev: d, data: make([]byte, n)}, nil
+}
+
+// Free releases the buffer's device memory. Double free is an error.
+func (b *Buffer) Free() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.freed {
+		return errors.New("gpu: double free")
+	}
+	b.freed = true
+	b.dev.mu.Lock()
+	b.dev.memUsed -= int64(len(b.data))
+	b.dev.mu.Unlock()
+	b.data = nil
+	return nil
+}
+
+// Size returns the buffer length in bytes.
+func (b *Buffer) Size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.data)
+}
+
+// Bytes exposes device memory for the kernels that run "on" the device
+// (the engine's compute and verification code). Freed buffers return nil.
+func (b *Buffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.data
+}
+
+// op is one enqueued stream operation.
+type op struct {
+	run  func()
+	done chan struct{} // non-nil for synchronisation markers
+}
+
+// Stream executes operations in submission order, asynchronously from
+// the caller — the semantics of a CUDA stream that Algorithm 3 relies on
+// (submit all copies, then synchronise once).
+type Stream struct {
+	dev  *Device
+	ops  chan op
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	dead bool
+}
+
+// NewStream creates a stream backed by one executor goroutine.
+func (d *Device) NewStream() (*Stream, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s := &Stream{dev: d, ops: make(chan op, 1024)}
+	d.streams = append(d.streams, s)
+	d.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for o := range s.ops {
+			if o.run != nil {
+				o.run()
+			}
+			if o.done != nil {
+				close(o.done)
+			}
+		}
+	}()
+	return s, nil
+}
+
+// submit enqueues an operation, failing after Close.
+func (s *Stream) submit(o op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return ErrClosed
+	}
+	s.ops <- o
+	return nil
+}
+
+// MemcpyHtoDAsync enqueues a host→device copy of src into dst at
+// dstOff. The copy happens on the stream's executor; the caller may not
+// reuse src until Synchronize returns (exactly CUDA's contract, and the
+// reason Algorithm 3 recycles buffers only after CudaStreamSync).
+func (s *Stream) MemcpyHtoDAsync(dst *Buffer, dstOff int, src []byte) error {
+	if dst == nil {
+		return errors.New("gpu: nil destination")
+	}
+	return s.submit(op{run: func() {
+		start := time.Now()
+		dst.mu.Lock()
+		if !dst.freed && dstOff >= 0 && dstOff+len(src) <= len(dst.data) {
+			copy(dst.data[dstOff:], src)
+		}
+		dst.mu.Unlock()
+		d := time.Since(start)
+		s.dev.mu.Lock()
+		s.dev.copyBusy += d
+		s.dev.copyBytes += int64(len(src))
+		s.dev.mu.Unlock()
+	}})
+}
+
+// MemcpyDtoHAsync enqueues a device→host copy.
+func (s *Stream) MemcpyDtoHAsync(dst []byte, src *Buffer, srcOff int) error {
+	if src == nil {
+		return errors.New("gpu: nil source")
+	}
+	return s.submit(op{run: func() {
+		src.mu.Lock()
+		if !src.freed && srcOff >= 0 && srcOff+len(dst) <= len(src.data) {
+			copy(dst, src.data[srcOff:])
+		}
+		src.mu.Unlock()
+	}})
+}
+
+// CallbackAsync enqueues an arbitrary host callback in stream order.
+func (s *Stream) CallbackAsync(fn func()) error {
+	return s.submit(op{run: fn})
+}
+
+// Synchronize blocks until every previously enqueued operation has
+// completed.
+func (s *Stream) Synchronize() error {
+	done := make(chan struct{})
+	if err := s.submit(op{done: done}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Close drains and stops the stream. Operations submitted after Close
+// fail with ErrClosed.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	close(s.ops)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Close shuts the device down, closing all streams.
+func (d *Device) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	streams := append([]*Stream(nil), d.streams...)
+	d.mu.Unlock()
+	for _, s := range streams {
+		s.Close()
+	}
+}

@@ -1,0 +1,235 @@
+package gpu
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestMallocFreeAccounting(t *testing.T) {
+	d, err := NewDevice(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := d.Malloc(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != 600 {
+		t.Fatalf("MemUsed = %d", d.MemUsed())
+	}
+	if _, err := d.Malloc(500); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("overcommit: %v", err)
+	}
+	if err := b1.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != 0 {
+		t.Fatalf("MemUsed after Free = %d", d.MemUsed())
+	}
+	if err := b1.Free(); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if _, err := d.Malloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+	if _, err := NewDevice(0, 0); err == nil {
+		t.Fatal("zero-memory device accepted")
+	}
+}
+
+func TestStreamOrderedCopies(t *testing.T) {
+	d, _ := NewDevice(0, 1<<20)
+	defer d.Close()
+	s, err := d.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := d.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two overlapping copies: the second must win (stream order).
+	if err := s.MemcpyHtoDAsync(buf, 0, []byte{1, 1, 1, 1, 1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemcpyHtoDAsync(buf, 2, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 1, 9, 9, 1, 1, 1, 1}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("device memory = %v, want %v", buf.Bytes(), want)
+	}
+	// Read back through DtoH.
+	host := make([]byte, 2)
+	if err := s.MemcpyDtoHAsync(host, buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(host, []byte{9, 9}) {
+		t.Fatalf("host = %v", host)
+	}
+	busy, moved := d.CopyStats()
+	if moved != 10 {
+		t.Fatalf("copied bytes = %d, want 10", moved)
+	}
+	if busy < 0 {
+		t.Fatal("negative busy time")
+	}
+}
+
+func TestCallbackOrdering(t *testing.T) {
+	d, _ := NewDevice(0, 1<<20)
+	defer d.Close()
+	s, _ := d.NewStream()
+	var order []int
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		i := i
+		if err := s.CallbackAsync(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("callbacks out of order: %v", order)
+		}
+	}
+}
+
+func TestMemcpyAsyncDoesNotReadSrcEagerly(t *testing.T) {
+	// The contract is CUDA's: src must stay stable until Synchronize.
+	// Verify the copy happens on the stream (not inline) by blocking the
+	// stream first.
+	d, _ := NewDevice(0, 1<<20)
+	defer d.Close()
+	s, _ := d.NewStream()
+	buf, _ := d.Malloc(4)
+	gate := make(chan struct{})
+	_ = s.CallbackAsync(func() { <-gate })
+	src := []byte{1, 2, 3, 4}
+	_ = s.MemcpyHtoDAsync(buf, 0, src)
+	src[0] = 42 // mutate before the stream runs the copy
+	close(gate)
+	_ = s.Synchronize()
+	if buf.Bytes()[0] != 42 {
+		t.Fatalf("copy ran eagerly: got %v", buf.Bytes())
+	}
+}
+
+func TestStreamCloseRejectsNewWork(t *testing.T) {
+	d, _ := NewDevice(0, 1<<20)
+	s, _ := d.NewStream()
+	s.Close()
+	s.Close() // idempotent
+	if err := s.CallbackAsync(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if err := s.Synchronize(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}
+
+func TestDeviceCloseClosesStreams(t *testing.T) {
+	d, _ := NewDevice(0, 1<<20)
+	s, _ := d.NewStream()
+	d.Close()
+	if err := s.CallbackAsync(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("stream alive after device close: %v", err)
+	}
+	if _, err := d.NewStream(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("NewStream after close: %v", err)
+	}
+	if _, err := d.Malloc(10); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Malloc after close: %v", err)
+	}
+	d.Close() // idempotent
+}
+
+func TestCopyToFreedBufferIsSafe(t *testing.T) {
+	d, _ := NewDevice(0, 1<<20)
+	defer d.Close()
+	s, _ := d.NewStream()
+	buf, _ := d.Malloc(4)
+	_ = buf.Free()
+	if err := s.MemcpyHtoDAsync(buf, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Synchronize(); err != nil {
+		t.Fatal(err) // must not panic or deadlock
+	}
+	if err := s.MemcpyHtoDAsync(nil, 0, []byte{1}); err == nil {
+		t.Fatal("nil dst accepted")
+	}
+	host := make([]byte, 1)
+	if err := s.MemcpyDtoHAsync(host, nil, 0); err == nil {
+		t.Fatal("nil src accepted")
+	}
+}
+
+func TestOutOfRangeCopyIgnored(t *testing.T) {
+	d, _ := NewDevice(0, 1<<20)
+	defer d.Close()
+	s, _ := d.NewStream()
+	buf, _ := d.Malloc(4)
+	if err := s.MemcpyHtoDAsync(buf, 2, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), []byte{0, 0, 0, 0}) {
+		t.Fatalf("out-of-range copy wrote: %v", buf.Bytes())
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	d, _ := NewDevice(0, 1<<24)
+	defer d.Close()
+	const streams = 4
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := d.NewStream()
+			if err != nil {
+				t.Errorf("NewStream: %v", err)
+				return
+			}
+			buf, err := d.Malloc(1024)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			payload := bytes.Repeat([]byte{byte(i)}, 1024)
+			for j := 0; j < 100; j++ {
+				if err := s.MemcpyHtoDAsync(buf, 0, payload); err != nil {
+					t.Errorf("copy: %v", err)
+					return
+				}
+			}
+			if err := s.Synchronize(); err != nil {
+				t.Errorf("sync: %v", err)
+				return
+			}
+			if !bytes.Equal(buf.Bytes(), payload) {
+				t.Errorf("stream %d data corrupted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

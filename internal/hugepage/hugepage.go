@@ -1,0 +1,229 @@
+// Package hugepage simulates the HugePage-backed memory management of
+// DLBooster's host bridger (§3.4.2, Algorithm 2 of the paper).
+//
+// The real system allocates one very large (>1 GB) physically contiguous
+// region through Linux HugePages, slices it into fixed-size batch buffers,
+// and hands the FPGA decoder *physical* addresses to DMA into while the
+// host works with the corresponding *virtual* addresses. A Go process has
+// no physical addresses, so the Arena models the mapping explicitly: a
+// single contiguous Go allocation stands in for the pinned region, a
+// configurable base constant stands in for its physical base address, and
+// phy2virt/virt2phy are exact inverses over that window — which is all the
+// decoder and host bridger ever relied on.
+package hugepage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dlbooster/internal/queue"
+)
+
+// PhysAddr is a simulated physical memory address handed to device DMA
+// engines (the FPGA decoder writes processed batches to these).
+type PhysAddr uint64
+
+// DefaultPhysBase is the simulated physical base address of an arena. The
+// value is arbitrary; it is non-zero so that address-arithmetic bugs
+// (confusing offsets with addresses) fail loudly in tests.
+const DefaultPhysBase PhysAddr = 0x1_0000_0000
+
+// Arena is one contiguous "huge page" region with a physical-address
+// window starting at Base.
+type Arena struct {
+	mem  []byte
+	base PhysAddr
+}
+
+// NewArena allocates a contiguous region of the given size with the
+// default physical base. Size must be positive.
+func NewArena(size int) (*Arena, error) {
+	return NewArenaAt(size, DefaultPhysBase)
+}
+
+// NewArenaAt allocates a contiguous region with an explicit physical base.
+func NewArenaAt(size int, base PhysAddr) (*Arena, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("hugepage: arena size %d must be positive", size)
+	}
+	return &Arena{mem: make([]byte, size), base: base}, nil
+}
+
+// Size returns the arena size in bytes.
+func (a *Arena) Size() int { return len(a.mem) }
+
+// Base returns the simulated physical base address.
+func (a *Arena) Base() PhysAddr { return a.base }
+
+// errAddr reports an out-of-window translation attempt.
+var errAddr = errors.New("hugepage: address out of range")
+
+// Phy2Virt returns the length bytes of arena memory backing the physical
+// range [addr, addr+length). It is the phy2virt API of Table 1.
+func (a *Arena) Phy2Virt(addr PhysAddr, length int) ([]byte, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("hugepage: negative length %d: %w", length, errAddr)
+	}
+	if addr < a.base {
+		return nil, fmt.Errorf("hugepage: phys %#x below base %#x: %w", addr, a.base, errAddr)
+	}
+	off := uint64(addr - a.base)
+	if off+uint64(length) > uint64(len(a.mem)) {
+		return nil, fmt.Errorf("hugepage: phys %#x+%d beyond arena end: %w", addr, length, errAddr)
+	}
+	return a.mem[off : off+uint64(length) : off+uint64(length)], nil
+}
+
+// Virt2Phy returns the physical address of the byte at the given arena
+// offset. Virtual addresses in the simulation are arena offsets; Buffer
+// carries both views so pipeline code never computes them by hand.
+func (a *Arena) Virt2Phy(offset int) (PhysAddr, error) {
+	if offset < 0 || offset >= len(a.mem) {
+		return 0, fmt.Errorf("hugepage: offset %d outside arena of %d bytes: %w", offset, len(a.mem), errAddr)
+	}
+	return a.base + PhysAddr(offset), nil
+}
+
+// Buffer is one fixed-size slice of the arena — a "memory piece" in the
+// paper's terms, sized to carry one processed batch. It records its
+// physical address, virtual view and identity exactly as Algorithm 2's
+// items record phy_addr, virt_addr and size.
+type Buffer struct {
+	index int
+	phys  PhysAddr
+	data  []byte
+	pool  *Pool
+}
+
+// Index returns the buffer's position in its pool (0..Count-1).
+func (b *Buffer) Index() int { return b.index }
+
+// PhysAddr returns the simulated physical address of the buffer start.
+func (b *Buffer) PhysAddr() PhysAddr { return b.phys }
+
+// Bytes returns the buffer's virtual view. The slice aliases arena memory;
+// it must not be retained after the buffer is recycled to the pool.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Size returns the buffer capacity in bytes.
+func (b *Buffer) Size() int { return len(b.data) }
+
+// Recycle returns the buffer to its pool's free queue (Table 1
+// recycle_item). Recycling a buffer twice corrupts the free list, so the
+// pool checks and reports it.
+func (b *Buffer) Recycle() error { return b.pool.Put(b) }
+
+// Pool is the MemManager of Algorithm 2: it pre-allocates Count buffers of
+// Size bytes from a single arena and serves them through a blocking free
+// queue. DLBooster's FPGAReader blocks on Get when the decoder has filled
+// every buffer, which is the back-pressure mechanism that bounds decode
+// ahead of the compute engines.
+type Pool struct {
+	arena *Arena
+	size  int
+	count int
+	free  *queue.Queue[*Buffer]
+
+	mu  sync.Mutex
+	out []bool // out[i] reports buffer i currently checked out
+}
+
+// NewPool builds an arena of size*count bytes, slices it, and populates
+// the free queue, mirroring the pre-allocation loop of Algorithm 2.
+func NewPool(size, count int) (*Pool, error) {
+	if size <= 0 || count <= 0 {
+		return nil, fmt.Errorf("hugepage: pool size %d count %d must be positive", size, count)
+	}
+	arena, err := NewArena(size * count)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		arena: arena,
+		size:  size,
+		count: count,
+		free:  queue.New[*Buffer](count),
+		out:   make([]bool, count),
+	}
+	for i := 0; i < count; i++ {
+		phys, err := arena.Virt2Phy(i * size)
+		if err != nil {
+			return nil, err
+		}
+		data, err := arena.Phy2Virt(phys, size)
+		if err != nil {
+			return nil, err
+		}
+		b := &Buffer{index: i, phys: phys, data: data, pool: p}
+		if err := p.free.Push(b); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Arena exposes the backing arena for address translation.
+func (p *Pool) Arena() *Arena { return p.arena }
+
+// BufferSize returns the per-buffer capacity in bytes.
+func (p *Pool) BufferSize() int { return p.size }
+
+// Count returns the number of buffers in the pool.
+func (p *Pool) Count() int { return p.count }
+
+// FreeLen returns the number of buffers currently available.
+func (p *Pool) FreeLen() int { return p.free.Len() }
+
+// Available reports without blocking whether a free buffer exists — the
+// free_batch_queue.peak() probe of Algorithm 1.
+func (p *Pool) Available() bool {
+	_, ok := p.free.Peek()
+	return ok
+}
+
+// Get removes a buffer from the free queue, blocking until one is
+// available (Table 1 get_item). It returns queue.ErrClosed after Close.
+func (p *Pool) Get() (*Buffer, error) {
+	b, err := p.free.Pop()
+	if err != nil {
+		return nil, err
+	}
+	p.setOut(b.index, true)
+	return b, nil
+}
+
+// TryGet removes a buffer without blocking; ok is false when the pool is
+// exhausted.
+func (p *Pool) TryGet() (b *Buffer, ok bool, err error) {
+	b, ok, err = p.free.TryPop()
+	if ok {
+		p.setOut(b.index, true)
+	}
+	return b, ok, err
+}
+
+// Put recycles a buffer to the free queue (Table 1 recycle_item). It
+// rejects foreign buffers and double recycles.
+func (p *Pool) Put(b *Buffer) error {
+	if b == nil || b.pool != p {
+		return errors.New("hugepage: buffer does not belong to this pool")
+	}
+	p.mu.Lock()
+	if !p.out[b.index] {
+		p.mu.Unlock()
+		return fmt.Errorf("hugepage: double recycle of buffer %d", b.index)
+	}
+	p.out[b.index] = false
+	p.mu.Unlock()
+	return p.free.Push(b)
+}
+
+// Close shuts the free queue down, waking any goroutine blocked in Get.
+func (p *Pool) Close() { p.free.Close() }
+
+func (p *Pool) setOut(i int, v bool) {
+	p.mu.Lock()
+	p.out[i] = v
+	p.mu.Unlock()
+}

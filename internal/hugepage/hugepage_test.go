@@ -1,0 +1,304 @@
+package hugepage
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dlbooster/internal/queue"
+)
+
+func TestArenaBounds(t *testing.T) {
+	a, err := NewArena(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 1024 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+	if a.Base() != DefaultPhysBase {
+		t.Fatalf("Base = %#x", a.Base())
+	}
+	if _, err := NewArena(0); err == nil {
+		t.Fatal("NewArena(0) succeeded")
+	}
+	if _, err := NewArena(-5); err == nil {
+		t.Fatal("NewArena(-5) succeeded")
+	}
+}
+
+func TestPhy2VirtVirt2PhyRoundTrip(t *testing.T) {
+	a, err := NewArenaAt(256, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 1, 100, 255} {
+		phys, err := a.Virt2Phy(off)
+		if err != nil {
+			t.Fatalf("Virt2Phy(%d): %v", off, err)
+		}
+		if phys != 0x4000+PhysAddr(off) {
+			t.Fatalf("Virt2Phy(%d) = %#x", off, phys)
+		}
+		view, err := a.Phy2Virt(phys, 1)
+		if err != nil {
+			t.Fatalf("Phy2Virt(%#x): %v", phys, err)
+		}
+		view[0] = byte(off)
+		// The write must be visible through a fresh full-arena view.
+		all, err := a.Phy2Virt(a.Base(), a.Size())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all[off] != byte(off) {
+			t.Fatalf("write through Phy2Virt view not visible at offset %d", off)
+		}
+	}
+}
+
+func TestTranslationErrors(t *testing.T) {
+	a, _ := NewArenaAt(64, 0x1000)
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"below base", func() error { _, err := a.Phy2Virt(0xFFF, 1); return err }},
+		{"beyond end", func() error { _, err := a.Phy2Virt(0x1000, 65); return err }},
+		{"straddles end", func() error { _, err := a.Phy2Virt(0x103F, 2); return err }},
+		{"negative length", func() error { _, err := a.Phy2Virt(0x1000, -1); return err }},
+		{"negative offset", func() error { _, err := a.Virt2Phy(-1); return err }},
+		{"offset at end", func() error { _, err := a.Virt2Phy(64); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.f(); !errors.Is(err, errAddr) {
+			t.Errorf("%s: err = %v, want errAddr", tc.name, err)
+		}
+	}
+	// Zero-length view at base is legal (empty DMA window).
+	if _, err := a.Phy2Virt(0x1000, 0); err != nil {
+		t.Errorf("zero-length view: %v", err)
+	}
+}
+
+// TestTranslationBijection: Virt2Phy followed by Phy2Virt lands on the
+// same byte for every valid offset, for arbitrary arena geometry.
+func TestTranslationBijection(t *testing.T) {
+	f := func(sizeSeed uint16, baseSeed uint32, offSeed uint16) bool {
+		size := int(sizeSeed%4096) + 1
+		base := PhysAddr(baseSeed)
+		off := int(offSeed) % size
+		a, err := NewArenaAt(size, base)
+		if err != nil {
+			return false
+		}
+		phys, err := a.Virt2Phy(off)
+		if err != nil {
+			return false
+		}
+		view, err := a.Phy2Virt(phys, 1)
+		if err != nil {
+			return false
+		}
+		view[0] = 0xAB
+		all, err := a.Phy2Virt(base, size)
+		if err != nil {
+			return false
+		}
+		return all[off] == 0xAB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolGetPut(t *testing.T) {
+	p, err := NewPool(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BufferSize() != 128 || p.Count() != 4 || p.FreeLen() != 4 {
+		t.Fatalf("pool geometry wrong: size=%d count=%d free=%d", p.BufferSize(), p.Count(), p.FreeLen())
+	}
+	b, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 128 {
+		t.Fatalf("buffer size = %d", b.Size())
+	}
+	if p.FreeLen() != 3 {
+		t.Fatalf("FreeLen after Get = %d", p.FreeLen())
+	}
+	copy(b.Bytes(), []byte("hello"))
+	// The write must be visible through the physical window.
+	view, err := p.Arena().Phy2Virt(b.PhysAddr(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(view, []byte("hello")) {
+		t.Fatalf("phys view = %q", view)
+	}
+	if err := b.Recycle(); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeLen() != 4 {
+		t.Fatalf("FreeLen after Recycle = %d", p.FreeLen())
+	}
+}
+
+func TestPoolBuffersAreDisjoint(t *testing.T) {
+	p, err := NewPool(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufs []*Buffer
+	for i := 0; i < 8; i++ {
+		b, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range b.Bytes() {
+			b.Bytes()[j] = byte(b.Index())
+		}
+		bufs = append(bufs, b)
+	}
+	for _, b := range bufs {
+		for j, v := range b.Bytes() {
+			if v != byte(b.Index()) {
+				t.Fatalf("buffer %d byte %d = %d: buffers overlap", b.Index(), j, v)
+			}
+		}
+	}
+	// Physical addresses must tile the arena without gaps or overlap.
+	seen := map[PhysAddr]bool{}
+	for _, b := range bufs {
+		if seen[b.PhysAddr()] {
+			t.Fatalf("duplicate phys addr %#x", b.PhysAddr())
+		}
+		seen[b.PhysAddr()] = true
+		if (b.PhysAddr()-p.Arena().Base())%PhysAddr(p.BufferSize()) != 0 {
+			t.Fatalf("phys addr %#x not aligned to buffer size", b.PhysAddr())
+		}
+	}
+}
+
+func TestPoolExhaustionBlocksAndPeek(t *testing.T) {
+	p, err := NewPool(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Available() {
+		t.Fatal("Available = false on fresh pool")
+	}
+	b, _ := p.Get()
+	if p.Available() {
+		t.Fatal("Available = true on exhausted pool")
+	}
+	if _, ok, _ := p.TryGet(); ok {
+		t.Fatal("TryGet succeeded on exhausted pool")
+	}
+	got := make(chan *Buffer, 1)
+	go func() {
+		nb, err := p.Get()
+		if err != nil {
+			t.Errorf("Get: %v", err)
+		}
+		got <- nb
+	}()
+	select {
+	case <-got:
+		t.Fatal("Get returned while pool exhausted")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := p.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case nb := <-got:
+		if nb.Index() != b.Index() {
+			t.Fatalf("got buffer %d, want recycled %d", nb.Index(), b.Index())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get did not unblock after Put")
+	}
+}
+
+func TestPoolRejectsDoubleRecycleAndForeign(t *testing.T) {
+	p1, _ := NewPool(8, 2)
+	p2, _ := NewPool(8, 2)
+	b, _ := p1.Get()
+	if err := p1.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Put(b); err == nil {
+		t.Fatal("double recycle accepted")
+	}
+	b2, _ := p2.Get()
+	if err := p1.Put(b2); err == nil {
+		t.Fatal("foreign buffer accepted")
+	}
+	if err := p1.Put(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p, _ := NewPool(8, 1)
+	b, _ := p.Get()
+	_ = b
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.Get()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Close()
+	if err := <-errc; !errors.Is(err, queue.ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPoolConcurrentChurn(t *testing.T) {
+	p, err := NewPool(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b, err := p.Get()
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				b.Bytes()[0] = byte(w)
+				if b.Bytes()[0] != byte(w) {
+					t.Errorf("buffer handed to two workers at once")
+				}
+				if err := b.Recycle(); err != nil {
+					t.Errorf("Recycle: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p.FreeLen() != 4 {
+		t.Fatalf("FreeLen after churn = %d, want 4", p.FreeLen())
+	}
+}
+
+func TestPoolBadGeometry(t *testing.T) {
+	if _, err := NewPool(0, 4); err == nil {
+		t.Fatal("NewPool(0,4) succeeded")
+	}
+	if _, err := NewPool(8, 0); err == nil {
+		t.Fatal("NewPool(8,0) succeeded")
+	}
+}

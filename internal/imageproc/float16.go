@@ -1,0 +1,130 @@
+package imageproc
+
+import (
+	"fmt"
+	"math"
+
+	"dlbooster/internal/pix"
+)
+
+// IEEE 754 binary16 conversion. The paper's inference engine runs with
+// "float16 to enable Tensor Core" (Figures 7–9 captions); the host-side
+// transform stage therefore has to produce half-precision CHW tensors,
+// which is what NormalizeF16 emits.
+
+// Float16 is an IEEE 754 binary16 value in its bit representation.
+type Float16 uint16
+
+// F32ToF16 converts with round-to-nearest-even, handling subnormals,
+// infinities and NaN.
+func F32ToF16(f float32) Float16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xFF) - 127
+	man := bits & 0x7FFFFF
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if man != 0 {
+			return Float16(sign | 0x7E00) // quiet NaN
+		}
+		return Float16(sign | 0x7C00)
+	case exp > 15: // overflow → Inf
+		return Float16(sign | 0x7C00)
+	case exp >= -14: // normal range
+		// 10-bit mantissa with round-to-nearest-even on the dropped 13.
+		m := man >> 13
+		rem := man & 0x1FFF
+		if rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			m++
+		}
+		e := uint32(exp+15)<<10 + m // mantissa carry may bump the exponent — the bit layout makes that correct
+		return Float16(uint32(sign) | e)
+	case exp >= -24: // subnormal half: value = m·2⁻²⁴, m = full·2^(exp+1)/2²³
+		shift := uint32(-exp - 1) // 14..23
+		full := man | 0x800000    // implicit leading 1
+		m := full >> shift
+		rem := full & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && m&1 == 1) {
+			m++ // may carry into the exponent: 0x400 is the smallest normal, which is correct
+		}
+		return Float16(uint32(sign) | m)
+	default: // underflow → signed zero
+		return Float16(sign)
+	}
+}
+
+// F16ToF32 converts exactly (every half value is representable).
+func F16ToF32(h Float16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	man := uint32(h & 0x3FF)
+	switch exp {
+	case 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalise.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	case 0x1F:
+		if man == 0 {
+			return math.Float32frombits(sign | 0x7F800000)
+		}
+		return math.Float32frombits(sign | 0x7FC00000 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}
+
+// NormalizeF16 is Normalize with half-precision output: 8-bit HWC
+// samples to float16 CHW with per-channel mean/std.
+func NormalizeF16(m *pix.Image, mean, std []float32) ([]Float16, error) {
+	f32, err := Normalize(m, mean, std)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Float16, len(f32))
+	for i, v := range f32 {
+		out[i] = F32ToF16(v)
+	}
+	return out, nil
+}
+
+// F16SliceToF32 converts a tensor back for verification.
+func F16SliceToF32(in []Float16) []float32 {
+	out := make([]float32, len(in))
+	for i, h := range in {
+		out[i] = F16ToF32(h)
+	}
+	return out
+}
+
+// F16Bytes serialises a half tensor little-endian, the layout a device
+// copy would move.
+func F16Bytes(in []Float16) []byte {
+	out := make([]byte, 2*len(in))
+	for i, h := range in {
+		out[2*i] = byte(h)
+		out[2*i+1] = byte(h >> 8)
+	}
+	return out
+}
+
+// F16FromBytes parses a little-endian half tensor.
+func F16FromBytes(data []byte) ([]Float16, error) {
+	if len(data)%2 != 0 {
+		return nil, fmt.Errorf("imageproc: odd f16 byte length %d", len(data))
+	}
+	out := make([]Float16, len(data)/2)
+	for i := range out {
+		out[i] = Float16(data[2*i]) | Float16(data[2*i+1])<<8
+	}
+	return out, nil
+}

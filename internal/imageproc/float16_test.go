@@ -1,0 +1,154 @@
+package imageproc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlbooster/internal/pix"
+)
+
+func TestF16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h Float16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},                         // largest normal half
+		{float32(math.Inf(1)), 0x7C00},          // +Inf
+		{float32(math.Inf(-1)), 0xFC00},         // -Inf
+		{5.960464477539063e-08, 0x0001},         // smallest subnormal
+		{6.097555160522461e-05, 0x03FF},         // largest subnormal
+		{6.103515625e-05, 0x0400},               // smallest normal
+		{100000, 0x7C00},                        // overflow → Inf
+		{1e-10, 0x0000},                         // underflow → zero
+		{float32(math.Copysign(0, -1)), 0x8000}, // -0
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.f); got != c.h {
+			t.Errorf("F32ToF16(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+	}
+	if got := F32ToF16(float32(math.NaN())); got&0x7C00 != 0x7C00 || got&0x3FF == 0 {
+		t.Errorf("NaN converted to %#04x, not a half NaN", got)
+	}
+}
+
+func TestF16ToF32KnownValues(t *testing.T) {
+	cases := []struct {
+		h Float16
+		f float32
+	}{
+		{0x3C00, 1},
+		{0xC000, -2},
+		{0x7BFF, 65504},
+		{0x0001, 5.960464477539063e-08},
+		{0x0400, 6.103515625e-05},
+	}
+	for _, c := range cases {
+		if got := F16ToF32(c.h); got != c.f {
+			t.Errorf("F16ToF32(%#04x) = %g, want %g", c.h, got, c.f)
+		}
+	}
+	if !math.IsInf(float64(F16ToF32(0x7C00)), 1) || !math.IsInf(float64(F16ToF32(0xFC00)), -1) {
+		t.Error("infinities corrupted")
+	}
+	if !math.IsNaN(float64(F16ToF32(0x7E00))) {
+		t.Error("NaN corrupted")
+	}
+}
+
+// TestF16RoundTripExact: every finite half value converts to float32 and
+// back bit-exactly (half ⊂ single).
+func TestF16RoundTripExact(t *testing.T) {
+	for bits := 0; bits < 1<<16; bits++ {
+		h := Float16(bits)
+		if h&0x7C00 == 0x7C00 && h&0x3FF != 0 {
+			// NaNs: payload need not round-trip exactly, but NaN must
+			// stay NaN.
+			if back := F32ToF16(F16ToF32(h)); back&0x7C00 != 0x7C00 || back&0x3FF == 0 {
+				t.Fatalf("NaN %#04x became %#04x", h, back)
+			}
+			continue
+		}
+		if back := F32ToF16(F16ToF32(h)); back != h {
+			t.Fatalf("half %#04x round-trips to %#04x", h, back)
+		}
+	}
+}
+
+// TestF32ToF16RoundingError: conversion error is within half a ULP for
+// values in the normal half range.
+func TestF32ToF16RoundingError(t *testing.T) {
+	f := func(raw uint16) bool {
+		// Build values across the half range from the seed.
+		v := float32(raw)/65535*130000 - 65000
+		h := F32ToF16(v)
+		back := F16ToF32(h)
+		diff := math.Abs(float64(back - v))
+		// ULP at |v|: 2^(exp-10).
+		av := math.Abs(float64(v))
+		if av < 6.1e-5 {
+			return diff <= 6e-8*0.51/0.5 // half the subnormal step
+		}
+		exp := math.Floor(math.Log2(av))
+		ulp := math.Pow(2, exp-10)
+		return diff <= ulp/2*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeF16MatchesF32(t *testing.T) {
+	m := pix.New(4, 3, 3)
+	for i := range m.Pix {
+		m.Pix[i] = byte(i * 7)
+	}
+	mean := []float32{128, 128, 128}
+	std := []float32{64, 64, 64}
+	f32, err := Normalize(m, mean, std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16, err := NormalizeF16(m, mean, std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f16) != len(f32) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range f32 {
+		back := F16ToF32(f16[i])
+		if math.Abs(float64(back-f32[i])) > 0.002 {
+			t.Fatalf("index %d: f16 %g vs f32 %g", i, back, f32[i])
+		}
+	}
+	if _, err := NormalizeF16(m, mean[:1], std); err == nil {
+		t.Fatal("bad mean accepted")
+	}
+}
+
+func TestF16BytesRoundTrip(t *testing.T) {
+	in := []Float16{0x3C00, 0x0001, 0xFFFF, 0x0000}
+	data := F16Bytes(in)
+	if len(data) != 8 {
+		t.Fatalf("bytes = %d", len(data))
+	}
+	back, err := F16FromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("index %d: %#04x != %#04x", i, back[i], in[i])
+		}
+	}
+	if _, err := F16FromBytes(data[:3]); err == nil {
+		t.Fatal("odd length accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package imageproc
+
+import (
+	"fmt"
+
+	"dlbooster/internal/pix"
+)
+
+// Rotations and transposes: phone and camera uploads — a large share of
+// any online-inference service's traffic (Figure 1's client is a phone)
+// — arrive with EXIF orientation set, and the preprocessing pipeline has
+// to upright them before the model sees the pixels.
+
+// Rotate90 returns the image rotated 90° clockwise.
+func Rotate90(src *pix.Image) *pix.Image {
+	dst := pix.New(src.H, src.W, src.C)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			for c := 0; c < src.C; c++ {
+				dst.Set(src.H-1-y, x, c, src.At(x, y, c))
+			}
+		}
+	}
+	return dst
+}
+
+// Rotate180 returns the image rotated 180°.
+func Rotate180(src *pix.Image) *pix.Image {
+	dst := src.Clone()
+	FlipHorizontal(dst)
+	FlipVertical(dst)
+	return dst
+}
+
+// Rotate270 returns the image rotated 270° clockwise (90° CCW).
+func Rotate270(src *pix.Image) *pix.Image {
+	dst := pix.New(src.H, src.W, src.C)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			for c := 0; c < src.C; c++ {
+				dst.Set(y, src.W-1-x, c, src.At(x, y, c))
+			}
+		}
+	}
+	return dst
+}
+
+// Transpose mirrors along the main diagonal (x↔y).
+func Transpose(src *pix.Image) *pix.Image {
+	dst := pix.New(src.H, src.W, src.C)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			for c := 0; c < src.C; c++ {
+				dst.Set(y, x, c, src.At(x, y, c))
+			}
+		}
+	}
+	return dst
+}
+
+// Transverse mirrors along the anti-diagonal.
+func Transverse(src *pix.Image) *pix.Image {
+	dst := pix.New(src.H, src.W, src.C)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			for c := 0; c < src.C; c++ {
+				dst.Set(src.H-1-y, src.W-1-x, c, src.At(x, y, c))
+			}
+		}
+	}
+	return dst
+}
+
+// ApplyOrientation uprights an image according to its EXIF orientation
+// tag (1–8; 0 is treated as 1). It returns the input unchanged for
+// orientation ≤ 1 and errors on values > 8.
+func ApplyOrientation(src *pix.Image, orientation int) (*pix.Image, error) {
+	switch orientation {
+	case 0, 1:
+		return src, nil
+	case 2:
+		dst := src.Clone()
+		FlipHorizontal(dst)
+		return dst, nil
+	case 3:
+		return Rotate180(src), nil
+	case 4:
+		dst := src.Clone()
+		FlipVertical(dst)
+		return dst, nil
+	case 5:
+		return Transpose(src), nil
+	case 6:
+		return Rotate90(src), nil
+	case 7:
+		return Transverse(src), nil
+	case 8:
+		return Rotate270(src), nil
+	default:
+		return nil, fmt.Errorf("imageproc: EXIF orientation %d outside 1..8", orientation)
+	}
+}

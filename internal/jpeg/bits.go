@@ -1,0 +1,243 @@
+// Package jpeg implements a baseline JPEG (ITU-T T.81) encoder and
+// decoder from scratch, with the decoder additionally exposed as explicit
+// pipeline stages (entropy decode → dequantise+iDCT → upsample+colour).
+//
+// DLBooster's FPGA decoder (paper §3.3) is exactly that staged pipeline:
+// a parser feeds a 4-way Huffman decoding unit, which feeds an iDCT & RGB
+// unit, which feeds a 2-way resizer. Building the codec ourselves — rather
+// than calling image/jpeg — gives the FPGA model real stages to schedule
+// and lets the CPU-based baseline burn cores on the same computation the
+// paper's baseline burned them on. The stdlib codec is used only in tests,
+// as an independent reference implementation.
+//
+// Supported: baseline sequential DCT and progressive (SOF2, spectral
+// selection + successive approximation — decode in progressive.go,
+// encode in progencode.go), 8-bit samples, 1 or 3 components, sampling
+// factors 1–2 in each axis (4:4:4, 4:2:2, 4:4:0, 4:2:0, grayscale),
+// restart intervals, 8- and 16-bit quantisation tables, optimal Huffman
+// table generation. Progressive streams decode in software only: the
+// staged pipeline the FPGA mirror drives is baseline, like hardware
+// decoders. Not supported (rejected with a clear error): arithmetic
+// coding, hierarchical, 12-bit precision, CMYK.
+package jpeg
+
+import (
+	"fmt"
+)
+
+// FormatError reports malformed JPEG input.
+type FormatError string
+
+func (e FormatError) Error() string { return "jpeg: invalid format: " + string(e) }
+
+// UnsupportedError reports valid-but-unsupported JPEG features.
+type UnsupportedError string
+
+func (e UnsupportedError) Error() string { return "jpeg: unsupported feature: " + string(e) }
+
+// errShortData reports entropy-coded data ending before the scan was
+// complete.
+var errShortData = FormatError("short entropy-coded data")
+
+// bitReader consumes entropy-coded scan bytes MSB first, removing the
+// 0x00 bytes stuffed after 0xFF and stopping cleanly at markers. The FPGA
+// Huffman unit's input channel carries exactly this byte stream.
+type bitReader struct {
+	data []byte
+	pos  int    // next byte to load into the accumulator
+	acc  uint32 // bit accumulator, MSB-aligned
+	n    int    // number of valid bits in acc
+
+	// marker holds a marker byte (the 0xXX of 0xFF 0xXX) encountered
+	// while filling the accumulator. Once set, the reader refuses to
+	// produce further bits until the caller consumes it.
+	marker byte
+}
+
+func newBitReader(data []byte) *bitReader {
+	return &bitReader{data: data}
+}
+
+// fill loads bytes into the accumulator until it holds at least want bits
+// or input is exhausted / a marker is hit.
+func (r *bitReader) fill(want int) error {
+	for r.n < want {
+		if r.marker != 0 {
+			return errShortData
+		}
+		if r.pos >= len(r.data) {
+			return errShortData
+		}
+		b := r.data[r.pos]
+		r.pos++
+		if b == 0xFF {
+			if r.pos >= len(r.data) {
+				return errShortData
+			}
+			next := r.data[r.pos]
+			r.pos++
+			switch {
+			case next == 0x00:
+				// byte stuffing: a literal 0xFF data byte
+			case next == 0xFF:
+				// fill bytes before a marker: retry this position
+				r.pos--
+				continue
+			default:
+				r.marker = next
+				return errShortData
+			}
+		}
+		r.acc |= uint32(b) << (24 - r.n)
+		r.n += 8
+	}
+	return nil
+}
+
+// readBit returns the next bit.
+func (r *bitReader) readBit() (int, error) {
+	if r.n < 1 {
+		if err := r.fill(1); err != nil {
+			return 0, err
+		}
+	}
+	bit := int(r.acc >> 31)
+	r.acc <<= 1
+	r.n--
+	return bit, nil
+}
+
+// readBits returns the next n bits (0 ≤ n ≤ 16) as an unsigned value.
+func (r *bitReader) readBits(n int) (int32, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if r.n < n {
+		if err := r.fill(n); err != nil {
+			return 0, err
+		}
+	}
+	v := int32(r.acc >> (32 - n))
+	r.acc <<= n
+	r.n -= n
+	return v, nil
+}
+
+// peekBits returns up to n bits without consuming them, left-padded with
+// zeros when fewer are available (used by the fast Huffman lookup).
+func (r *bitReader) peekBits(n int) (v int32, avail int) {
+	if r.n < n {
+		_ = r.fill(n) // best effort; a marker/EOF just limits avail
+	}
+	avail = r.n
+	if avail > n {
+		avail = n
+	}
+	return int32(r.acc >> (32 - n)), avail
+}
+
+// skipBits discards n bits that were previously peeked (n ≤ r.n).
+func (r *bitReader) skipBits(n int) {
+	if n > r.n {
+		panic("jpeg: skipBits beyond accumulator")
+	}
+	r.acc <<= n
+	r.n -= n
+}
+
+// align discards bits to the next byte boundary (before restart markers).
+func (r *bitReader) align() {
+	rem := r.n % 8
+	r.acc <<= rem
+	r.n -= rem
+}
+
+// takeMarker returns and clears a pending marker byte (0 if none).
+func (r *bitReader) takeMarker() byte {
+	m := r.marker
+	r.marker = 0
+	return m
+}
+
+// nextMarker scans forward to the next marker byte, for restart-marker
+// resynchronisation. It returns the marker code.
+func (r *bitReader) nextMarker() (byte, error) {
+	r.acc, r.n = 0, 0
+	if m := r.takeMarker(); m != 0 {
+		return m, nil
+	}
+	for r.pos+1 < len(r.data) {
+		if r.data[r.pos] == 0xFF && r.data[r.pos+1] != 0x00 && r.data[r.pos+1] != 0xFF {
+			m := r.data[r.pos+1]
+			r.pos += 2
+			return m, nil
+		}
+		r.pos++
+	}
+	return 0, errShortData
+}
+
+// extend implements the EXTEND procedure of T.81 §F.2.2.1: convert the
+// magnitude-coded v of ssss bits into a signed coefficient.
+func extend(v int32, ssss int) int32 {
+	if ssss == 0 {
+		return 0
+	}
+	if v < 1<<(ssss-1) {
+		return v - (1 << ssss) + 1
+	}
+	return v
+}
+
+// bitWriter emits entropy-coded bytes MSB first with 0xFF stuffing.
+type bitWriter struct {
+	buf []byte
+	acc uint32
+	n   int
+}
+
+func (w *bitWriter) writeBits(v uint32, n int) {
+	if n == 0 {
+		return
+	}
+	v &= (1 << n) - 1
+	w.acc |= v << (32 - w.n - n)
+	w.n += n
+	for w.n >= 8 {
+		b := byte(w.acc >> 24)
+		w.buf = append(w.buf, b)
+		if b == 0xFF {
+			w.buf = append(w.buf, 0x00)
+		}
+		w.acc <<= 8
+		w.n -= 8
+	}
+}
+
+// flush pads the final partial byte with 1-bits, as T.81 §F.1.2.3
+// requires, and returns the accumulated stream.
+func (w *bitWriter) flush() []byte {
+	if w.n > 0 {
+		pad := 8 - w.n
+		w.writeBits((1<<pad)-1, pad)
+	}
+	return w.buf
+}
+
+// restartMarker pads to a byte boundary and appends RSTn directly —
+// markers are not byte-stuffed.
+func (w *bitWriter) restartMarker(m byte) {
+	if w.n > 0 {
+		pad := 8 - w.n
+		w.writeBits((1<<pad)-1, pad)
+	}
+	w.buf = append(w.buf, 0xFF, m)
+}
+
+// sanity checks shared by decoder and encoder.
+func checkComponents(n int) error {
+	if n != 1 && n != 3 {
+		return UnsupportedError(fmt.Sprintf("%d components (only grayscale and YCbCr supported)", n))
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package jpeg
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitReaderBasic(t *testing.T) {
+	r := newBitReader([]byte{0b1011_0010, 0b0100_0001})
+	for i, want := range []int{1, 0, 1, 1} {
+		got, err := r.readBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	v, err := r.readBits(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0b001001 {
+		t.Fatalf("readBits(6) = %#b", v)
+	}
+	if v, _ := r.readBits(0); v != 0 {
+		t.Fatalf("readBits(0) = %d", v)
+	}
+}
+
+func TestBitReaderStuffing(t *testing.T) {
+	// 0xFF 0x00 is a literal 0xFF data byte.
+	r := newBitReader([]byte{0xFF, 0x00, 0x80})
+	v, err := r.readBits(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint16(v) != 0xFF80 {
+		t.Fatalf("readBits(16) = %#x, want 0xFF80", v)
+	}
+}
+
+func TestBitReaderStopsAtMarker(t *testing.T) {
+	r := newBitReader([]byte{0xAB, 0xFF, mEOI, 0xCD})
+	if v, err := r.readBits(8); err != nil || v != 0xAB {
+		t.Fatalf("readBits = %#x, %v", v, err)
+	}
+	if _, err := r.readBits(8); !errors.Is(err, errShortData) {
+		t.Fatalf("read past marker: %v", err)
+	}
+	if m := r.takeMarker(); m != mEOI {
+		t.Fatalf("takeMarker = %#x", m)
+	}
+	if m := r.takeMarker(); m != 0 {
+		t.Fatalf("second takeMarker = %#x, want 0", m)
+	}
+}
+
+func TestBitReaderFillBytesBeforeMarker(t *testing.T) {
+	// Multiple 0xFF fill bytes may precede a marker.
+	r := newBitReader([]byte{0x12, 0xFF, 0xFF, 0xFF, mRST0})
+	if v, err := r.readBits(8); err != nil || v != 0x12 {
+		t.Fatalf("readBits = %#x, %v", v, err)
+	}
+	if _, err := r.readBit(); !errors.Is(err, errShortData) {
+		t.Fatalf("expected marker stop, got %v", err)
+	}
+	if m := r.takeMarker(); m != mRST0 {
+		t.Fatalf("marker = %#x, want RST0", m)
+	}
+}
+
+func TestBitReaderAlign(t *testing.T) {
+	r := newBitReader([]byte{0b1010_0000, 0xC3})
+	if _, err := r.readBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.align()
+	v, err := r.readBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xC3 {
+		t.Fatalf("after align readBits(8) = %#x, want 0xC3", v)
+	}
+}
+
+func TestBitReaderNextMarker(t *testing.T) {
+	r := newBitReader([]byte{0x01, 0x02, 0xFF, 0x00, 0x03, 0xFF, mRST3, 0x04})
+	m, err := r.nextMarker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != mRST3 {
+		t.Fatalf("nextMarker = %#x, want RST3", m)
+	}
+	if v, err := r.readBits(8); err != nil || v != 0x04 {
+		t.Fatalf("after nextMarker readBits = %#x, %v", v, err)
+	}
+}
+
+const mRST3 = mRST0 + 3
+
+func TestBitReaderEOF(t *testing.T) {
+	r := newBitReader([]byte{0x80})
+	if _, err := r.readBits(9); !errors.Is(err, errShortData) {
+		t.Fatalf("readBits past EOF: %v", err)
+	}
+	// Trailing lone 0xFF is also short data.
+	r = newBitReader([]byte{0xFF})
+	if _, err := r.readBit(); !errors.Is(err, errShortData) {
+		t.Fatalf("lone 0xFF: %v", err)
+	}
+}
+
+func TestBitWriterStuffing(t *testing.T) {
+	w := &bitWriter{}
+	w.writeBits(0xFF, 8)
+	w.writeBits(0x01, 8)
+	out := w.flush()
+	want := []byte{0xFF, 0x00, 0x01}
+	if len(out) != len(want) {
+		t.Fatalf("out = %x, want %x", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %x, want %x", out, want)
+		}
+	}
+}
+
+func TestBitWriterFlushPadsWithOnes(t *testing.T) {
+	w := &bitWriter{}
+	w.writeBits(0b101, 3)
+	out := w.flush()
+	if len(out) != 1 || out[0] != 0b1011_1111 {
+		t.Fatalf("out = %x, want b4 padded with ones", out)
+	}
+}
+
+// TestBitRoundTripProperty: any bit sequence written through bitWriter is
+// read back identically by bitReader (stuffing is transparent).
+func TestBitRoundTripProperty(t *testing.T) {
+	f := func(vals []uint16, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		type item struct {
+			v uint32
+			w int
+		}
+		var items []item
+		w := &bitWriter{}
+		for i := 0; i < n; i++ {
+			width := int(widths[i]%16) + 1
+			v := uint32(vals[i]) & ((1 << width) - 1)
+			items = append(items, item{v, width})
+			w.writeBits(v, width)
+		}
+		data := w.flush()
+		r := newBitReader(data)
+		for _, it := range items {
+			got, err := r.readBits(it.w)
+			if err != nil || uint32(got) != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	cases := []struct {
+		v    int32
+		ssss int
+		want int32
+	}{
+		{0, 0, 0},
+		{0, 1, -1},
+		{1, 1, 1},
+		{0, 2, -3},
+		{1, 2, -2},
+		{2, 2, 2},
+		{3, 2, 3},
+		{0b0111, 4, -8},
+		{0b1000, 4, 8},
+	}
+	for _, c := range cases {
+		if got := extend(c.v, c.ssss); got != c.want {
+			t.Errorf("extend(%d, %d) = %d, want %d", c.v, c.ssss, got, c.want)
+		}
+	}
+}
+
+func TestBitLength(t *testing.T) {
+	cases := []struct {
+		v    int32
+		want int
+	}{
+		{0, 0}, {1, 1}, {-1, 1}, {2, 2}, {3, 2}, {-3, 2}, {4, 3}, {255, 8}, {-256, 9}, {1023, 10},
+	}
+	for _, c := range cases {
+		if got := bitLength(c.v); got != c.want {
+			t.Errorf("bitLength(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

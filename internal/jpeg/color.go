@@ -1,0 +1,24 @@
+package jpeg
+
+// JFIF YCbCr ↔ RGB conversion in 16.16 fixed point. This is the "RGB"
+// half of the paper's iDCT & RGB pipeline unit.
+
+// ycbcrToRGB converts one pixel.
+func ycbcrToRGB(y, cb, cr byte) (r, g, b byte) {
+	yy := int32(y) << 16
+	cb1 := int32(cb) - 128
+	cr1 := int32(cr) - 128
+	r = clamp8((yy + 91881*cr1 + 1<<15) >> 16)
+	g = clamp8((yy - 22554*cb1 - 46802*cr1 + 1<<15) >> 16)
+	b = clamp8((yy + 116130*cb1 + 1<<15) >> 16)
+	return r, g, b
+}
+
+// rgbToYCbCr converts one pixel.
+func rgbToYCbCr(r, g, b byte) (y, cb, cr byte) {
+	r1, g1, b1 := int32(r), int32(g), int32(b)
+	y = clamp8((19595*r1 + 38470*g1 + 7471*b1 + 1<<15) >> 16)
+	cb = clamp8(((-11056*r1 - 21712*g1 + 32768*b1 + 1<<15) >> 16) + 128)
+	cr = clamp8(((32768*r1 - 27440*g1 - 5328*b1 + 1<<15) >> 16) + 128)
+	return y, cb, cr
+}

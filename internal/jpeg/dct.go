@@ -1,0 +1,116 @@
+package jpeg
+
+import "math"
+
+// 8×8 forward and inverse DCT (T.81 §A.3.3), implemented as two passes of
+// a precomputed 1-D basis. Clarity over micro-optimisation: the cost model
+// in internal/perf, not the host's DCT speed, sets simulated device
+// timing, while the CPU-based baseline burns cores on this same code just
+// as the paper's baseline burned them on libjpeg.
+
+// cosBasis[u][x] = alpha(u)/2 * cos((2x+1)uπ/16), so that an 8-point
+// transform is a plain matrix product.
+var cosBasis = func() (c [8][8]float64) {
+	for u := 0; u < 8; u++ {
+		alpha := 1.0
+		if u == 0 {
+			alpha = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			c[u][x] = alpha / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+	return c
+}()
+
+// block holds one 8×8 coefficient or sample block in natural (row-major)
+// order.
+type block [64]int32
+
+// idct transforms dequantised coefficients into level-shifted 8-bit
+// samples, clamping to [0, 255].
+func idct(coef *block, out *[64]byte) {
+	var tmp [64]float64
+	// Columns: tmp[x][v] = Σ_u basis[u][x] · coef[u][v]
+	for v := 0; v < 8; v++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += cosBasis[u][x] * float64(coef[u*8+v])
+			}
+			tmp[x*8+v] = s
+		}
+	}
+	// Rows: sample[x][y] = Σ_v basis[v][y] · tmp[x][v]
+	for x := 0; x < 8; x++ {
+		row := tmp[x*8 : x*8+8 : x*8+8]
+		for y := 0; y < 8; y++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += cosBasis[v][y] * row[v]
+			}
+			out[x*8+y] = clamp8(int32(math.Round(s)) + 128)
+		}
+	}
+}
+
+// fdct transforms level-shifted samples into DCT coefficients.
+func fdct(samples *[64]byte, out *block) {
+	var shifted [64]float64
+	for i, s := range samples {
+		shifted[i] = float64(s) - 128
+	}
+	var tmp [64]float64
+	// Columns: tmp[u][y] = Σ_x basis[u][x] · shifted[x][y]
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += cosBasis[u][x] * shifted[x*8+y]
+			}
+			tmp[u*8+y] = s
+		}
+	}
+	// Rows: coef[u][v] = Σ_y basis[v][y] · tmp[u][y]
+	for u := 0; u < 8; u++ {
+		row := tmp[u*8 : u*8+8 : u*8+8]
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += cosBasis[v][y] * row[y]
+			}
+			out[u*8+v] = int32(math.Round(s))
+		}
+	}
+}
+
+// quantize divides coefficients by the table with round-to-nearest,
+// producing the levels the entropy coder transmits.
+func quantize(coef *block, q *QuantTable, out *block) {
+	for i := range coef {
+		c := coef[i]
+		d := int32(q[i])
+		if c >= 0 {
+			out[i] = (c + d/2) / d
+		} else {
+			out[i] = -((-c + d/2) / d)
+		}
+	}
+}
+
+// dequantize multiplies levels back into coefficient magnitudes.
+func dequantize(levels *block, q *QuantTable, out *block) {
+	for i := range levels {
+		out[i] = levels[i] * int32(q[i])
+	}
+}
+
+func clamp8(v int32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

@@ -1,0 +1,608 @@
+package jpeg
+
+import (
+	"dlbooster/internal/imageproc"
+	"dlbooster/internal/pix"
+)
+
+// Marker codes (the 0xXX of 0xFF 0xXX).
+const (
+	mSOI  = 0xD8
+	mEOI  = 0xD9
+	mSOF0 = 0xC0 // baseline sequential
+	mSOF1 = 0xC1 // extended sequential, Huffman
+	mSOF2 = 0xC2 // progressive (multi-scan software decoder)
+	mDHT  = 0xC4
+	mDAC  = 0xCC // arithmetic conditioning (unsupported, rejected)
+	mDQT  = 0xDB
+	mDRI  = 0xDD
+	mSOS  = 0xDA
+	mCOM  = 0xFE
+	mAPP0 = 0xE0
+	mAPP1 = 0xE1
+	mRST0 = 0xD0
+	mRST7 = 0xD7
+)
+
+// Component describes one colour component from the frame header.
+type Component struct {
+	ID      byte
+	H, V    int // sampling factors, 1..2 supported
+	QuantID byte
+	// Entropy-coding table selectors, filled in by the scan header.
+	dcSel, acSel byte
+}
+
+// Header is the parsed stream state up to and including the scan header:
+// everything DLBooster's FPGA parser extracts from a file before kicking
+// off the Huffman unit.
+type Header struct {
+	Width, Height   int
+	Components      []Component
+	RestartInterval int
+
+	// Progressive reports an SOF2 frame. The single-pass pipeline
+	// (EntropyDecode and the FPGA mirror) handles only baseline;
+	// Decode dispatches progressive streams to the multi-scan decoder.
+	Progressive bool
+
+	// Orientation is the EXIF orientation tag (1–8) when an APP1
+	// segment carries one, else 0. The decoder does not rotate pixels;
+	// use imageproc.ApplyOrientation.
+	Orientation int
+
+	quant  [4]*QuantTable
+	dcHuff [4]*huffDecoder
+	acHuff [4]*huffDecoder
+
+	hMax, vMax   int
+	mcusX, mcusY int
+	scan         []byte // entropy-coded data following the SOS header
+}
+
+// Coefficients holds the entropy-decoded, still-quantised DCT levels —
+// the output of the Huffman decoding unit.
+type Coefficients struct {
+	hdr *Header
+	// comp[i] holds blocksX×blocksY blocks in raster order.
+	comp     [][]block
+	blocksX  []int
+	blocksY  []int
+	trailing []byte // unused; reserved for DNL handling
+}
+
+// Planes holds reconstructed component sample planes — the output of the
+// iDCT unit, before upsampling and colour conversion.
+type Planes struct {
+	hdr    *Header
+	data   [][]byte // per component, stride×rows samples
+	stride []int
+	rows   []int
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func u16(b []byte) int { return int(b[0])<<8 | int(b[1]) }
+
+// Parse reads all marker segments through SOS and captures the
+// entropy-coded scan data. It validates against the supported feature set
+// (see the package comment).
+func Parse(data []byte) (*Header, error) {
+	if len(data) < 2 || data[0] != 0xFF || data[1] != mSOI {
+		return nil, FormatError("missing SOI marker")
+	}
+	h := &Header{}
+	var sawSOF bool
+	pos := 2
+	for {
+		// Find the next marker, tolerating fill bytes.
+		if pos >= len(data) {
+			return nil, FormatError("truncated stream before SOS")
+		}
+		if data[pos] != 0xFF {
+			return nil, FormatError("expected marker")
+		}
+		for pos < len(data) && data[pos] == 0xFF {
+			pos++
+		}
+		if pos >= len(data) {
+			return nil, FormatError("truncated marker")
+		}
+		marker := data[pos]
+		pos++
+		switch {
+		case marker == mEOI:
+			return nil, FormatError("EOI before SOS")
+		case marker >= mRST0 && marker <= mRST7:
+			return nil, FormatError("restart marker outside scan")
+		case marker == mDAC:
+			return nil, UnsupportedError("arithmetic coding")
+		case marker >= 0xC3 && marker <= 0xCF && marker != mDHT && marker != mSOF2:
+			return nil, UnsupportedError("non-baseline SOF")
+		}
+		// All remaining segments carry a two-byte length.
+		if pos+2 > len(data) {
+			return nil, FormatError("truncated segment length")
+		}
+		segLen := u16(data[pos:])
+		if segLen < 2 || pos+segLen > len(data) {
+			return nil, FormatError("bad segment length")
+		}
+		seg := data[pos+2 : pos+segLen]
+		pos += segLen
+		switch marker {
+		case mSOF0, mSOF1, mSOF2:
+			if sawSOF {
+				return nil, FormatError("multiple SOF segments")
+			}
+			sawSOF = true
+			h.Progressive = marker == mSOF2
+			if err := h.parseSOF(seg); err != nil {
+				return nil, err
+			}
+		case mDQT:
+			if err := h.parseDQT(seg); err != nil {
+				return nil, err
+			}
+		case mDHT:
+			if err := h.parseDHT(seg); err != nil {
+				return nil, err
+			}
+		case mDRI:
+			if len(seg) < 2 {
+				return nil, FormatError("short DRI")
+			}
+			h.RestartInterval = u16(seg)
+		case mAPP1:
+			if o := parseEXIFOrientation(seg); o != 0 {
+				h.Orientation = o
+			}
+		case mSOS:
+			if !sawSOF {
+				return nil, FormatError("SOS before SOF")
+			}
+			if h.Progressive {
+				// The caller must use the multi-scan decoder; the
+				// header is still returned for DecodeConfig.
+				return h, ErrProgressive
+			}
+			if err := h.parseSOS(seg); err != nil {
+				return nil, err
+			}
+			h.scan = data[pos:]
+			return h, nil
+		default:
+			// APPn, COM and other informational segments are skipped.
+		}
+	}
+}
+
+func (h *Header) parseSOF(seg []byte) error {
+	if len(seg) < 6 {
+		return FormatError("short SOF")
+	}
+	if seg[0] != 8 {
+		return UnsupportedError("sample precision != 8")
+	}
+	h.Height = u16(seg[1:])
+	h.Width = u16(seg[3:])
+	if h.Height == 0 {
+		return UnsupportedError("DNL-deferred height")
+	}
+	if h.Width == 0 {
+		return FormatError("zero width")
+	}
+	n := int(seg[5])
+	if err := checkComponents(n); err != nil {
+		return err
+	}
+	if len(seg) < 6+3*n {
+		return FormatError("short SOF component list")
+	}
+	h.Components = make([]Component, n)
+	h.hMax, h.vMax = 1, 1
+	for i := 0; i < n; i++ {
+		c := seg[6+3*i : 9+3*i]
+		comp := Component{ID: c[0], H: int(c[1] >> 4), V: int(c[1] & 0x0F), QuantID: c[2]}
+		if comp.H < 1 || comp.H > 2 || comp.V < 1 || comp.V > 2 {
+			return UnsupportedError("sampling factor outside 1..2")
+		}
+		if comp.QuantID > 3 {
+			return FormatError("quant table selector > 3")
+		}
+		for j := 0; j < i; j++ {
+			if h.Components[j].ID == comp.ID {
+				return FormatError("duplicate component ID")
+			}
+		}
+		if comp.H > h.hMax {
+			h.hMax = comp.H
+		}
+		if comp.V > h.vMax {
+			h.vMax = comp.V
+		}
+		h.Components[i] = comp
+	}
+	if n == 1 {
+		// A single-component frame is decoded non-interleaved; sampling
+		// factors are irrelevant and normalising them simplifies layout.
+		h.Components[0].H, h.Components[0].V = 1, 1
+		h.hMax, h.vMax = 1, 1
+	}
+	h.mcusX = ceilDiv(h.Width, 8*h.hMax)
+	h.mcusY = ceilDiv(h.Height, 8*h.vMax)
+	return nil
+}
+
+func (h *Header) parseDQT(seg []byte) error {
+	for len(seg) > 0 {
+		pq := seg[0] >> 4
+		tq := seg[0] & 0x0F
+		if tq > 3 {
+			return FormatError("quant table id > 3")
+		}
+		var q QuantTable
+		switch pq {
+		case 0:
+			if len(seg) < 1+64 {
+				return FormatError("short 8-bit DQT")
+			}
+			for z := 0; z < 64; z++ {
+				q[zigzag[z]] = uint16(seg[1+z])
+			}
+			seg = seg[65:]
+		case 1:
+			if len(seg) < 1+128 {
+				return FormatError("short 16-bit DQT")
+			}
+			for z := 0; z < 64; z++ {
+				q[zigzag[z]] = uint16(u16(seg[1+2*z:]))
+			}
+			seg = seg[129:]
+		default:
+			return FormatError("bad quant precision")
+		}
+		for _, v := range q {
+			if v == 0 {
+				return FormatError("zero quantiser")
+			}
+		}
+		qq := q
+		h.quant[tq] = &qq
+	}
+	return nil
+}
+
+func (h *Header) parseDHT(seg []byte) error {
+	for len(seg) > 0 {
+		if len(seg) < 17 {
+			return FormatError("short DHT")
+		}
+		class := seg[0] >> 4
+		id := seg[0] & 0x0F
+		if class > 1 || id > 3 {
+			return FormatError("bad DHT class/id")
+		}
+		spec := HuffmanSpec{}
+		copy(spec.Counts[:], seg[1:17])
+		n := spec.totalCodes()
+		if len(seg) < 17+n {
+			return FormatError("short DHT values")
+		}
+		spec.Values = append([]byte(nil), seg[17:17+n]...)
+		dec, err := newHuffDecoder(&spec)
+		if err != nil {
+			return err
+		}
+		if class == 0 {
+			h.dcHuff[id] = dec
+		} else {
+			h.acHuff[id] = dec
+		}
+		seg = seg[17+n:]
+	}
+	return nil
+}
+
+func (h *Header) parseSOS(seg []byte) error {
+	if len(seg) < 1 {
+		return FormatError("short SOS")
+	}
+	ns := int(seg[0])
+	if ns != len(h.Components) {
+		return UnsupportedError("scan does not cover all frame components in one pass")
+	}
+	if len(seg) < 1+2*ns+3 {
+		return FormatError("short SOS parameters")
+	}
+	for i := 0; i < ns; i++ {
+		id := seg[1+2*i]
+		sel := seg[2+2*i]
+		found := false
+		for j := range h.Components {
+			if h.Components[j].ID == id {
+				h.Components[j].dcSel = sel >> 4
+				h.Components[j].acSel = sel & 0x0F
+				if h.Components[j].dcSel > 3 || h.Components[j].acSel > 3 {
+					return FormatError("huffman selector > 3")
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return FormatError("scan references unknown component")
+		}
+	}
+	// Spectral selection / successive approximation must be the baseline
+	// constants (0, 63, 0, 0).
+	ss, se, ahAl := seg[1+2*ns], seg[2+2*ns], seg[3+2*ns]
+	if ss != 0 || se != 63 || ahAl != 0 {
+		return UnsupportedError("non-baseline spectral selection")
+	}
+	return nil
+}
+
+// EntropyDecode runs the Huffman decoding unit over the captured scan,
+// producing quantised coefficient blocks per component. This is stage 1
+// of the FPGA pipeline.
+func (h *Header) EntropyDecode() (*Coefficients, error) {
+	for _, c := range h.Components {
+		if h.quant[c.QuantID] == nil {
+			return nil, FormatError("missing quant table")
+		}
+		if h.dcHuff[c.dcSel] == nil || h.acHuff[c.acSel] == nil {
+			return nil, FormatError("missing huffman table")
+		}
+	}
+	co := newCoefficients(h)
+	r := newBitReader(h.scan)
+	dcPred := make([]int32, len(h.Components))
+	mcus := h.mcusX * h.mcusY
+	sinceRestart := 0
+	nextRST := byte(mRST0)
+	for m := 0; m < mcus; m++ {
+		if h.RestartInterval > 0 && sinceRestart == h.RestartInterval {
+			if err := h.expectRestart(r, nextRST); err != nil {
+				return nil, err
+			}
+			nextRST = mRST0 + (nextRST-mRST0+1)%8
+			for i := range dcPred {
+				dcPred[i] = 0
+			}
+			sinceRestart = 0
+		}
+		my, mx := m/h.mcusX, m%h.mcusX
+		for i := range h.Components {
+			c := &h.Components[i]
+			for v := 0; v < c.V; v++ {
+				for hh := 0; hh < c.H; hh++ {
+					bx := mx*c.H + hh
+					by := my*c.V + v
+					blk := &co.comp[i][by*co.blocksX[i]+bx]
+					if err := h.decodeBlock(r, i, blk, &dcPred[i]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		sinceRestart++
+	}
+	return co, nil
+}
+
+// newCoefficients allocates the padded per-component coefficient grids.
+func newCoefficients(h *Header) *Coefficients {
+	co := &Coefficients{hdr: h}
+	nc := len(h.Components)
+	co.comp = make([][]block, nc)
+	co.blocksX = make([]int, nc)
+	co.blocksY = make([]int, nc)
+	for i, c := range h.Components {
+		co.blocksX[i] = h.mcusX * c.H
+		co.blocksY[i] = h.mcusY * c.V
+		co.comp[i] = make([]block, co.blocksX[i]*co.blocksY[i])
+	}
+	return co
+}
+
+// expectRestart consumes the next restart marker, resynchronising the bit
+// reader.
+func (h *Header) expectRestart(r *bitReader, want byte) error {
+	m, err := r.nextMarker()
+	if err != nil {
+		return errShortData
+	}
+	if m != want {
+		return FormatError("restart marker out of sequence")
+	}
+	return nil
+}
+
+// decodeBlock decodes one 8×8 block of quantised levels into blk, in
+// natural order.
+func (h *Header) decodeBlock(r *bitReader, comp int, blk *block, dcPred *int32) error {
+	c := &h.Components[comp]
+	dcTab := h.dcHuff[c.dcSel]
+	acTab := h.acHuff[c.acSel]
+	*blk = block{}
+	// DC coefficient: category then difference bits.
+	t, err := dcTab.decode(r)
+	if err != nil {
+		return err
+	}
+	if t > 11 {
+		return FormatError("DC category > 11")
+	}
+	diffBits, err := r.readBits(int(t))
+	if err != nil {
+		return err
+	}
+	*dcPred += extend(diffBits, int(t))
+	blk[0] = *dcPred
+	// AC coefficients: run-length / size pairs in zig-zag order.
+	for z := 1; z < 64; {
+		sym, err := acTab.decode(r)
+		if err != nil {
+			return err
+		}
+		run, size := int(sym>>4), int(sym&0x0F)
+		switch {
+		case size == 0 && run == 0: // EOB
+			return nil
+		case size == 0 && run == 15: // ZRL: sixteen zeros
+			z += 16
+		case size == 0:
+			return FormatError("bad AC symbol")
+		default:
+			z += run
+			if z > 63 {
+				return FormatError("AC run beyond block")
+			}
+			bits, err := r.readBits(size)
+			if err != nil {
+				return err
+			}
+			blk[zigzag[z]] = extend(bits, size)
+			z++
+		}
+	}
+	return nil
+}
+
+// Reconstruct dequantises and inverse-transforms every block, producing
+// padded sample planes. This is stage 2 of the FPGA pipeline (the iDCT
+// unit).
+func (co *Coefficients) Reconstruct() (*Planes, error) {
+	h := co.hdr
+	p := &Planes{hdr: h}
+	nc := len(h.Components)
+	p.data = make([][]byte, nc)
+	p.stride = make([]int, nc)
+	p.rows = make([]int, nc)
+	for i := range h.Components {
+		q := h.quant[h.Components[i].QuantID]
+		if q == nil {
+			return nil, FormatError("missing quant table")
+		}
+		stride := co.blocksX[i] * 8
+		rows := co.blocksY[i] * 8
+		plane := make([]byte, stride*rows)
+		var deq block
+		var samples [64]byte
+		for by := 0; by < co.blocksY[i]; by++ {
+			for bx := 0; bx < co.blocksX[i]; bx++ {
+				blk := &co.comp[i][by*co.blocksX[i]+bx]
+				dequantize(blk, q, &deq)
+				idct(&deq, &samples)
+				for y := 0; y < 8; y++ {
+					copy(plane[(by*8+y)*stride+bx*8:], samples[y*8:y*8+8])
+				}
+			}
+		}
+		p.data[i] = plane
+		p.stride[i] = stride
+		p.rows[i] = rows
+	}
+	return p, nil
+}
+
+// ToImage upsamples the component planes to full resolution and converts
+// to interleaved RGB (or grayscale) — stage 3, feeding the resizer.
+func (p *Planes) ToImage() *pix.Image {
+	h := p.hdr
+	if len(h.Components) == 1 {
+		img := pix.New(h.Width, h.Height, 1)
+		for y := 0; y < h.Height; y++ {
+			copy(img.Pix[y*h.Width:(y+1)*h.Width], p.data[0][y*p.stride[0]:y*p.stride[0]+h.Width])
+		}
+		return img
+	}
+	img := pix.New(h.Width, h.Height, 3)
+	// Per-component subsampling shifts: components with H (V) of 1 under
+	// hMax (vMax) of 2 halve the x (y) index.
+	var shx, shy [3]uint
+	for i, c := range h.Components {
+		if h.hMax/c.H == 2 {
+			shx[i] = 1
+		}
+		if h.vMax/c.V == 2 {
+			shy[i] = 1
+		}
+	}
+	out := img.Pix
+	for y := 0; y < h.Height; y++ {
+		yRow := p.data[0][(y>>shy[0])*p.stride[0]:]
+		cbRow := p.data[1][(y>>shy[1])*p.stride[1]:]
+		crRow := p.data[2][(y>>shy[2])*p.stride[2]:]
+		o := y * h.Width * 3
+		for x := 0; x < h.Width; x++ {
+			r, g, b := ycbcrToRGB(yRow[x>>shx[0]], cbRow[x>>shx[1]], crRow[x>>shx[2]])
+			out[o] = r
+			out[o+1] = g
+			out[o+2] = b
+			o += 3
+		}
+	}
+	return img
+}
+
+// ErrProgressive is returned by Parse for SOF2 streams: the staged
+// single-scan pipeline (and the FPGA decoder mirroring it — hardware
+// JPEG decoders are baseline-only, including the paper's) cannot run a
+// multi-scan frame. Decode handles such streams in software via the
+// multi-scan decoder in progressive.go.
+var ErrProgressive = UnsupportedError("progressive JPEG requires the multi-scan decoder")
+
+// DecodeOriented decodes and then uprights the image per its EXIF
+// orientation, the behaviour an inference front end wants for phone
+// uploads (Figure 1's clients).
+func DecodeOriented(data []byte) (*pix.Image, error) {
+	cfg, err := DecodeConfig(data)
+	if err != nil {
+		return nil, err
+	}
+	img, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return imageproc.ApplyOrientation(img, cfg.Orientation)
+}
+
+// Decode runs the full three-stage pipeline on a JPEG stream, or the
+// multi-scan software decoder for progressive streams.
+func Decode(data []byte) (*pix.Image, error) {
+	h, err := Parse(data)
+	if err == ErrProgressive {
+		return decodeProgressive(data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	co, err := h.EntropyDecode()
+	if err != nil {
+		return nil, err
+	}
+	p, err := co.Reconstruct()
+	if err != nil {
+		return nil, err
+	}
+	return p.ToImage(), nil
+}
+
+// Config reports image geometry without decoding pixel data.
+type Config struct {
+	Width, Height, Components int
+	// Orientation is the EXIF orientation (1–8), 0 when absent.
+	Orientation int
+}
+
+// DecodeConfig parses only as far as needed to learn the geometry
+// (progressive streams included).
+func DecodeConfig(data []byte) (Config, error) {
+	h, err := Parse(data)
+	if err != nil && err != ErrProgressive {
+		return Config{}, err
+	}
+	return Config{Width: h.Width, Height: h.Height, Components: len(h.Components), Orientation: h.Orientation}, nil
+}

@@ -1,0 +1,469 @@
+package jpeg
+
+import (
+	"fmt"
+
+	"dlbooster/internal/pix"
+)
+
+// EncodeOptions controls the encoder. The zero value is not valid;
+// DefaultEncodeOptions supplies the common case.
+type EncodeOptions struct {
+	// Quality scales the Annex K quantisation tables, 1–100 (50 = the
+	// unscaled standard tables).
+	Quality int
+	// Subsample420 encodes colour images with 2×2-subsampled chroma
+	// (4:2:0), the layout of virtually all photographic JPEGs including
+	// the paper's 500×375 inference workload.
+	Subsample420 bool
+	// Subsample422 encodes with horizontally subsampled chroma (4:2:2).
+	// At most one of Subsample420/Subsample422 may be set; neither means
+	// 4:4:4.
+	Subsample422 bool
+	// RestartInterval, when positive, inserts RSTn markers every that
+	// many MCUs. Restart markers are what let a hardware decoder split
+	// one image across parallel Huffman channels.
+	RestartInterval int
+	// Orientation, when 1–8, writes an EXIF APP1 segment with the
+	// Orientation tag (the camera's "this image is rotated" note).
+	Orientation int
+}
+
+// DefaultEncodeOptions matches common camera/tool output.
+func DefaultEncodeOptions() EncodeOptions {
+	return EncodeOptions{Quality: 88, Subsample420: true}
+}
+
+// Encode serialises img as a baseline JFIF stream.
+func Encode(img *pix.Image, opt EncodeOptions) ([]byte, error) {
+	if img == nil || len(img.Pix) != img.W*img.H*img.C {
+		return nil, fmt.Errorf("jpeg: malformed image")
+	}
+	if err := checkComponents(img.C); err != nil {
+		return nil, err
+	}
+	if img.W >= 1<<16 || img.H >= 1<<16 {
+		return nil, fmt.Errorf("jpeg: image %dx%d exceeds 16-bit dimensions", img.W, img.H)
+	}
+	if opt.Quality < 1 || opt.Quality > 100 {
+		return nil, fmt.Errorf("jpeg: quality %d outside 1..100", opt.Quality)
+	}
+	if opt.Subsample420 && opt.Subsample422 {
+		return nil, fmt.Errorf("jpeg: choose at most one of 4:2:0 and 4:2:2")
+	}
+	e := &encoder{img: img, opt: opt}
+	return e.encode()
+}
+
+type encoder struct {
+	img *pix.Image
+	opt EncodeOptions
+	out []byte
+
+	lumaQ   QuantTable
+	chromaQ QuantTable
+
+	dcLuma, acLuma, dcChroma, acChroma *huffEncoder
+}
+
+func (e *encoder) encode() ([]byte, error) {
+	e.lumaQ = scaledQuant(&stdLumaQuant, e.opt.Quality)
+	e.chromaQ = scaledQuant(&stdChromaQuant, e.opt.Quality)
+	var err error
+	if e.dcLuma, err = newHuffEncoder(&stdDCLumaSpec); err != nil {
+		return nil, err
+	}
+	if e.acLuma, err = newHuffEncoder(&stdACLumaSpec); err != nil {
+		return nil, err
+	}
+	if e.dcChroma, err = newHuffEncoder(&stdDCChromaSpec); err != nil {
+		return nil, err
+	}
+	if e.acChroma, err = newHuffEncoder(&stdACChromaSpec); err != nil {
+		return nil, err
+	}
+
+	e.marker(mSOI, nil)
+	e.appJFIF()
+	if e.opt.Orientation >= 1 && e.opt.Orientation <= 8 {
+		e.marker(mAPP1, exifAPP1(e.opt.Orientation))
+	}
+	e.writeDQT()
+	e.writeSOF()
+	e.writeDHT()
+	if e.opt.RestartInterval > 0 {
+		e.marker(mDRI, []byte{byte(e.opt.RestartInterval >> 8), byte(e.opt.RestartInterval)})
+	}
+	if err := e.writeScan(); err != nil {
+		return nil, err
+	}
+	e.marker(mEOI, nil)
+	return e.out, nil
+}
+
+// marker appends marker m with an optional length-prefixed payload.
+func (e *encoder) marker(m byte, payload []byte) {
+	e.out = append(e.out, 0xFF, m)
+	if payload != nil {
+		n := len(payload) + 2
+		e.out = append(e.out, byte(n>>8), byte(n))
+		e.out = append(e.out, payload...)
+	}
+}
+
+func (e *encoder) appJFIF() {
+	e.marker(mAPP0, []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0})
+}
+
+func (e *encoder) writeDQT() {
+	seg := make([]byte, 0, 2*65)
+	seg = append(seg, 0x00) // Pq=0, Tq=0
+	for z := 0; z < 64; z++ {
+		seg = append(seg, byte(e.lumaQ[zigzag[z]]))
+	}
+	if e.img.C == 3 {
+		seg = append(seg, 0x01) // Pq=0, Tq=1
+		for z := 0; z < 64; z++ {
+			seg = append(seg, byte(e.chromaQ[zigzag[z]]))
+		}
+	}
+	e.marker(mDQT, seg)
+}
+
+func (e *encoder) writeSOF() {
+	n := e.img.C
+	seg := []byte{8, byte(e.img.H >> 8), byte(e.img.H), byte(e.img.W >> 8), byte(e.img.W), byte(n)}
+	if n == 1 {
+		seg = append(seg, 1, 0x11, 0)
+	} else {
+		samp := byte(0x11)
+		if e.opt.Subsample420 {
+			samp = 0x22
+		} else if e.opt.Subsample422 {
+			samp = 0x21
+		}
+		seg = append(seg,
+			1, samp, 0,
+			2, 0x11, 1,
+			3, 0x11, 1)
+	}
+	e.marker(mSOF0, seg)
+}
+
+func (e *encoder) writeDHT() {
+	put := func(seg []byte, class, id byte, spec *HuffmanSpec) []byte {
+		seg = append(seg, class<<4|id)
+		seg = append(seg, spec.Counts[:]...)
+		return append(seg, spec.Values...)
+	}
+	var seg []byte
+	seg = put(seg, 0, 0, &stdDCLumaSpec)
+	seg = put(seg, 1, 0, &stdACLumaSpec)
+	if e.img.C == 3 {
+		seg = put(seg, 0, 1, &stdDCChromaSpec)
+		seg = put(seg, 1, 1, &stdACChromaSpec)
+	}
+	e.marker(mDHT, seg)
+}
+
+func (e *encoder) writeScan() error {
+	n := e.img.C
+	seg := []byte{byte(n)}
+	seg = append(seg, 1, 0x00)
+	if n == 3 {
+		seg = append(seg, 2, 0x11, 3, 0x11)
+	}
+	seg = append(seg, 0, 63, 0)
+	e.marker(mSOS, seg)
+	var body []byte
+	var err error
+	switch {
+	case n == 1:
+		body, err = e.encodeGray()
+	case e.opt.Subsample420:
+		body, err = e.encode420()
+	case e.opt.Subsample422:
+		body, err = e.encode422()
+	default:
+		body, err = e.encode444()
+	}
+	if err != nil {
+		return err
+	}
+	e.out = append(e.out, body...)
+	return nil
+}
+
+// loadBlock copies an 8×8 window of plane samples starting at (px, py)
+// into dst, replicating edge samples beyond the image boundary as T.81
+// recommends.
+func loadBlock(plane []byte, w, h, px, py int, dst *[64]byte) {
+	for y := 0; y < 8; y++ {
+		sy := py + y
+		if sy >= h {
+			sy = h - 1
+		}
+		row := plane[sy*w:]
+		for x := 0; x < 8; x++ {
+			sx := px + x
+			if sx >= w {
+				sx = w - 1
+			}
+			dst[y*8+x] = row[sx]
+		}
+	}
+}
+
+// encodeBlock transforms, quantises and entropy-codes one block.
+func (e *encoder) encodeBlock(w *bitWriter, samples *[64]byte, q *QuantTable, dc, ac *huffEncoder, dcPred *int32) error {
+	var coef, levels block
+	fdct(samples, &coef)
+	quantize(&coef, q, &levels)
+	// DC difference.
+	diff := levels[0] - *dcPred
+	*dcPred = levels[0]
+	ssss := bitLength(diff)
+	if err := dc.emit(w, byte(ssss)); err != nil {
+		return err
+	}
+	if ssss > 0 {
+		v := diff
+		if v < 0 {
+			v += (1 << ssss) - 1
+		}
+		w.writeBits(uint32(v), ssss)
+	}
+	// AC run-lengths in zig-zag order.
+	run := 0
+	for z := 1; z < 64; z++ {
+		v := levels[zigzag[z]]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			if err := ac.emit(w, 0xF0); err != nil {
+				return err
+			}
+			run -= 16
+		}
+		size := bitLength(v)
+		if err := ac.emit(w, byte(run<<4|size)); err != nil {
+			return err
+		}
+		bits := v
+		if bits < 0 {
+			bits += (1 << size) - 1
+		}
+		w.writeBits(uint32(bits), size)
+		run = 0
+	}
+	if run > 0 {
+		if err := ac.emit(w, 0x00); err != nil { // EOB
+			return err
+		}
+	}
+	return nil
+}
+
+// restarter tracks restart-marker emission across MCUs.
+type restarter struct {
+	interval int
+	since    int
+	next     byte
+}
+
+// maybeRestart emits a restart marker if the interval has elapsed,
+// returning true (so the caller resets DC predictors).
+func (rs *restarter) maybeRestart(w *bitWriter, out *[]byte) bool {
+	if rs.interval <= 0 || rs.since < rs.interval {
+		return false
+	}
+	*out = append(*out, w.flush()...)
+	*w = bitWriter{}
+	*out = append(*out, 0xFF, mRST0+rs.next)
+	rs.next = (rs.next + 1) % 8
+	rs.since = 0
+	return true
+}
+
+func (e *encoder) encodeGray() ([]byte, error) {
+	w := &bitWriter{}
+	var out []byte
+	var dcPred int32
+	rs := restarter{interval: e.opt.RestartInterval}
+	var samples [64]byte
+	for by := 0; by < ceilDiv(e.img.H, 8); by++ {
+		for bx := 0; bx < ceilDiv(e.img.W, 8); bx++ {
+			if rs.maybeRestart(w, &out) {
+				dcPred = 0
+			}
+			loadBlock(e.img.Pix, e.img.W, e.img.H, bx*8, by*8, &samples)
+			if err := e.encodeBlock(w, &samples, &e.lumaQ, e.dcLuma, e.acLuma, &dcPred); err != nil {
+				return nil, err
+			}
+			rs.since++
+		}
+	}
+	return append(out, w.flush()...), nil
+}
+
+// toYCbCrPlanes converts the RGB image into full-resolution Y, Cb, Cr
+// planes.
+func (e *encoder) toYCbCrPlanes() (yp, cb, cr []byte) {
+	w, h := e.img.W, e.img.H
+	yp = make([]byte, w*h)
+	cb = make([]byte, w*h)
+	cr = make([]byte, w*h)
+	src := e.img.Pix
+	for i := 0; i < w*h; i++ {
+		y, b, r := rgbToYCbCr(src[3*i], src[3*i+1], src[3*i+2])
+		yp[i], cb[i], cr[i] = y, b, r
+	}
+	return yp, cb, cr
+}
+
+func (e *encoder) encode444() ([]byte, error) {
+	yp, cb, cr := e.toYCbCrPlanes()
+	w := &bitWriter{}
+	var out []byte
+	var dcY, dcCb, dcCr int32
+	rs := restarter{interval: e.opt.RestartInterval}
+	var samples [64]byte
+	for by := 0; by < ceilDiv(e.img.H, 8); by++ {
+		for bx := 0; bx < ceilDiv(e.img.W, 8); bx++ {
+			if rs.maybeRestart(w, &out) {
+				dcY, dcCb, dcCr = 0, 0, 0
+			}
+			loadBlock(yp, e.img.W, e.img.H, bx*8, by*8, &samples)
+			if err := e.encodeBlock(w, &samples, &e.lumaQ, e.dcLuma, e.acLuma, &dcY); err != nil {
+				return nil, err
+			}
+			loadBlock(cb, e.img.W, e.img.H, bx*8, by*8, &samples)
+			if err := e.encodeBlock(w, &samples, &e.chromaQ, e.dcChroma, e.acChroma, &dcCb); err != nil {
+				return nil, err
+			}
+			loadBlock(cr, e.img.W, e.img.H, bx*8, by*8, &samples)
+			if err := e.encodeBlock(w, &samples, &e.chromaQ, e.dcChroma, e.acChroma, &dcCr); err != nil {
+				return nil, err
+			}
+			rs.since++
+		}
+	}
+	return append(out, w.flush()...), nil
+}
+
+// subsample2x2 box-filters a full-resolution plane down by 2 in each axis.
+func subsample2x2(src []byte, w, h int) (dst []byte, dw, dh int) {
+	dw, dh = ceilDiv(w, 2), ceilDiv(h, 2)
+	dst = make([]byte, dw*dh)
+	for y := 0; y < dh; y++ {
+		y0 := 2 * y
+		y1 := y0 + 1
+		if y1 >= h {
+			y1 = h - 1
+		}
+		for x := 0; x < dw; x++ {
+			x0 := 2 * x
+			x1 := x0 + 1
+			if x1 >= w {
+				x1 = w - 1
+			}
+			s := int(src[y0*w+x0]) + int(src[y0*w+x1]) + int(src[y1*w+x0]) + int(src[y1*w+x1])
+			dst[y*dw+x] = byte((s + 2) / 4)
+		}
+	}
+	return dst, dw, dh
+}
+
+// subsample2x1 box-filters a plane down by 2 horizontally (4:2:2).
+func subsample2x1(src []byte, w, h int) (dst []byte, dw, dh int) {
+	dw, dh = ceilDiv(w, 2), h
+	dst = make([]byte, dw*dh)
+	for y := 0; y < h; y++ {
+		for x := 0; x < dw; x++ {
+			x0 := 2 * x
+			x1 := x0 + 1
+			if x1 >= w {
+				x1 = w - 1
+			}
+			s := int(src[y*w+x0]) + int(src[y*w+x1])
+			dst[y*dw+x] = byte((s + 1) / 2)
+		}
+	}
+	return dst, dw, dh
+}
+
+func (e *encoder) encode422() ([]byte, error) {
+	yp, cbFull, crFull := e.toYCbCrPlanes()
+	cb, cw, ch := subsample2x1(cbFull, e.img.W, e.img.H)
+	cr, _, _ := subsample2x1(crFull, e.img.W, e.img.H)
+	w := &bitWriter{}
+	var out []byte
+	var dcY, dcCb, dcCr int32
+	rs := restarter{interval: e.opt.RestartInterval}
+	var samples [64]byte
+	mcusX, mcusY := ceilDiv(e.img.W, 16), ceilDiv(e.img.H, 8)
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			if rs.maybeRestart(w, &out) {
+				dcY, dcCb, dcCr = 0, 0, 0
+			}
+			// Two luma blocks per MCU (2×1), then one of each chroma.
+			for hh := 0; hh < 2; hh++ {
+				loadBlock(yp, e.img.W, e.img.H, mx*16+hh*8, my*8, &samples)
+				if err := e.encodeBlock(w, &samples, &e.lumaQ, e.dcLuma, e.acLuma, &dcY); err != nil {
+					return nil, err
+				}
+			}
+			loadBlock(cb, cw, ch, mx*8, my*8, &samples)
+			if err := e.encodeBlock(w, &samples, &e.chromaQ, e.dcChroma, e.acChroma, &dcCb); err != nil {
+				return nil, err
+			}
+			loadBlock(cr, cw, ch, mx*8, my*8, &samples)
+			if err := e.encodeBlock(w, &samples, &e.chromaQ, e.dcChroma, e.acChroma, &dcCr); err != nil {
+				return nil, err
+			}
+			rs.since++
+		}
+	}
+	return append(out, w.flush()...), nil
+}
+
+func (e *encoder) encode420() ([]byte, error) {
+	yp, cbFull, crFull := e.toYCbCrPlanes()
+	cb, cw, ch := subsample2x2(cbFull, e.img.W, e.img.H)
+	cr, _, _ := subsample2x2(crFull, e.img.W, e.img.H)
+	w := &bitWriter{}
+	var out []byte
+	var dcY, dcCb, dcCr int32
+	rs := restarter{interval: e.opt.RestartInterval}
+	var samples [64]byte
+	mcusX, mcusY := ceilDiv(e.img.W, 16), ceilDiv(e.img.H, 16)
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			if rs.maybeRestart(w, &out) {
+				dcY, dcCb, dcCr = 0, 0, 0
+			}
+			// Four luma blocks per MCU (2×2), then one of each chroma.
+			for v := 0; v < 2; v++ {
+				for hh := 0; hh < 2; hh++ {
+					loadBlock(yp, e.img.W, e.img.H, mx*16+hh*8, my*16+v*8, &samples)
+					if err := e.encodeBlock(w, &samples, &e.lumaQ, e.dcLuma, e.acLuma, &dcY); err != nil {
+						return nil, err
+					}
+				}
+			}
+			loadBlock(cb, cw, ch, mx*8, my*8, &samples)
+			if err := e.encodeBlock(w, &samples, &e.chromaQ, e.dcChroma, e.acChroma, &dcCb); err != nil {
+				return nil, err
+			}
+			loadBlock(cr, cw, ch, mx*8, my*8, &samples)
+			if err := e.encodeBlock(w, &samples, &e.chromaQ, e.dcChroma, e.acChroma, &dcCr); err != nil {
+				return nil, err
+			}
+			rs.since++
+		}
+	}
+	return append(out, w.flush()...), nil
+}

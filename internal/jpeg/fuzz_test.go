@@ -1,0 +1,54 @@
+package jpeg
+
+import "testing"
+
+// Native fuzz targets: the decoder must never panic on arbitrary bytes.
+// Seeds cover baseline and progressive streams in all supported modes;
+// `go test -fuzz=FuzzDecode ./internal/jpeg` explores further.
+
+func FuzzDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Decode(data)
+		if err == nil && img != nil {
+			if img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H*img.C {
+				t.Fatalf("decoded image with inconsistent geometry %dx%dx%d (%d bytes)", img.W, img.H, img.C, len(img.Pix))
+			}
+		}
+	})
+}
+
+func FuzzDecodeConfig(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeConfig(data)
+	})
+}
+
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	img := smoothImage(24, 16, 3, 1)
+	gray := smoothImage(24, 16, 1, 2)
+	for _, opt := range []EncodeOptions{
+		{Quality: 90},
+		{Quality: 60, Subsample420: true},
+		{Quality: 90, RestartInterval: 2},
+	} {
+		if b, err := Encode(img, opt); err == nil {
+			seeds = append(seeds, b)
+		}
+		if b, err := EncodeProgressive(img, opt); err == nil {
+			seeds = append(seeds, b)
+		}
+	}
+	if b, err := Encode(gray, EncodeOptions{Quality: 85}); err == nil {
+		seeds = append(seeds, b)
+	}
+	seeds = append(seeds, []byte{0xFF, 0xD8}, nil)
+	return seeds
+}

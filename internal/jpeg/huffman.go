@@ -1,0 +1,172 @@
+package jpeg
+
+// Huffman coding per ITU-T T.81 Annex C/F. A table is specified exactly
+// as it travels in a DHT segment: counts[i] codes of length i+1 bits, and
+// the symbol values in code order. Decoder and encoder both derive their
+// working form from that canonical spec, so a table can round-trip
+// through a bitstream unchanged.
+
+// HuffmanSpec is the canonical (DHT-segment) form of a Huffman table.
+type HuffmanSpec struct {
+	Counts [16]byte // Counts[i]: number of codes of length i+1 bits
+	Values []byte   // symbols in increasing code order
+}
+
+// totalCodes returns the number of codes the spec defines.
+func (s *HuffmanSpec) totalCodes() int {
+	n := 0
+	for _, c := range s.Counts {
+		n += int(c)
+	}
+	return n
+}
+
+// validate checks the structural constraints of T.81 §C.2.
+func (s *HuffmanSpec) validate() error {
+	n := s.totalCodes()
+	if n == 0 || n > 256 {
+		return FormatError("huffman table with bad code count")
+	}
+	if n != len(s.Values) {
+		return FormatError("huffman counts do not match value count")
+	}
+	// The code space must not be over-subscribed: assigning codes in
+	// canonical order may never exceed 2^length.
+	code := 0
+	for i, c := range s.Counts {
+		code += int(c)
+		if code > 1<<(i+1) {
+			return FormatError("huffman table over-subscribed")
+		}
+		code <<= 1
+	}
+	return nil
+}
+
+// lutBits is the width of the fast decoder lookup: codes at most this
+// long decode in a single table index, mirroring the parallel lookup a
+// hardware Huffman unit performs per cycle.
+const lutBits = 8
+
+// huffDecoder is the decoding form: a fast 8-bit lookahead table plus the
+// canonical min/max-code arrays for longer codes.
+type huffDecoder struct {
+	// lut[peek] = (symbol << 8) | codeLength, or 0 when the prefix is
+	// longer than lutBits.
+	lut [1 << lutBits]uint16
+	// For code length l (1-based): minCode[l] and maxCode[l] bound the
+	// canonical codes of that length; valPtr[l] indexes Values at the
+	// first code of that length. maxCode[l] == -1 when no codes.
+	minCode [17]int32
+	maxCode [17]int32
+	valPtr  [17]int32
+	values  []byte
+}
+
+// newHuffDecoder derives the decoding tables from a validated spec.
+func newHuffDecoder(spec *HuffmanSpec) (*huffDecoder, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	d := &huffDecoder{values: spec.Values}
+	code := int32(0)
+	k := int32(0)
+	for l := 1; l <= 16; l++ {
+		n := int32(spec.Counts[l-1])
+		if n == 0 {
+			d.minCode[l] = 0
+			d.maxCode[l] = -1
+			d.valPtr[l] = 0
+		} else {
+			d.minCode[l] = code
+			d.maxCode[l] = code + n - 1
+			d.valPtr[l] = k
+			if l <= lutBits {
+				for c := int32(0); c < n; c++ {
+					base := (code + c) << (lutBits - l)
+					entry := uint16(spec.Values[k+c])<<8 | uint16(l)
+					for p := int32(0); p < 1<<(lutBits-l); p++ {
+						d.lut[base+p] = entry
+					}
+				}
+			}
+			k += n
+			code += n
+		}
+		code <<= 1
+	}
+	return d, nil
+}
+
+// decode reads one Huffman-coded symbol from r.
+func (d *huffDecoder) decode(r *bitReader) (byte, error) {
+	if peek, avail := r.peekBits(lutBits); avail == lutBits {
+		if entry := d.lut[peek]; entry != 0 {
+			r.skipBits(int(entry & 0xFF))
+			return byte(entry >> 8), nil
+		}
+	}
+	// Slow path: extend the code bit by bit (also taken near the end of
+	// the stream where fewer than lutBits bits remain).
+	code := int32(0)
+	for l := 1; l <= 16; l++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | int32(bit)
+		if d.maxCode[l] >= 0 && code <= d.maxCode[l] && code >= d.minCode[l] {
+			return d.values[d.valPtr[l]+code-d.minCode[l]], nil
+		}
+	}
+	return 0, FormatError("invalid huffman code")
+}
+
+// huffEncoder is the encoding form: code and length per symbol.
+type huffEncoder struct {
+	code [256]uint32
+	size [256]uint8
+}
+
+// newHuffEncoder derives the encoding tables from a validated spec.
+func newHuffEncoder(spec *HuffmanSpec) (*huffEncoder, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	e := &huffEncoder{}
+	code := uint32(0)
+	k := 0
+	for l := 1; l <= 16; l++ {
+		for i := 0; i < int(spec.Counts[l-1]); i++ {
+			v := spec.Values[k]
+			e.code[v] = code
+			e.size[v] = uint8(l)
+			code++
+			k++
+		}
+		code <<= 1
+	}
+	return e, nil
+}
+
+// emit writes the code for symbol v.
+func (e *huffEncoder) emit(w *bitWriter, v byte) error {
+	if e.size[v] == 0 {
+		return FormatError("symbol absent from huffman table")
+	}
+	w.writeBits(e.code[v], int(e.size[v]))
+	return nil
+}
+
+// bitLength returns the number of magnitude bits (SSSS) needed for v.
+func bitLength(v int32) int {
+	if v < 0 {
+		v = -v
+	}
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}

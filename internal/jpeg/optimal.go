@@ -1,0 +1,109 @@
+package jpeg
+
+// Optimal Huffman table generation per ITU-T T.81 Annex K.2 (the
+// algorithm libjpeg uses). Progressive scans emit EOBn symbols that the
+// Annex K example tables do not contain, so the progressive encoder
+// counts each scan's symbols and derives a custom table — which is also
+// why real-world progressive files always carry optimised tables.
+
+const maxCodeLen = 32 // longest code before the 16-bit limiting pass
+
+// optimalSpec derives a Huffman table from symbol frequencies. A pseudo
+// symbol (index 256) with frequency 1 guarantees that no real symbol is
+// assigned the all-ones code, as T.81 requires.
+func optimalSpec(freqIn *[256]int) (*HuffmanSpec, error) {
+	var freq [257]int
+	copy(freq[:], freqIn[:])
+	freq[256] = 1
+
+	var codesize [257]int
+	var others [257]int
+	for i := range others {
+		others[i] = -1
+	}
+
+	// Pair the two least-frequent trees until one remains.
+	for {
+		c1, c2 := -1, -1
+		v := int(^uint(0) >> 1)
+		for i := 0; i <= 256; i++ {
+			if freq[i] != 0 && freq[i] <= v {
+				v = freq[i]
+				c1 = i
+			}
+		}
+		v = int(^uint(0) >> 1)
+		for i := 0; i <= 256; i++ {
+			if freq[i] != 0 && freq[i] <= v && i != c1 {
+				v = freq[i]
+				c2 = i
+			}
+		}
+		if c2 < 0 {
+			break
+		}
+		freq[c1] += freq[c2]
+		freq[c2] = 0
+		codesize[c1]++
+		for others[c1] >= 0 {
+			c1 = others[c1]
+			codesize[c1]++
+		}
+		others[c1] = c2
+		codesize[c2]++
+		for others[c2] >= 0 {
+			c2 = others[c2]
+			codesize[c2]++
+		}
+	}
+
+	var bits [maxCodeLen + 1]int
+	for i := 0; i <= 256; i++ {
+		if codesize[i] > 0 {
+			if codesize[i] > maxCodeLen {
+				return nil, FormatError("huffman code length overflow")
+			}
+			bits[codesize[i]]++
+		}
+	}
+
+	// Limit code lengths to 16 (K.2's pairwise promotion).
+	for i := maxCodeLen; i > 16; i-- {
+		for bits[i] > 0 {
+			j := i - 2
+			for bits[j] == 0 {
+				j--
+			}
+			bits[i] -= 2
+			bits[i-1]++
+			bits[j+1] += 2
+			bits[j]--
+		}
+	}
+	// Remove the pseudo symbol: it holds the longest (all-ones) code.
+	i := 16
+	for i > 0 && bits[i] == 0 {
+		i--
+	}
+	if i == 0 {
+		return nil, FormatError("empty huffman table")
+	}
+	bits[i]--
+
+	spec := &HuffmanSpec{}
+	for l := 1; l <= 16; l++ {
+		spec.Counts[l-1] = byte(bits[l])
+	}
+	// Symbols sorted by code length then value.
+	for l := 1; l <= maxCodeLen; l++ {
+		for s := 0; s < 256; s++ {
+			if codesize[s] == l {
+				spec.Values = append(spec.Values, byte(s))
+			}
+		}
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

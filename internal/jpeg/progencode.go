@@ -1,0 +1,563 @@
+package jpeg
+
+import (
+	"fmt"
+
+	"dlbooster/internal/pix"
+)
+
+// Progressive (SOF2) encoding with a fixed four-phase scan script:
+//
+//  1. DC, all components interleaved, successive approximation Al=1
+//  2. per component: AC band 1..63 first pass, Al=1
+//  3. DC refinement, Ah=1 → Al=0
+//  4. per component: AC band 1..63 refinement, Ah=1 → Al=0
+//
+// One refinement level exercises every decoder path (DC/AC × first/
+// refine, EOB runs, correction bits) while keeping the script compact.
+// AC scans emit EOBn symbols, which the Annex K example tables do not
+// contain, so every AC scan runs twice: a counting pass, then optimal
+// Huffman table derivation (optimal.go) and the emission pass — the same
+// forced-optimisation libjpeg applies to progressive output. Restart
+// intervals are honoured per scan (MCU-counted in DC scans,
+// block-counted in the non-interleaved AC scans).
+
+// EncodeProgressive serialises img as a progressive JFIF stream.
+func EncodeProgressive(img *pix.Image, opt EncodeOptions) ([]byte, error) {
+	if img == nil || len(img.Pix) != img.W*img.H*img.C {
+		return nil, fmt.Errorf("jpeg: malformed image")
+	}
+	if err := checkComponents(img.C); err != nil {
+		return nil, err
+	}
+	if img.W >= 1<<16 || img.H >= 1<<16 {
+		return nil, fmt.Errorf("jpeg: image %dx%d exceeds 16-bit dimensions", img.W, img.H)
+	}
+	if opt.Quality < 1 || opt.Quality > 100 {
+		return nil, fmt.Errorf("jpeg: quality %d outside 1..100", opt.Quality)
+	}
+	e := &encoder{img: img, opt: opt}
+	p := &progEncoder{e: e}
+	return p.encode()
+}
+
+type progEncoder struct {
+	e *encoder
+	// Per component: padded block grid (gw×gh, MCU-aligned) of quantised
+	// coefficients, plus the real (unpadded) grid dims AC scans cover.
+	coefs        [][]block
+	gw, gh       []int
+	bw, bh       []int
+	dcEnc, acEnc []*huffEncoder // per component
+}
+
+func (p *progEncoder) encode() ([]byte, error) {
+	e := p.e
+	e.lumaQ = scaledQuant(&stdLumaQuant, e.opt.Quality)
+	e.chromaQ = scaledQuant(&stdChromaQuant, e.opt.Quality)
+	var err error
+	if e.dcLuma, err = newHuffEncoder(&stdDCLumaSpec); err != nil {
+		return nil, err
+	}
+	if e.acLuma, err = newHuffEncoder(&stdACLumaSpec); err != nil {
+		return nil, err
+	}
+	if e.dcChroma, err = newHuffEncoder(&stdDCChromaSpec); err != nil {
+		return nil, err
+	}
+	if e.acChroma, err = newHuffEncoder(&stdACChromaSpec); err != nil {
+		return nil, err
+	}
+	if err := p.computeCoefficients(); err != nil {
+		return nil, err
+	}
+
+	e.marker(mSOI, nil)
+	e.appJFIF()
+	e.writeDQT()
+	p.writeSOF2()
+	e.writeDHT()
+	if e.opt.RestartInterval > 0 {
+		e.marker(mDRI, []byte{byte(e.opt.RestartInterval >> 8), byte(e.opt.RestartInterval)})
+	}
+
+	// Phase 1: interleaved DC first pass, Al=1.
+	if err := p.dcScan(0, 1); err != nil {
+		return nil, err
+	}
+	// Phase 2: AC first pass per component, Al=1.
+	for c := range p.coefs {
+		if err := p.acFirstScan(c, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 3: DC refinement, Ah=1, Al=0.
+	if err := p.dcScan(1, 0); err != nil {
+		return nil, err
+	}
+	// Phase 4: AC refinement per component, Ah=1, Al=0.
+	for c := range p.coefs {
+		if err := p.acRefineScan(c, 1, 0); err != nil {
+			return nil, err
+		}
+	}
+	e.marker(mEOI, nil)
+	return e.out, nil
+}
+
+// computeCoefficients fills the per-component quantised grids, padded to
+// MCU boundaries with edge replication (the same data the baseline
+// encoder would produce).
+func (p *progEncoder) computeCoefficients() error {
+	e := p.e
+	type plane struct {
+		data []byte
+		w, h int
+	}
+	var planes []plane
+	var hs, vs []int
+	if e.img.C == 1 {
+		planes = []plane{{e.img.Pix, e.img.W, e.img.H}}
+		hs, vs = []int{1}, []int{1}
+	} else {
+		yp, cb, cr := e.toYCbCrPlanes()
+		switch {
+		case e.opt.Subsample420:
+			cbS, cw, ch := subsample2x2(cb, e.img.W, e.img.H)
+			crS, _, _ := subsample2x2(cr, e.img.W, e.img.H)
+			planes = []plane{{yp, e.img.W, e.img.H}, {cbS, cw, ch}, {crS, cw, ch}}
+			hs, vs = []int{2, 1, 1}, []int{2, 1, 1}
+		case e.opt.Subsample422:
+			cbS, cw, ch := subsample2x1(cb, e.img.W, e.img.H)
+			crS, _, _ := subsample2x1(cr, e.img.W, e.img.H)
+			planes = []plane{{yp, e.img.W, e.img.H}, {cbS, cw, ch}, {crS, cw, ch}}
+			hs, vs = []int{2, 1, 1}, []int{1, 1, 1}
+		default:
+			planes = []plane{{yp, e.img.W, e.img.H}, {cb, e.img.W, e.img.H}, {cr, e.img.W, e.img.H}}
+			hs, vs = []int{1, 1, 1}, []int{1, 1, 1}
+		}
+	}
+	hMax, vMax := 1, 1
+	for i := range hs {
+		if hs[i] > hMax {
+			hMax = hs[i]
+		}
+		if vs[i] > vMax {
+			vMax = vs[i]
+		}
+	}
+	mcusX := ceilDiv(e.img.W, 8*hMax)
+	mcusY := ceilDiv(e.img.H, 8*vMax)
+	n := len(planes)
+	p.coefs = make([][]block, n)
+	p.gw = make([]int, n)
+	p.gh = make([]int, n)
+	p.bw = make([]int, n)
+	p.bh = make([]int, n)
+	p.dcEnc = make([]*huffEncoder, n)
+	p.acEnc = make([]*huffEncoder, n)
+	for c, pl := range planes {
+		q := &e.lumaQ
+		p.dcEnc[c], p.acEnc[c] = e.dcLuma, e.acLuma
+		if c > 0 {
+			q = &e.chromaQ
+			p.dcEnc[c], p.acEnc[c] = e.dcChroma, e.acChroma
+		}
+		gw, gh := mcusX*hs[c], mcusY*vs[c]
+		if n == 1 {
+			gw, gh = mcusX, mcusY
+		}
+		p.gw[c], p.gh[c] = gw, gh
+		p.bw[c], p.bh[c] = ceilDiv(pl.w, 8), ceilDiv(pl.h, 8)
+		p.coefs[c] = make([]block, gw*gh)
+		var samples [64]byte
+		var coef block
+		for by := 0; by < gh; by++ {
+			for bx := 0; bx < gw; bx++ {
+				loadBlock(pl.data, pl.w, pl.h, bx*8, by*8, &samples)
+				fdct(&samples, &coef)
+				quantize(&coef, q, &p.coefs[c][by*gw+bx])
+			}
+		}
+	}
+	return nil
+}
+
+// writeSOF2 emits the progressive frame header.
+func (p *progEncoder) writeSOF2() {
+	e := p.e
+	n := e.img.C
+	seg := []byte{8, byte(e.img.H >> 8), byte(e.img.H), byte(e.img.W >> 8), byte(e.img.W), byte(n)}
+	if n == 1 {
+		seg = append(seg, 1, 0x11, 0)
+	} else {
+		samp := byte(0x11)
+		if e.opt.Subsample420 {
+			samp = 0x22
+		} else if e.opt.Subsample422 {
+			samp = 0x21
+		}
+		seg = append(seg, 1, samp, 0, 2, 0x11, 1, 3, 0x11, 1)
+	}
+	e.marker(mSOF2, seg)
+}
+
+// writeProgSOS emits a scan header. comps lists component indices; for
+// DC scans it is all of them.
+func (p *progEncoder) writeProgSOS(comps []int, ss, se, ah, al int) {
+	e := p.e
+	seg := []byte{byte(len(comps))}
+	for _, c := range comps {
+		id := byte(c + 1)
+		sel := byte(0)
+		if c > 0 {
+			sel = 0x11
+		}
+		if ss > 0 {
+			sel &= 0x0F // AC-only scan: DC selector unused but keep canonical
+		}
+		seg = append(seg, id, sel)
+	}
+	seg = append(seg, byte(ss), byte(se), byte(ah<<4|al))
+	e.marker(mSOS, seg)
+}
+
+// pointTransformDC is the DC successive-approximation transform: an
+// arithmetic shift (T.81 §G.1.2.1), so refinement bits OR in correctly
+// for negative values.
+func pointTransformDC(v int32, al int) int32 { return v >> al }
+
+// pointTransformAC shifts magnitude toward zero (T.81 §G.1.2.2).
+func pointTransformAC(v int32, al int) int32 {
+	if v >= 0 {
+		return v >> al
+	}
+	return -((-v) >> al)
+}
+
+// dcScan emits one DC scan (first pass when ah == 0, else refinement).
+func (p *progEncoder) dcScan(ah, al int) error {
+	e := p.e
+	comps := make([]int, len(p.coefs))
+	for i := range comps {
+		comps[i] = i
+	}
+	p.writeProgSOS(comps, 0, 0, ah, al)
+	w := &bitWriter{}
+	preds := make([]int32, len(p.coefs))
+	nComp := len(p.coefs)
+	// Reconstruct per-component sampling from grid dims.
+	mcusX, mcusY := p.gw[0], p.gh[0]
+	if nComp > 1 {
+		mcusX, mcusY = p.gw[1], p.gh[1] // chroma grids are 1×1 per MCU
+	}
+	ri := e.opt.RestartInterval
+	sinceRestart := 0
+	nextRST := byte(0)
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			if ri > 0 && sinceRestart == ri {
+				w.restartMarker(mRST0 + nextRST)
+				nextRST = (nextRST + 1) % 8
+				for i := range preds {
+					preds[i] = 0
+				}
+				sinceRestart = 0
+			}
+			sinceRestart++
+			for c := 0; c < nComp; c++ {
+				ch, cv := p.gw[c]/mcusX, p.gh[c]/mcusY
+				for v := 0; v < cv; v++ {
+					for hh := 0; hh < ch; hh++ {
+						bx, by := mx*ch+hh, my*cv+v
+						dc := p.coefs[c][by*p.gw[c]+bx][0]
+						if ah == 0 {
+							val := pointTransformDC(dc, al)
+							diff := val - preds[c]
+							preds[c] = val
+							ssss := bitLength(diff)
+							if err := p.dcEnc[c].emit(w, byte(ssss)); err != nil {
+								return err
+							}
+							if ssss > 0 {
+								bits := diff
+								if bits < 0 {
+									bits += (1 << ssss) - 1
+								}
+								w.writeBits(uint32(bits), ssss)
+							}
+						} else {
+							w.writeBits(uint32(dc>>al)&1, 1)
+						}
+					}
+				}
+			}
+		}
+	}
+	e.out = append(e.out, w.flush()...)
+	return nil
+}
+
+// symWriter emits Huffman symbols and raw bits, in either counting mode
+// (gathering frequencies for optimal-table derivation) or writing mode.
+type symWriter struct {
+	counting bool
+	freq     [256]int
+	enc      *huffEncoder
+	w        *bitWriter
+}
+
+func (sw *symWriter) sym(s byte) error {
+	if sw.counting {
+		sw.freq[s]++
+		return nil
+	}
+	return sw.enc.emit(sw.w, s)
+}
+
+func (sw *symWriter) bits(v uint32, n int) {
+	if !sw.counting {
+		sw.w.writeBits(v, n)
+	}
+}
+
+func (sw *symWriter) restart(m byte) {
+	if !sw.counting {
+		sw.w.restartMarker(m)
+	}
+}
+
+// runACScan runs an AC scan body twice — count, derive, emit — and
+// appends the DHT + SOS + entropy data to the output.
+func (p *progEncoder) runACScan(c, ah, al int, body func(sw *symWriter) error) error {
+	e := p.e
+	count := &symWriter{counting: true}
+	if err := body(count); err != nil {
+		return err
+	}
+	spec, err := optimalSpec(&count.freq)
+	if err != nil {
+		return err
+	}
+	enc, err := newHuffEncoder(spec)
+	if err != nil {
+		return err
+	}
+	tableID := byte(0)
+	if c > 0 {
+		tableID = 1
+	}
+	dht := []byte{1<<4 | tableID}
+	dht = append(dht, spec.Counts[:]...)
+	dht = append(dht, spec.Values...)
+	e.marker(mDHT, dht)
+	p.writeProgSOS([]int{c}, 1, 63, ah, al)
+	write := &symWriter{enc: enc, w: &bitWriter{}}
+	if err := body(write); err != nil {
+		return err
+	}
+	e.out = append(e.out, write.w.flush()...)
+	return nil
+}
+
+// acFirstScan emits the first pass of component c's AC band.
+func (p *progEncoder) acFirstScan(c, al int) error {
+	ri := p.e.opt.RestartInterval
+	return p.runACScan(c, 0, al, func(sw *symWriter) error {
+		eobrun := 0
+		sinceRestart := 0
+		nextRST := byte(0)
+		flushEOB := func() error {
+			if eobrun == 0 {
+				return nil
+			}
+			n := 0
+			for 1<<(n+1) <= eobrun {
+				n++
+			}
+			if err := sw.sym(byte(n << 4)); err != nil {
+				return err
+			}
+			if n > 0 {
+				sw.bits(uint32(eobrun-1<<n), n)
+			}
+			eobrun = 0
+			return nil
+		}
+		for by := 0; by < p.bh[c]; by++ {
+			for bx := 0; bx < p.bw[c]; bx++ {
+				if ri > 0 && sinceRestart == ri {
+					if err := flushEOB(); err != nil {
+						return err
+					}
+					sw.restart(mRST0 + nextRST)
+					nextRST = (nextRST + 1) % 8
+					sinceRestart = 0
+				}
+				sinceRestart++
+				blk := &p.coefs[c][by*p.gw[c]+bx]
+				r := 0
+				for k := 1; k <= 63; k++ {
+					v := pointTransformAC(blk[zigzag[k]], al)
+					if v == 0 {
+						r++
+						continue
+					}
+					if err := flushEOB(); err != nil {
+						return err
+					}
+					for r > 15 {
+						if err := sw.sym(0xF0); err != nil {
+							return err
+						}
+						r -= 16
+					}
+					size := bitLength(v)
+					if err := sw.sym(byte(r<<4 | size)); err != nil {
+						return err
+					}
+					bits := v
+					if bits < 0 {
+						bits += (1 << size) - 1
+					}
+					sw.bits(uint32(bits), size)
+					r = 0
+				}
+				if r > 0 {
+					eobrun++
+					if eobrun == 0x7FFF {
+						if err := flushEOB(); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		return flushEOB()
+	})
+}
+
+// acRefineScan emits the refinement pass of component c's AC band,
+// following T.81 §G.1.2.3 (the correction-bit buffering of Figure G.7).
+func (p *progEncoder) acRefineScan(c, ah, al int) error {
+	ri := p.e.opt.RestartInterval
+	return p.runACScan(c, ah, al, func(sw *symWriter) error {
+		eobrun := 0
+		sinceRestart := 0
+		nextRST := byte(0)
+		// Two correction-bit buffers, as in T.81 Figure G.7 (and
+		// libjpeg's BE/BR split): runBits belong to the pending EOB run
+		// (they are emitted right after the EOBn symbol, and the decoder
+		// consumes them in the EOB path of the blocks the run covers);
+		// blockBits are the current block's corrections since the last
+		// emitted symbol (the decoder consumes them while advancing over
+		// the next symbol's run).
+		var runBits, blockBits []byte
+		emitBlockBits := func() {
+			for _, b := range blockBits {
+				sw.bits(uint32(b), 1)
+			}
+			blockBits = blockBits[:0]
+		}
+		flushEOB := func() error {
+			if eobrun == 0 {
+				return nil
+			}
+			n := 0
+			for 1<<(n+1) <= eobrun {
+				n++
+			}
+			if err := sw.sym(byte(n << 4)); err != nil {
+				return err
+			}
+			if n > 0 {
+				sw.bits(uint32(eobrun-1<<n), n)
+			}
+			eobrun = 0
+			for _, b := range runBits {
+				sw.bits(uint32(b), 1)
+			}
+			runBits = runBits[:0]
+			return nil
+		}
+		for by := 0; by < p.bh[c]; by++ {
+			for bx := 0; bx < p.bw[c]; bx++ {
+				if ri > 0 && sinceRestart == ri {
+					if err := flushEOB(); err != nil {
+						return err
+					}
+					sw.restart(mRST0 + nextRST)
+					nextRST = (nextRST + 1) % 8
+					sinceRestart = 0
+				}
+				sinceRestart++
+				blk := &p.coefs[c][by*p.gw[c]+bx]
+				var abs [64]int32
+				// EOB position: the last newly-significant coefficient.
+				eob := 0
+				for k := 1; k <= 63; k++ {
+					v := blk[zigzag[k]]
+					if v < 0 {
+						v = -v
+					}
+					abs[k] = v >> al
+					if abs[k] == 1 {
+						eob = k
+					}
+				}
+				r := 0
+				for k := 1; k <= 63; k++ {
+					t := abs[k]
+					if t == 0 {
+						r++
+						continue
+					}
+					// Emit pending ZRLs while more new-significant
+					// coefficients remain in this block.
+					for r > 15 && k <= eob {
+						if err := flushEOB(); err != nil {
+							return err
+						}
+						if err := sw.sym(0xF0); err != nil {
+							return err
+						}
+						r -= 16
+						emitBlockBits()
+					}
+					if t > 1 {
+						// Already significant: just a correction bit.
+						blockBits = append(blockBits, byte(t&1))
+						continue
+					}
+					// Newly significant coefficient.
+					if err := flushEOB(); err != nil {
+						return err
+					}
+					if err := sw.sym(byte(r<<4 | 1)); err != nil {
+						return err
+					}
+					if blk[zigzag[k]] < 0 {
+						sw.bits(0, 1)
+					} else {
+						sw.bits(1, 1)
+					}
+					emitBlockBits()
+					r = 0
+				}
+				if r > 0 || len(blockBits) > 0 {
+					// This block ends in an EOB: its remaining correction
+					// bits join the run-level buffer.
+					eobrun++
+					runBits = append(runBits, blockBits...)
+					blockBits = blockBits[:0]
+					if eobrun == 0x7FFF || len(runBits) > 900 {
+						if err := flushEOB(); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		return flushEOB()
+	})
+}

@@ -1,0 +1,253 @@
+package jpeg
+
+import (
+	"bytes"
+	stdjpeg "image/jpeg"
+	"math/rand"
+	"testing"
+)
+
+// TestProgressiveMatchesBaselinePixels: the progressive encoder writes
+// the same quantised coefficients as the baseline encoder, so decoding
+// both forms must give byte-identical pixels.
+func TestProgressiveMatchesBaselinePixels(t *testing.T) {
+	for _, g := range geometries {
+		for _, mode := range []struct {
+			name string
+			c    int
+			sub  bool
+		}{
+			{"gray", 1, false},
+			{"444", 3, false},
+			{"420", 3, true},
+		} {
+			t.Run(g.name+"/"+mode.name, func(t *testing.T) {
+				img := smoothImage(g.w, g.h, mode.c, int64(g.w*31+g.h))
+				opt := EncodeOptions{Quality: 88, Subsample420: mode.sub}
+				base, err := Encode(img, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := EncodeProgressive(img, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseImg, err := Decode(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				progImg, err := Decode(prog)
+				if err != nil {
+					t.Fatalf("progressive decode: %v", err)
+				}
+				if d, _ := baseImg.MaxAbsDiff(progImg); d != 0 {
+					t.Fatalf("progressive differs from baseline by %d", d)
+				}
+			})
+		}
+	}
+}
+
+// TestProgressiveDecodedByStdlib: Go's image/jpeg decodes progressive
+// streams, so it independently validates our encoder's bitstream.
+func TestProgressiveDecodedByStdlib(t *testing.T) {
+	for _, sub := range []bool{false, true} {
+		img := smoothImage(97, 73, 3, 2024+boolInt(sub))
+		prog, err := EncodeProgressive(img, EncodeOptions{Quality: 90, Subsample420: sub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stdImg, err := stdjpeg.Decode(bytes.NewReader(prog))
+		if err != nil {
+			t.Fatalf("stdlib rejected our progressive stream (sub=%v): %v", sub, err)
+		}
+		ref := stdToPix(stdImg, t)
+		ours, err := Decode(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxd, err := ours.MaxAbsDiff(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := 4
+		if sub {
+			limit = 24 // upsampling filters differ
+		}
+		if maxd > limit {
+			t.Fatalf("sub=%v: our decode differs from stdlib by %d", sub, maxd)
+		}
+	}
+}
+
+func TestProgressiveGrayStdlib(t *testing.T) {
+	img := smoothImage(64, 40, 1, 5)
+	prog, err := EncodeProgressive(img, EncodeOptions{Quality: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stdjpeg.Decode(bytes.NewReader(prog)); err != nil {
+		t.Fatalf("stdlib rejected grayscale progressive: %v", err)
+	}
+	got, err := Decode(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := psnr(img, got, t); p < 34 {
+		t.Fatalf("PSNR = %.1f", p)
+	}
+}
+
+func TestDecodeConfigProgressive(t *testing.T) {
+	img := smoothImage(55, 44, 3, 6)
+	prog, err := EncodeProgressive(img, EncodeOptions{Quality: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := DecodeConfig(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Width != 55 || cfg.Height != 44 || cfg.Components != 3 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+// TestParseReturnsErrProgressive: the staged pipeline (and so the FPGA
+// mirror) must refuse progressive streams with the sentinel.
+func TestParseReturnsErrProgressive(t *testing.T) {
+	img := smoothImage(32, 32, 3, 7)
+	prog, err := EncodeProgressive(img, EncodeOptions{Quality: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Parse(prog)
+	if err != ErrProgressive {
+		t.Fatalf("Parse = %v, want ErrProgressive", err)
+	}
+	if h == nil || !h.Progressive || h.Width != 32 {
+		t.Fatalf("header = %+v", h)
+	}
+}
+
+func TestProgressiveRejectsMalformed(t *testing.T) {
+	img := smoothImage(32, 32, 3, 8)
+	good, err := EncodeProgressive(img, EncodeOptions{Quality: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"no SOI":         {1, 2, 3},
+		"header only":    good[:30],
+		"truncated scan": good[:len(good)/2],
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestProgressiveCorruptNoPanic fuzzes bit flips across the stream.
+func TestProgressiveCorruptNoPanic(t *testing.T) {
+	img := smoothImage(48, 36, 3, 9)
+	good, err := EncodeProgressive(img, EncodeOptions{Quality: 85, Subsample420: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), good...)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			pos := rng.Intn(len(mut)-2) + 2
+			mut[pos] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corrupt progressive input (trial %d): %v", trial, r)
+				}
+			}()
+			_, _ = Decode(mut)
+		}()
+	}
+}
+
+func TestProgressiveEncodeValidation(t *testing.T) {
+	if _, err := EncodeProgressive(nil, DefaultEncodeOptions()); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	img := smoothImage(8, 8, 3, 1)
+	if _, err := EncodeProgressive(img, EncodeOptions{Quality: 0}); err == nil {
+		t.Fatal("quality 0 accepted")
+	}
+}
+
+// TestProgressiveSmallerAtLowInformation: sanity — the progressive form
+// of the paper-sized workload decodes and is within a plausible size
+// band of the baseline form.
+func TestProgressiveSizeSanity(t *testing.T) {
+	img := smoothImage(200, 150, 3, 11)
+	opt := EncodeOptions{Quality: 88, Subsample420: true}
+	base, err := Encode(img, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := EncodeProgressive(img, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(prog)) / float64(len(base))
+	if ratio < 0.5 || ratio > 1.6 {
+		t.Fatalf("progressive/baseline size ratio = %.2f (%d vs %d bytes)", ratio, len(prog), len(base))
+	}
+}
+
+func TestProgressiveWithRestartIntervals(t *testing.T) {
+	// Restart intervals in non-interleaved progressive scans count data
+	// units (T.81 §G: the MCU of a non-interleaved scan is one block),
+	// which is libjpeg's behaviour. Go's image/jpeg instead counts its
+	// padded-grid MCU walk for subsampled components, so the stdlib
+	// referee only applies where the two semantics coincide (grayscale
+	// and 4:4:4, where every component's walk is the real block grid).
+	for _, mode := range []struct {
+		name string
+		c    int
+		sub  bool
+		std  bool
+	}{
+		{"gray", 1, false, true},
+		{"444", 3, false, true},
+		{"420", 3, true, false},
+	} {
+		img := smoothImage(100, 75, mode.c, 42)
+		for _, ri := range []int{1, 3, 7} {
+			opt := EncodeOptions{Quality: 88, Subsample420: mode.sub, RestartInterval: ri}
+			base, err := Encode(img, opt)
+			if err != nil {
+				t.Fatalf("%s ri=%d: %v", mode.name, ri, err)
+			}
+			prog, err := EncodeProgressive(img, opt)
+			if err != nil {
+				t.Fatalf("%s ri=%d: %v", mode.name, ri, err)
+			}
+			baseImg, err := Decode(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progImg, err := Decode(prog)
+			if err != nil {
+				t.Fatalf("%s ri=%d: progressive decode: %v", mode.name, ri, err)
+			}
+			if d, _ := baseImg.MaxAbsDiff(progImg); d != 0 {
+				t.Fatalf("%s ri=%d: differs from baseline by %d", mode.name, ri, d)
+			}
+			if mode.std {
+				if _, err := stdjpeg.Decode(bytes.NewReader(prog)); err != nil {
+					t.Fatalf("%s ri=%d: stdlib rejects restart-interval progressive: %v", mode.name, ri, err)
+				}
+			}
+		}
+	}
+}

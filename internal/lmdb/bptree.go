@@ -1,0 +1,186 @@
+package lmdb
+
+import "bytes"
+
+// A B+tree with byte-slice keys, values at the leaves, and leaves chained
+// for ordered scans. Branch factor 64 keeps the tree shallow for the
+// million-record datasets the offline backend stores. Deletion is lazy
+// (no rebalancing): records vanish from leaves but node occupancy may
+// drop below half — fine for a dataset store whose write pattern is one
+// bulk conversion followed by read-only epochs.
+
+const maxKeys = 64
+
+type leaf struct {
+	keys [][]byte
+	vals [][]byte
+	next *leaf
+}
+
+type branch struct {
+	// children[i] covers keys < keys[i]; children[len(keys)] covers the
+	// rest.
+	keys     [][]byte
+	children []node
+}
+
+type node interface{ isNode() }
+
+func (*leaf) isNode()   {}
+func (*branch) isNode() {}
+
+type bptree struct {
+	root  node
+	size  int
+	first *leaf
+}
+
+func newBPTree() *bptree {
+	l := &leaf{}
+	return &bptree{root: l, first: l}
+}
+
+// findLeaf descends to the leaf that would hold key.
+func (t *bptree) findLeaf(key []byte) *leaf {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			return v
+		case *branch:
+			i := 0
+			for i < len(v.keys) && bytes.Compare(key, v.keys[i]) >= 0 {
+				i++
+			}
+			n = v.children[i]
+		}
+	}
+}
+
+// get returns the value for key.
+func (t *bptree) get(key []byte) ([]byte, bool) {
+	l := t.findLeaf(key)
+	for i, k := range l.keys {
+		if bytes.Equal(k, key) {
+			return l.vals[i], true
+		}
+	}
+	return nil, false
+}
+
+// put inserts or replaces; it reports whether a new key was added.
+func (t *bptree) put(key, val []byte) bool {
+	added, split, sepKey, right := t.insert(t.root, key, val)
+	if split {
+		t.root = &branch{keys: [][]byte{sepKey}, children: []node{t.root, right}}
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// insert recursively inserts under n. When n splits, it returns the
+// separator key and the new right sibling.
+func (t *bptree) insert(n node, key, val []byte) (added, split bool, sepKey []byte, right node) {
+	switch v := n.(type) {
+	case *leaf:
+		i := 0
+		for i < len(v.keys) && bytes.Compare(v.keys[i], key) < 0 {
+			i++
+		}
+		if i < len(v.keys) && bytes.Equal(v.keys[i], key) {
+			v.vals[i] = val
+			return false, false, nil, nil
+		}
+		v.keys = append(v.keys, nil)
+		copy(v.keys[i+1:], v.keys[i:])
+		v.keys[i] = key
+		v.vals = append(v.vals, nil)
+		copy(v.vals[i+1:], v.vals[i:])
+		v.vals[i] = val
+		if len(v.keys) <= maxKeys {
+			return true, false, nil, nil
+		}
+		mid := len(v.keys) / 2
+		r := &leaf{
+			keys: append([][]byte(nil), v.keys[mid:]...),
+			vals: append([][]byte(nil), v.vals[mid:]...),
+			next: v.next,
+		}
+		v.keys = v.keys[:mid]
+		v.vals = v.vals[:mid]
+		v.next = r
+		return true, true, r.keys[0], r
+	case *branch:
+		i := 0
+		for i < len(v.keys) && bytes.Compare(key, v.keys[i]) >= 0 {
+			i++
+		}
+		added, childSplit, childSep, childRight := t.insert(v.children[i], key, val)
+		if childSplit {
+			v.keys = append(v.keys, nil)
+			copy(v.keys[i+1:], v.keys[i:])
+			v.keys[i] = childSep
+			v.children = append(v.children, nil)
+			copy(v.children[i+2:], v.children[i+1:])
+			v.children[i+1] = childRight
+			if len(v.keys) > maxKeys {
+				mid := len(v.keys) / 2
+				sep := v.keys[mid]
+				r := &branch{
+					keys:     append([][]byte(nil), v.keys[mid+1:]...),
+					children: append([]node(nil), v.children[mid+1:]...),
+				}
+				v.keys = v.keys[:mid]
+				v.children = v.children[:mid+1]
+				return added, true, sep, r
+			}
+		}
+		return added, false, nil, nil
+	}
+	panic("lmdb: unknown node type")
+}
+
+// delete removes key, reporting whether it existed. Leaves are not
+// rebalanced (see package comment on lazy deletion).
+func (t *bptree) delete(key []byte) bool {
+	l := t.findLeaf(key)
+	for i, k := range l.keys {
+		if bytes.Equal(k, key) {
+			l.keys = append(l.keys[:i], l.keys[i+1:]...)
+			l.vals = append(l.vals[:i], l.vals[i+1:]...)
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// seek returns the leaf and index of the first key ≥ target.
+func (t *bptree) seek(target []byte) (*leaf, int) {
+	l := t.findLeaf(target)
+	for {
+		for i, k := range l.keys {
+			if bytes.Compare(k, target) >= 0 {
+				return l, i
+			}
+		}
+		if l.next == nil {
+			return nil, 0
+		}
+		l = l.next
+	}
+}
+
+// firstEntry returns the leftmost non-empty leaf position.
+func (t *bptree) firstEntry() (*leaf, int) {
+	l := t.first
+	for l != nil && len(l.keys) == 0 {
+		l = l.next
+	}
+	if l == nil {
+		return nil, 0
+	}
+	return l, 0
+}

@@ -1,0 +1,217 @@
+// Package metrics collects the three measurements the paper reports for
+// every experiment: throughput (images/s), latency distributions (ms),
+// and CPU cost in cores — the paper's "CPU cost (# cores)" is busy time
+// divided by wall time, which BusyTracker computes for both wall-clock
+// and virtual-time runs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a concurrency-safe event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Rate returns count per second over the given elapsed seconds.
+func (c *Counter) Rate(elapsedSeconds float64) float64 {
+	if elapsedSeconds <= 0 {
+		return 0
+	}
+	return float64(c.n.Load()) / elapsedSeconds
+}
+
+// Histogram accumulates samples and reports order statistics. It is safe
+// for concurrent Add; reporting methods snapshot under the same lock.
+type Histogram struct {
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.mu.Lock()
+	h.vals = append(h.vals, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.vals)
+}
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range h.vals {
+		s += v
+	}
+	return s / float64(len(h.vals))
+}
+
+// StdDev returns the population standard deviation (0 when empty).
+func (h *Histogram) StdDev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range h.vals {
+		s += v
+	}
+	m := s / float64(len(h.vals))
+	var ss float64
+	for _, v := range h.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(h.vals)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank; it returns 0 when empty.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.vals)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.vals[0]
+	}
+	if p >= 100 {
+		return h.vals[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.vals[rank-1]
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() float64 { return h.Percentile(0) }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 { return h.Percentile(100) }
+
+// Summary is a rendered snapshot of a histogram.
+type Summary struct {
+	Count               int
+	Mean, P50, P95, P99 float64
+	Min, Max            float64
+	StdDevPopulationEst float64
+}
+
+// Summarize returns the standard report for a latency distribution.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:               h.Count(),
+		Mean:                h.Mean(),
+		P50:                 h.Percentile(50),
+		P95:                 h.Percentile(95),
+		P99:                 h.Percentile(99),
+		Min:                 h.Min(),
+		Max:                 h.Max(),
+		StdDevPopulationEst: h.StdDev(),
+	}
+}
+
+// String renders the summary for harness output.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Min, s.Max)
+}
+
+// BusyTracker accumulates per-component busy seconds. Dividing by elapsed
+// wall (or virtual) seconds yields the paper's cores-consumed metric,
+// including the Figure 6(d) breakdown (preprocessing / transforming /
+// launching kernels / updating model).
+type BusyTracker struct {
+	mu   sync.Mutex
+	busy map[string]float64
+}
+
+// NewBusyTracker returns an empty tracker.
+func NewBusyTracker() *BusyTracker {
+	return &BusyTracker{busy: make(map[string]float64)}
+}
+
+// Record adds busy seconds to a component.
+func (b *BusyTracker) Record(component string, seconds float64) {
+	if seconds < 0 {
+		panic("metrics: negative busy time")
+	}
+	b.mu.Lock()
+	b.busy[component] += seconds
+	b.mu.Unlock()
+}
+
+// Busy returns the accumulated busy seconds of a component.
+func (b *BusyTracker) Busy(component string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.busy[component]
+}
+
+// Cores returns per-component cores consumed over the elapsed seconds.
+func (b *BusyTracker) Cores(elapsedSeconds float64) map[string]float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]float64, len(b.busy))
+	for k, v := range b.busy {
+		if elapsedSeconds > 0 {
+			out[k] = v / elapsedSeconds
+		} else {
+			out[k] = 0
+		}
+	}
+	return out
+}
+
+// TotalCores returns the summed cores consumed across components.
+func (b *BusyTracker) TotalCores(elapsedSeconds float64) float64 {
+	var t float64
+	for _, v := range b.Cores(elapsedSeconds) {
+		t += v
+	}
+	return t
+}
+
+// Components returns the tracked component names, sorted.
+func (b *BusyTracker) Components() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.busy))
+	for k := range b.busy {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

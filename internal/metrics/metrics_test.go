@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	if c.Rate(2) != 3.5 {
+		t.Fatalf("Rate = %v", c.Rate(2))
+	}
+	if c.Rate(0) != 0 {
+		t.Fatalf("Rate(0) = %v", c.Rate(0))
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 || h.StdDev() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if p := h.Percentile(50); p != 3 {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := h.Percentile(100); p != 5 {
+		t.Fatalf("P100 = %v", p)
+	}
+	if sd := h.StdDev(); math.Abs(sd-math.Sqrt2) > 1e-9 {
+		t.Fatalf("StdDev = %v", sd)
+	}
+}
+
+func TestHistogramAddAfterPercentile(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Percentile(50) // sorts
+	h.Add(1)             // must invalidate sort
+	if h.Min() != 1 {
+		t.Fatalf("Min after late Add = %v", h.Min())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.P50 != 50 || s.P95 != 95 || s.P99 != 99 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// TestPercentileProperty: percentiles are monotone in p and bounded by
+// min/max.
+func TestPercentileProperty(t *testing.T) {
+	f := func(vals []float64, pa, pb uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Add(v)
+		}
+		lo, hi := float64(pa%101), float64(pb%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		plo, phi := h.Percentile(lo), h.Percentile(hi)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return plo <= phi && plo >= sorted[0] && phi <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyTracker(t *testing.T) {
+	b := NewBusyTracker()
+	b.Record("preprocess", 3)
+	b.Record("preprocess", 1)
+	b.Record("kernels", 9.5)
+	if b.Busy("preprocess") != 4 {
+		t.Fatalf("Busy = %v", b.Busy("preprocess"))
+	}
+	cores := b.Cores(10)
+	if cores["preprocess"] != 0.4 || cores["kernels"] != 0.95 {
+		t.Fatalf("Cores = %v", cores)
+	}
+	if total := b.TotalCores(10); math.Abs(total-1.35) > 1e-12 {
+		t.Fatalf("TotalCores = %v", total)
+	}
+	names := b.Components()
+	if len(names) != 2 || names[0] != "kernels" || names[1] != "preprocess" {
+		t.Fatalf("Components = %v", names)
+	}
+	if c := b.Cores(0); c["preprocess"] != 0 {
+		t.Fatalf("Cores(0) = %v", c)
+	}
+}
+
+func TestBusyTrackerRejectsNegative(t *testing.T) {
+	b := NewBusyTracker()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative busy time accepted")
+		}
+	}()
+	b.Record("x", -1)
+}
+
+func TestBusyTrackerConcurrent(t *testing.T) {
+	b := NewBusyTracker()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				b.Record("c", 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Busy("c"); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("Busy = %v, want 8", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package nic simulates the testbed's 40 Gbps fabric and the paper's
+// online-inference clients: "we set up 5 clients to send color images
+// using a 40Gbps fabric" (§5.3).
+//
+// Frames (whole JPEG images) from all clients serialise over one shared
+// link with token-bucket pacing and land in the server's RX queue; when
+// the preprocessing backend falls behind, the RX queue fills and clients
+// block — the same closed-loop back-pressure a TCP fabric gives the real
+// system. cmd/dlserve additionally demonstrates the same flow over real
+// TCP sockets.
+package nic
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dlbooster/internal/queue"
+)
+
+// Frame is one application message: a complete encoded image.
+type Frame struct {
+	ClientID int
+	Seq      int
+	Payload  []byte
+	SentAt   time.Time // stamped at delivery for latency measurement
+}
+
+// Config sets fabric behaviour.
+type Config struct {
+	// BandwidthBits is the shared link rate in bits/s; 0 disables
+	// pacing (unit tests).
+	BandwidthBits float64
+	// RxQueueCap bounds the server-side receive queue (default 256).
+	RxQueueCap int
+}
+
+// Fabric is the shared link plus the server's receive queue.
+type Fabric struct {
+	cfg Config
+	rx  *queue.Queue[Frame]
+
+	mu        sync.Mutex
+	linkFree  time.Time // when the serialised link next becomes idle
+	delivered int64
+	bytesSent int64
+}
+
+// New creates a fabric.
+func New(cfg Config) *Fabric {
+	if cfg.RxQueueCap == 0 {
+		cfg.RxQueueCap = 256
+	}
+	return &Fabric{cfg: cfg, rx: queue.New[Frame](cfg.RxQueueCap)}
+}
+
+// Deliver sends one frame across the link into the RX queue, blocking
+// for link serialisation (when pacing is on) and for RX-queue space.
+func (f *Fabric) Deliver(fr Frame) error {
+	if len(fr.Payload) == 0 {
+		return errors.New("nic: empty frame")
+	}
+	if f.cfg.BandwidthBits > 0 {
+		wire := time.Duration(float64(len(fr.Payload)*8) / f.cfg.BandwidthBits * float64(time.Second))
+		f.mu.Lock()
+		now := time.Now()
+		start := f.linkFree
+		if start.Before(now) {
+			start = now
+		}
+		f.linkFree = start.Add(wire)
+		wait := f.linkFree.Sub(now)
+		f.mu.Unlock()
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	fr.SentAt = time.Now()
+	if err := f.rx.Push(fr); err != nil {
+		return fmt.Errorf("nic: fabric closed: %w", err)
+	}
+	f.mu.Lock()
+	f.delivered++
+	f.bytesSent += int64(len(fr.Payload))
+	f.mu.Unlock()
+	return nil
+}
+
+// Recv blocks for the next frame. It returns queue.ErrClosed after Close
+// once the queue drains.
+func (f *Fabric) Recv() (Frame, error) { return f.rx.Pop() }
+
+// TryRecv returns the next frame without blocking.
+func (f *Fabric) TryRecv() (Frame, bool, error) { return f.rx.TryPop() }
+
+// RecvTimeout waits up to d for a frame; ok is false on timeout.
+func (f *Fabric) RecvTimeout(d time.Duration) (Frame, bool, error) {
+	return f.rx.PopTimeout(d)
+}
+
+// RxLen returns the current depth of the receive queue.
+func (f *Fabric) RxLen() int { return f.rx.Len() }
+
+// Stats returns frames delivered and payload bytes sent.
+func (f *Fabric) Stats() (frames, bytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delivered, f.bytesSent
+}
+
+// Close shuts the fabric down; blocked senders and receivers are woken.
+func (f *Fabric) Close() { f.rx.Close() }
+
+// ClientGroup runs n closed-loop senders cycling through a payload set.
+type ClientGroup struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// StartClients launches n clients on the fabric, each cycling through
+// payloads starting at a distinct offset (so the mix of image sizes
+// interleaves like independent client streams). Clients stop when Stop
+// is called or the fabric closes.
+func StartClients(f *Fabric, n int, payloads [][]byte) (*ClientGroup, error) {
+	if n <= 0 {
+		return nil, errors.New("nic: client count must be positive")
+	}
+	if len(payloads) == 0 {
+		return nil, errors.New("nic: no payloads")
+	}
+	for i, p := range payloads {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("nic: payload %d is empty", i)
+		}
+	}
+	g := &ClientGroup{stop: make(chan struct{})}
+	for c := 0; c < n; c++ {
+		g.wg.Add(1)
+		go func(c int) {
+			defer g.wg.Done()
+			seq := 0
+			for {
+				select {
+				case <-g.stop:
+					return
+				default:
+				}
+				p := payloads[(seq*n+c)%len(payloads)]
+				if err := f.Deliver(Frame{ClientID: c, Seq: seq, Payload: p}); err != nil {
+					return
+				}
+				seq++
+			}
+		}(c)
+	}
+	return g, nil
+}
+
+// Stop halts the clients and waits for them to exit. The fabric must be
+// closed (or being drained) for blocked senders to unblock.
+func (g *ClientGroup) Stop() {
+	g.once.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}

@@ -1,0 +1,147 @@
+package nic
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dlbooster/internal/queue"
+)
+
+func TestDeliverRecv(t *testing.T) {
+	f := New(Config{})
+	if err := f.Deliver(Frame{ClientID: 1, Seq: 2, Payload: []byte("img")}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := f.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.ClientID != 1 || fr.Seq != 2 || string(fr.Payload) != "img" {
+		t.Fatalf("frame = %+v", fr)
+	}
+	if fr.SentAt.IsZero() {
+		t.Fatal("SentAt not stamped")
+	}
+	frames, bytes := f.Stats()
+	if frames != 1 || bytes != 3 {
+		t.Fatalf("stats = %d, %d", frames, bytes)
+	}
+}
+
+func TestEmptyFrameRejected(t *testing.T) {
+	f := New(Config{})
+	if err := f.Deliver(Frame{}); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+func TestCloseUnblocks(t *testing.T) {
+	f := New(Config{RxQueueCap: 1})
+	_ = f.Deliver(Frame{Payload: []byte{1}})
+	errc := make(chan error, 1)
+	go func() { errc <- f.Deliver(Frame{Payload: []byte{2}}) }() // blocks: queue full
+	time.Sleep(10 * time.Millisecond)
+	f.Close()
+	if err := <-errc; err == nil {
+		t.Fatal("Deliver after close succeeded")
+	}
+	// The queued frame drains, then ErrClosed.
+	if _, err := f.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(); !errors.Is(err, queue.ErrClosed) {
+		t.Fatalf("Recv on closed = %v", err)
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	// 8 KB over a 1 Mbit/s link = 64 ms of serialisation.
+	f := New(Config{BandwidthBits: 1e6, RxQueueCap: 16})
+	payload := make([]byte, 8000)
+	start := time.Now()
+	if err := f.Deliver(Frame{Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("paced delivery took %v, want ≈ 64ms", elapsed)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	// Two concurrent senders share the link: total time ≈ sum of wire
+	// times, not max.
+	f := New(Config{BandwidthBits: 1e6, RxQueueCap: 16})
+	payload := make([]byte, 4000) // 32 ms each
+	start := time.Now()
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_ = f.Deliver(Frame{Payload: payload})
+			done <- struct{}{}
+		}()
+	}
+	<-done
+	<-done
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Fatalf("two frames in %v, want ≈ 64ms serialised", elapsed)
+	}
+}
+
+func TestClientsClosedLoop(t *testing.T) {
+	f := New(Config{RxQueueCap: 8})
+	payloads := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc")}
+	g, err := StartClients(f, 3, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume frames until all three clients have shown up; the Go
+	// scheduler may let one client burst ahead, so bound by frame count
+	// rather than expecting interleaving.
+	seen := map[int]int{}
+	for i := 0; i < 100000 && len(seen) < 3; i++ {
+		fr, err := f.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[fr.ClientID]++
+	}
+	f.Close()
+	g.Stop()
+	g.Stop() // idempotent
+	if len(seen) != 3 {
+		t.Fatalf("clients seen = %v, want 3 distinct", seen)
+	}
+}
+
+func TestClientsBlockOnFullQueue(t *testing.T) {
+	f := New(Config{RxQueueCap: 4})
+	g, err := StartClients(f, 2, [][]byte{[]byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Queue holds at most cap + the frames in-flight inside Deliver.
+	if n := f.RxLen(); n > 4 {
+		t.Fatalf("RxLen = %d exceeds cap", n)
+	}
+	frames, _ := f.Stats()
+	if frames > 8 {
+		t.Fatalf("clients ran open-loop: %d frames delivered into cap-4 queue", frames)
+	}
+	f.Close()
+	g.Stop()
+}
+
+func TestStartClientsValidation(t *testing.T) {
+	f := New(Config{})
+	if _, err := StartClients(f, 0, [][]byte{[]byte("x")}); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	if _, err := StartClients(f, 1, nil); err == nil {
+		t.Fatal("no payloads accepted")
+	}
+	if _, err := StartClients(f, 1, [][]byte{nil}); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}

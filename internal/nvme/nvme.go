@@ -1,0 +1,228 @@
+// Package nvme simulates the testbed's Intel Optane 900p NVMe disk: a
+// block device holding the training corpus, with a manifest that maps
+// each object to block extents — the "metadata (blocks description) of
+// files" that DLBooster's DataCollector translates into FPGA decode
+// commands (Table 1, load_from_disk) — and an optional rate/latency model
+// for realistic pacing.
+//
+// The store is backed by one contiguous in-memory block array, because
+// what the pipeline needs from the disk is (a) block-addressed reads, (b)
+// a bounded read bandwidth, and (c) a manifest; the paper's disk is never
+// a correctness dependency.
+package nvme
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"dlbooster/internal/fpga"
+)
+
+// BlockSize is the device's logical block size.
+const BlockSize = 4096
+
+// ErrNotFound reports a read of an object absent from the manifest.
+var ErrNotFound = errors.New("nvme: object not found")
+
+// FileInfo is one manifest entry: where an object's bytes live on the
+// device.
+type FileInfo struct {
+	Name       string
+	Size       int64
+	BlockStart int64 // first block
+	Blocks     int64 // contiguous block count
+}
+
+// Config sets the timing model. Zero values disable pacing (tests) —
+// DefaultConfig enables the Optane-class model from internal/perf.
+type Config struct {
+	ReadBandwidth float64       // bytes/s; 0 = unpaced
+	ReadLatency   time.Duration // per-request; 0 = none
+}
+
+// Device is a simulated NVMe disk.
+type Device struct {
+	cfg Config
+
+	mu       sync.Mutex
+	blocks   []byte
+	manifest map[string]FileInfo
+	order    []string // insertion order for deterministic iteration
+
+	reads     int64
+	bytesRead int64
+	busy      time.Duration
+}
+
+// New creates an empty device.
+func New(cfg Config) *Device {
+	return &Device{cfg: cfg, manifest: make(map[string]FileInfo)}
+}
+
+// Put stores an object, appending it at the next block boundary, and
+// returns its manifest entry.
+func (d *Device) Put(name string, data []byte) (FileInfo, error) {
+	if name == "" {
+		return FileInfo{}, errors.New("nvme: empty object name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.manifest[name]; dup {
+		return FileInfo{}, fmt.Errorf("nvme: object %q already stored", name)
+	}
+	nblocks := int64((len(data) + BlockSize - 1) / BlockSize)
+	if nblocks == 0 {
+		nblocks = 1 // empty objects still own a block, like a real FS
+	}
+	start := int64(len(d.blocks) / BlockSize)
+	padded := make([]byte, nblocks*BlockSize)
+	copy(padded, data)
+	d.blocks = append(d.blocks, padded...)
+	fi := FileInfo{Name: name, Size: int64(len(data)), BlockStart: start, Blocks: nblocks}
+	d.manifest[name] = fi
+	d.order = append(d.order, name)
+	return fi, nil
+}
+
+// LoadDir stores every regular file under dir (recursively), keyed by
+// slash-separated path relative to dir.
+func (d *Device) LoadDir(dir string) (int, error) {
+	n := 0
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		if _, err := d.Put(filepath.ToSlash(rel), data); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// Stat returns the manifest entry for an object.
+func (d *Device) Stat(name string) (FileInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fi, ok := d.manifest[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return fi, nil
+}
+
+// Manifest returns all entries in insertion order — the file list the
+// DataCollector walks each epoch.
+func (d *Device) Manifest() []FileInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]FileInfo, 0, len(d.order))
+	for _, name := range d.order {
+		out = append(out, d.manifest[name])
+	}
+	return out
+}
+
+// Len returns the number of stored objects.
+func (d *Device) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.manifest)
+}
+
+// ReadAt reads length bytes of an object starting at off, applying the
+// pacing model.
+func (d *Device) ReadAt(name string, off, length int64) ([]byte, error) {
+	d.mu.Lock()
+	fi, ok := d.manifest[name]
+	if !ok {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if off < 0 || length < 0 || off+length > fi.Size {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("nvme: read [%d,%d) outside %q of %d bytes", off, off+length, name, fi.Size)
+	}
+	base := fi.BlockStart * BlockSize
+	out := make([]byte, length)
+	copy(out, d.blocks[base+off:base+off+length])
+	d.reads++
+	d.bytesRead += length
+	pause := d.pace(length)
+	d.busy += pause
+	d.mu.Unlock()
+	if pause > 0 {
+		time.Sleep(pause)
+	}
+	return out, nil
+}
+
+// Read reads a whole object.
+func (d *Device) Read(name string) ([]byte, error) {
+	fi, err := d.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.ReadAt(name, 0, fi.Size)
+}
+
+// pace returns the simulated device time for a transfer; caller holds mu.
+func (d *Device) pace(length int64) time.Duration {
+	var t time.Duration
+	if d.cfg.ReadLatency > 0 {
+		t += d.cfg.ReadLatency
+	}
+	if d.cfg.ReadBandwidth > 0 {
+		t += time.Duration(float64(length) / d.cfg.ReadBandwidth * float64(time.Second))
+	}
+	return t
+}
+
+// Stats returns total reads, bytes read and accumulated device busy time.
+func (d *Device) Stats() (reads, bytesRead int64, busy time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.bytesRead, d.busy
+}
+
+// Fetch implements fpga.DataSource: the FPGA DataReader's DMA-from-disk
+// path. Length 0 means "the whole object from Offset".
+func (d *Device) Fetch(ref fpga.DataRef) ([]byte, error) {
+	fi, err := d.Stat(ref.Path)
+	if err != nil {
+		return nil, err
+	}
+	length := ref.Length
+	if length == 0 {
+		length = fi.Size - ref.Offset
+	}
+	return d.ReadAt(ref.Path, ref.Offset, length)
+}
+
+// Names returns the stored object names, sorted, for tests and tools.
+func (d *Device) Names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := append([]string(nil), d.order...)
+	sort.Strings(names)
+	return names
+}
+
+var _ fpga.DataSource = (*Device)(nil)

@@ -1,0 +1,319 @@
+// Package perf holds the calibration constants for every simulated
+// device, each anchored to a specific number in the paper (or to a figure
+// axis when the paper gives only a plot). Experiments must take device
+// timing from here and only here, so that the mapping from paper numbers
+// to simulated behaviour is auditable in one place.
+//
+// Absolute throughput equality with the paper's testbed is not the goal —
+// the substrates are simulators — but with these anchors the *shape* of
+// every figure (who wins, by what factor, where DLBooster saturates)
+// reproduces.
+package perf
+
+// --- CPU decoding (paper §2.2 "Scalability") -------------------------
+
+// CPUDecodeRateILSVRC is the JPEG decode rate of one Xeon E5 core on the
+// paper's 500×375 inference images: "each Xeon E5 CPU core can decode
+// only 300 images per second".
+const CPUDecodeRateILSVRC = 300.0 // images/s/core
+
+// ReferenceImagePixels is the pixel count of the anchor image above.
+const ReferenceImagePixels = 500 * 375
+
+// CPUDecodeBaseSeconds is the per-image fixed overhead of a CPU decode
+// (syscall, header parse, buffer management), independent of size.
+const CPUDecodeBaseSeconds = 50e-6
+
+// CPUDecodeSeconds models CPU decode time for an arbitrary image as a
+// fixed cost plus a per-pixel cost calibrated so the reference image
+// lands at exactly 1/CPUDecodeRateILSVRC.
+func CPUDecodeSeconds(pixels int) float64 {
+	perPixel := (1.0/CPUDecodeRateILSVRC - CPUDecodeBaseSeconds) / ReferenceImagePixels
+	return CPUDecodeBaseSeconds + perPixel*float64(pixels)
+}
+
+// CPUThreadEfficiency models the scaling loss of a many-thread decode
+// pool (scheduler interference, memory-bandwidth sharing, the imbalance
+// the paper's §5.2 attributes per-thread decoding). Effective aggregate
+// rate = n × perCore × CPUThreadEfficiency(n). At 12 threads this is
+// ≈ 0.82, reproducing "burning more than 12 CPU cores per GPU" for
+// AlexNet's ≈ 2.3k images/s demand.
+func CPUThreadEfficiency(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 / (1 + 0.02*float64(n-1))
+}
+
+// DefaultCPUDecodeThreads is the out-of-the-box data-loader thread count
+// of the CPU-based baseline. Two threads × 300 img/s ≈ 25 % of AlexNet's
+// GPU demand, matching "achieves only ∼25% training performance in the
+// default configuration" (§2.2).
+const DefaultCPUDecodeThreads = 2
+
+// --- FPGA decoder (paper §3.3, §4.1, Figure 7) -----------------------
+
+// FPGA stage widths: "we place 4-way Huffman and 2-way resizing units
+// according to their workloads and the constraints of FPGAs" (§4.1).
+const (
+	FPGAHuffmanWays = 4
+	FPGAResizeWays  = 2
+)
+
+// Per-way stage rates on the 500×375 reference image, calibrated so the
+// pipeline bottleneck (the 4-way Huffman unit) caps DLBooster at
+// ≈ 5.6k images/s — just below GoogLeNet's large-batch GPU rate, so that
+// at batch ≥ 16 the decoder (not the GPU) binds, reproducing §5.3's
+// "DLBooster approaches its performance bound due to the drawbacks of
+// the decoder's design" and the remedy of plugging in more FPGAs.
+const (
+	FPGAHuffmanRatePerWay = 1400.0 // images/s per Huffman channel
+	FPGAIDCTRate          = 7000.0 // images/s, single wide unit
+	FPGAResizeRatePerWay  = 3500.0 // images/s per resizer
+)
+
+// FPGADecodeRate is the steady-state decode rate of one FPGA decoder on
+// the reference image: the slowest pipeline stage.
+func FPGADecodeRate() float64 {
+	h := FPGAHuffmanRatePerWay * FPGAHuffmanWays
+	r := FPGAResizeRatePerWay * FPGAResizeWays
+	m := h
+	if FPGAIDCTRate < m {
+		m = FPGAIDCTRate
+	}
+	if r < m {
+		m = r
+	}
+	return m
+}
+
+// FPGAStageSeconds converts a per-way stage rate into per-image service
+// time scaled by image size (hardware decode time is dominated by
+// per-pixel work, like the CPU's).
+func FPGAStageSeconds(ratePerWayRef float64, pixels int) float64 {
+	return (1.0 / ratePerWayRef) * float64(pixels) / ReferenceImagePixels
+}
+
+// FPGACmdOverheadSeconds is the per-image host-side cost DLBooster keeps
+// on the CPU: DataCollector metadata translation, cmd generation and
+// FIFO submission, and completion draining (Algorithm 1). Anchor:
+// Figure 6(d) charges 0.3 core to "preprocessing" while training
+// ResNet-18 with DLBooster at ≈ 2.7–2.8k images/s ⇒ ≈ 107 µs per image.
+const FPGACmdOverheadSeconds = 107e-6 // per image, host CPU busy time
+
+// CacheFeedOverheadSeconds is the per-image host cost of serving an
+// epoch from the in-memory cache (hybrid mode): a memory copy plus queue
+// bookkeeping, far below the live cmd path.
+const CacheFeedOverheadSeconds = 2e-6
+
+// NvJPEGBatchOverheadSeconds is the fixed per-batch cost of launching an
+// nvJPEG decode (kernel launch + state setup). Together with the
+// per-image decode time it sets nvJPEG's batch-1 latency gap over
+// DLBooster in Figure 8 (1.8 ms vs 1.2 ms).
+const NvJPEGBatchOverheadSeconds = 750e-6
+
+// --- GPU compute (Figures 2, 5, 7; §2.2) ------------------------------
+
+// TrainProfile is the calibrated training-side cost model of one model
+// on one P100.
+type TrainProfile struct {
+	Name string
+	// IdealRate is images/s per GPU with synthetic data (no input
+	// bottleneck), the "Performance Upper Boundary" of Figure 2.
+	IdealRate float64
+	// BatchSize is the per-GPU batch the paper uses for this model.
+	BatchSize int
+	// ImagePixels is the decoded input size fed to this model.
+	ImagePixels int
+	// InputChannels is 1 for grayscale, 3 for colour.
+	InputChannels int
+	// Dataset images for one epoch.
+	EpochImages int
+	// DatasetFitsInMemory: MNIST can be cached after the first epoch,
+	// ILSVRC12 cannot (Figure 6 discussion).
+	DatasetFitsInMemory bool
+}
+
+// MultiGPUSyncEfficiency is per-iteration gradient-synchronisation
+// efficiency with n data-parallel GPUs. Figure 2's ideal bars (2,496 →
+// 4,652 images/s from 1 → 2 GPUs) give 0.932 at n = 2.
+func MultiGPUSyncEfficiency(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 / (1 + 0.073*float64(n-1))
+}
+
+// Training profiles. Anchors: AlexNet ideal = Figure 2 "Ideal 2496";
+// LeNet-5 and ResNet-18 are set from the Figure 5(a)/(c) axes (≈ 100k and
+// ≈ 1.45k images/s per GPU respectively at the paper's batch sizes).
+var (
+	LeNet5 = TrainProfile{
+		Name: "LeNet-5", IdealRate: 100000, BatchSize: 512,
+		ImagePixels: 28 * 28, InputChannels: 1, EpochImages: 60000,
+		DatasetFitsInMemory: true,
+	}
+	AlexNet = TrainProfile{
+		Name: "AlexNet", IdealRate: 2496, BatchSize: 256,
+		ImagePixels: 227 * 227, InputChannels: 3, EpochImages: 1281167,
+		DatasetFitsInMemory: false,
+	}
+	ResNet18 = TrainProfile{
+		Name: "ResNet-18", IdealRate: 1450, BatchSize: 128,
+		ImagePixels: 224 * 224, InputChannels: 3, EpochImages: 1281167,
+		DatasetFitsInMemory: false,
+	}
+)
+
+// TrainProfiles lists the training benchmarks in paper order.
+var TrainProfiles = []TrainProfile{LeNet5, AlexNet, ResNet18}
+
+// InferProfile is the calibrated inference-side cost model of one model
+// on one P100 with float16 (Tensor Core) enabled.
+//
+// Batch inference time is modelled as (batch + LatencyBatches) / MaxRate:
+// affine in batch size, saturating to MaxRate at large batches — the
+// shape of every curve in Figure 7. MaxRate anchors to the Figure 7 axis
+// plateau; LatencyBatches sets the batch-1 latency of Figure 8.
+type InferProfile struct {
+	Name          string
+	MaxRate       float64 // images/s plateau (Figure 7 axes)
+	LatencyBatch  float64 // fixed cost expressed in image-equivalents
+	MaxBatch      int     // largest batch the paper sweeps
+	ImagePixels   int     // network input size after preprocessing
+	InputChannels int
+}
+
+// BatchSeconds returns the modelled GPU time to infer one batch.
+func (p InferProfile) BatchSeconds(batch int) float64 {
+	return (float64(batch) + p.LatencyBatch) / p.MaxRate
+}
+
+// Rate returns the modelled steady-state throughput at a batch size.
+func (p InferProfile) Rate(batch int) float64 {
+	return float64(batch) / p.BatchSeconds(batch)
+}
+
+// Inference profiles. MaxRate anchors: Figure 7(a) ≈ 6.0–6.5k for
+// GoogLeNet, 7(b) ≈ 2.1k for VGG-16, 7(c) ≈ 5.2–5.4k for ResNet-50 (the
+// paper's §2.2 quotes 5k images/s for ResNet-50 on a V100).
+var (
+	GoogLeNet = InferProfile{Name: "GoogLeNet", MaxRate: 6500, LatencyBatch: 3, MaxBatch: 32, ImagePixels: 224 * 224, InputChannels: 3}
+	VGG16     = InferProfile{Name: "VGG-16", MaxRate: 2100, LatencyBatch: 2, MaxBatch: 32, ImagePixels: 224 * 224, InputChannels: 3}
+	ResNet50  = InferProfile{Name: "ResNet-50", MaxRate: 5400, LatencyBatch: 6, MaxBatch: 64, ImagePixels: 224 * 224, InputChannels: 3}
+)
+
+// InferProfiles lists the inference benchmarks in paper order.
+var InferProfiles = []InferProfile{GoogLeNet, VGG16, ResNet50}
+
+// NvJPEGGPUShare is the fraction of GPU compute nvJPEG occupies while
+// decoding at full demand: "the decoding on nvJPEG needs to consume ∼30%
+// of GPU resources" (§5.3), slowing model kernels by 1/(1-share) and
+// producing the ≈ 30–40 % throughput loss of Figures 2 and 7.
+const NvJPEGGPUShare = 0.30
+
+// NvJPEGDecodeRate is nvJPEG's decode rate on an otherwise idle GPU for
+// the reference image (it is fast — the problem the paper demonstrates is
+// contention, not decode speed).
+const NvJPEGDecodeRate = 8000.0 // images/s
+
+// --- Host data movement (§5.2 reason 1) ------------------------------
+
+// PCIeBandwidthBytes is the host→device copy bandwidth (PCIe 3.0 ×16).
+const PCIeBandwidthBytes = 12e9 // bytes/s
+
+// PerItemCopyOverheadSeconds is the fixed cost of each small-piece copy
+// (launch + driver bookkeeping). Backends that copy "each datum ... in
+// small pieces" pay it per image; DLBooster's batched large-block buffers
+// pay it once per batch. At LeNet-5's 512-image batches this reproduces
+// the ≈ 20 % loss §5.2 reports for per-datum copying.
+const PerItemCopyOverheadSeconds = 2e-6
+
+// CopySeconds returns the host→device copy time for n bytes moved in
+// `pieces` separate transfers.
+func CopySeconds(n int, pieces int) float64 {
+	if pieces < 1 {
+		pieces = 1
+	}
+	return float64(n)/PCIeBandwidthBytes + float64(pieces)*PerItemCopyOverheadSeconds
+}
+
+// --- Engine-side CPU overheads (Figure 6(d)) --------------------------
+
+// Per-GPU steady-state CPU cores consumed by the engine itself,
+// independent of preprocessing backend. Anchor: Figure 6(d), training
+// ResNet-18 with DLBooster: 0.95 launching kernels, 0.15 transforming,
+// 0.12 updating model, 0.3 preprocessing ⇒ ≤ 1.5 cores in all.
+const (
+	KernelLaunchCores   = 0.95
+	TransformCores      = 0.15
+	ModelUpdateCores    = 0.12
+	DLBoosterFeedCores  = 0.30 // cmd generation + dispatcher, the "preprocessing" slice
+	NvJPEGLaunchCores   = 1.0  // extra CUDA-launch cores nvJPEG burns ("few (1∼2) CPU cores ... to launch CUDA kernels", §5.3)
+	LMDBPerGPUReadCores = 1.0  // deserialize + read threads per GPU for the LMDB backend (Figure 6: ≈ 2.5 total/GPU)
+)
+
+// --- LMDB offline backend (Figure 2, §2.2) ----------------------------
+
+// LMDBAggregateRate is the shared store's maximum aggregate read
+// throughput (reference-size records) with n concurrent GPU readers.
+// Anchor: Figure 2, AlexNet 2-GPU LMDB = 3,200 images/s (the shared-DB
+// bottleneck), single-GPU LMDB ≈ 2,446 (not store-bound).
+func LMDBAggregateRate(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return 3450 - 250*float64(n-1)
+}
+
+// LMDBRecordScale scales the store rate for record size: smaller decoded
+// records (MNIST) read proportionally faster, capped by a fixed
+// per-record cost.
+func LMDBRecordRate(n int, recordBytes int) float64 {
+	ref := AlexNet.ImagePixels * 3
+	rate := LMDBAggregateRate(n) * float64(ref) / float64(recordBytes)
+	const perRecordCap = 200000.0
+	if rate > perRecordCap {
+		rate = perRecordCap
+	}
+	return rate
+}
+
+// LMDBPrepareRate is the offline conversion rate: "we spent more than 2
+// hours to prepare the LMDB backend for ILSVRC12" (§2.2) — 1.28 M images
+// in ≈ 2 h.
+const LMDBPrepareRate = 178.0 // images/s
+
+// --- I/O devices (§5.1 testbed) ---------------------------------------
+
+const (
+	// NVMeReadBandwidth: Intel Optane 900p sequential read.
+	NVMeReadBandwidth = 2.5e9 // bytes/s
+	// NVMeReadLatency: per-request access latency.
+	NVMeReadLatency = 10e-6 // seconds
+	// NICBandwidthBits: "a 40Gbps NIC".
+	NICBandwidthBits = 40e9 // bits/s
+	// InferenceClients: "we set up 5 clients to send color images".
+	InferenceClients = 5
+	// AvgJPEGBytes: a 500×375 colour JPEG at typical quality.
+	AvgJPEGBytes = 30 * 1024
+)
+
+// --- Economics (§5.4) --------------------------------------------------
+
+const (
+	CorePricePerHour     = 0.105 // USD per physical core-hour ("$0.10∼0.11")
+	CoreAnnualRevenue    = 900.0 // USD per core-year ("∼$900 per year")
+	FPGAWatts            = 25.0
+	CPUWatts             = 130.0
+	GPUWatts             = 250.0
+	FPGAEquivalentCores  = 30  // "a well-optimized FPGA decoder can offer the same ... as 30 cores"
+	SavedCoreResaleHours = 1.5 // "$1.5/h" resale of freed cores per FPGA
+)
+
+// --- Server inventory (§5.1) -------------------------------------------
+
+const (
+	TestbedCPUCores = 32 // "two Intel Xeon E5-2630-v3 CPUs (32 cores in all)"
+	TestbedGPUs     = 2  // "2 NVIDIA Tesla P100s"
+)

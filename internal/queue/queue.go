@@ -1,0 +1,210 @@
+// Package queue provides the bounded blocking queues that connect the
+// stages of a DLBooster pipeline.
+//
+// The paper's host bridger (§3.4) is built around pairs of bounded FIFO
+// queues: the Free_Batch_Queue / Full_Batch_Queue pair between FPGAReader
+// and Dispatcher, and the per-GPU Trans Queues between the Dispatcher and
+// each compute engine. All of them need the same semantics: multiple
+// producers and consumers, blocking push when full, blocking pop when
+// empty, and a way to shut the pipeline down cleanly. Queue implements
+// exactly that; Ring is the non-concurrent building block it sits on.
+package queue
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a queue that has been closed.
+// A closed queue rejects new elements but still drains the ones it holds.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is a bounded, blocking, multi-producer multi-consumer FIFO queue.
+//
+// The zero value is not usable; construct with New. All methods are safe
+// for concurrent use.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	ring     Ring[T]
+	closed   bool
+}
+
+// New returns an empty queue with the given capacity. It panics if
+// capacity is not positive: an unbuffered handoff is a channel's job, and
+// every queue in the pipeline represents real buffering (batch buffers in
+// flight), so a zero capacity is always a configuration bug.
+func New[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic("queue: capacity must be positive")
+	}
+	q := &Queue[T]{ring: NewRing[T](capacity)}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// Cap returns the queue's fixed capacity.
+func (q *Queue[T]) Cap() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ring.Cap()
+}
+
+// Len returns the number of elements currently queued.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ring.Len()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Close marks the queue closed. Blocked producers are woken and receive
+// ErrClosed; blocked consumers are woken and drain the remaining elements,
+// after which Pop reports ErrClosed. Closing twice is a no-op.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Push appends v, blocking while the queue is full. It returns ErrClosed
+// if the queue is closed before space becomes available.
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.ring.Full() && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.ring.PushBack(v)
+	q.notEmpty.Signal()
+	return nil
+}
+
+// TryPush appends v without blocking. It returns false if the queue is
+// full, and ErrClosed if the queue is closed.
+func (q *Queue[T]) TryPush(v T) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	if q.ring.Full() {
+		return false, nil
+	}
+	q.ring.PushBack(v)
+	q.notEmpty.Signal()
+	return true, nil
+}
+
+// Pop removes and returns the oldest element, blocking while the queue is
+// empty. Once the queue is closed and drained it returns ErrClosed.
+func (q *Queue[T]) Pop() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.ring.Empty() && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.ring.Empty() {
+		var zero T
+		return zero, ErrClosed
+	}
+	v := q.ring.PopFront()
+	q.notFull.Signal()
+	return v, nil
+}
+
+// TryPop removes and returns the oldest element without blocking. The
+// boolean is false when the queue is empty; the error is ErrClosed only
+// when the queue is both empty and closed.
+func (q *Queue[T]) TryPop() (T, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.ring.Empty() {
+		var zero T
+		if q.closed {
+			return zero, false, ErrClosed
+		}
+		return zero, false, nil
+	}
+	v := q.ring.PopFront()
+	q.notFull.Signal()
+	return v, true, nil
+}
+
+// Peek returns the oldest element without removing it. The boolean is
+// false when the queue is empty. Peek mirrors the free_batch_queue.peak()
+// probe in Algorithm 1 of the paper: FPGAReader checks for an available
+// buffer before deciding whether to drain completions first.
+func (q *Queue[T]) Peek() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.ring.Empty() {
+		var zero T
+		return zero, false
+	}
+	return q.ring.Front(), true
+}
+
+// PopTimeout behaves like Pop but gives up after d, returning ok=false.
+// err is ErrClosed only when the queue is closed and drained.
+func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok bool, err error) {
+	deadline := time.Now().Add(d)
+	// sync.Cond has no timed wait; poll with a short sleep outside the
+	// lock. The queues in this package carry whole image batches, so a
+	// wait of tens of microseconds is far below any batch service time.
+	for {
+		v, ok, err = q.TryPop()
+		if ok || err != nil {
+			return v, ok, err
+		}
+		if !time.Now().Before(deadline) {
+			return v, false, nil
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Drain removes and returns every element currently queued, without
+// blocking. It corresponds to fpga_channel.drain_out() in Algorithm 1:
+// collect all completions that have accumulated so far.
+func (q *Queue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.ring.Empty() {
+		return nil
+	}
+	out := make([]T, 0, q.ring.Len())
+	for !q.ring.Empty() {
+		out = append(out, q.ring.PopFront())
+	}
+	q.notFull.Broadcast()
+	return out
+}
+
+// PushAll pushes each element of vs in order, blocking as needed. It stops
+// at the first error and returns the number of elements pushed.
+func (q *Queue[T]) PushAll(vs []T) (int, error) {
+	for i, v := range vs {
+		if err := q.Push(v); err != nil {
+			return i, err
+		}
+	}
+	return len(vs), nil
+}

@@ -1,0 +1,75 @@
+package queue
+
+// Ring is a fixed-capacity circular FIFO buffer. It is not safe for
+// concurrent use; Queue wraps it with locking. Keeping the storage logic
+// separate lets the single-goroutine components (the FPGA decoder's
+// internal stage buffers, the simulator's per-server queues) use it
+// without paying for synchronisation.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int // number of elements stored
+}
+
+// NewRing returns an empty ring with the given capacity. It panics if
+// capacity is not positive.
+func NewRing[T any](capacity int) Ring[T] {
+	if capacity <= 0 {
+		panic("queue: ring capacity must be positive")
+	}
+	return Ring[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of stored elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Empty reports whether the ring holds no elements.
+func (r *Ring[T]) Empty() bool { return r.n == 0 }
+
+// Full reports whether the ring is at capacity.
+func (r *Ring[T]) Full() bool { return r.n == len(r.buf) }
+
+// PushBack appends v. It panics if the ring is full; callers are expected
+// to check Full (Queue does so under its lock).
+func (r *Ring[T]) PushBack(v T) {
+	if r.Full() {
+		panic("queue: push to full ring")
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// PopFront removes and returns the oldest element. It panics if the ring
+// is empty.
+func (r *Ring[T]) PopFront() T {
+	if r.Empty() {
+		panic("queue: pop from empty ring")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release the reference for the garbage collector
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// Front returns the oldest element without removing it. It panics if the
+// ring is empty.
+func (r *Ring[T]) Front() T {
+	if r.Empty() {
+		panic("queue: front of empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// At returns the element i positions from the front (0 = oldest). It
+// panics if i is out of range.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("queue: ring index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}

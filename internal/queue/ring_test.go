@@ -1,0 +1,119 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing[int](3)
+	if !r.Empty() || r.Full() || r.Len() != 0 || r.Cap() != 3 {
+		t.Fatalf("fresh ring state wrong: len=%d cap=%d", r.Len(), r.Cap())
+	}
+	r.PushBack(1)
+	r.PushBack(2)
+	r.PushBack(3)
+	if !r.Full() {
+		t.Fatal("ring should be full")
+	}
+	if r.Front() != 1 {
+		t.Fatalf("Front = %d, want 1", r.Front())
+	}
+	if r.At(2) != 3 {
+		t.Fatalf("At(2) = %d, want 3", r.At(2))
+	}
+	if v := r.PopFront(); v != 1 {
+		t.Fatalf("PopFront = %d, want 1", v)
+	}
+	r.PushBack(4) // wraps around
+	want := []int{2, 3, 4}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"zero capacity", func() { NewRing[int](0) }},
+		{"push full", func() {
+			r := NewRing[int](1)
+			r.PushBack(1)
+			r.PushBack(2)
+		}},
+		{"pop empty", func() {
+			r := NewRing[int](1)
+			r.PopFront()
+		}},
+		{"front empty", func() {
+			r := NewRing[int](1)
+			r.Front()
+		}},
+		{"at out of range", func() {
+			r := NewRing[int](2)
+			r.PushBack(1)
+			r.At(1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+// TestRingMatchesSliceModel drives a ring and a plain-slice model with the
+// same random operation sequence and checks they stay equivalent.
+func TestRingMatchesSliceModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const capacity = 5
+		r := NewRing[uint8](capacity)
+		var model []uint8
+		for _, op := range ops {
+			if op%2 == 0 { // push if possible
+				if r.Full() {
+					if len(model) != capacity {
+						return false
+					}
+					continue
+				}
+				r.PushBack(op)
+				model = append(model, op)
+			} else { // pop if possible
+				if r.Empty() {
+					if len(model) != 0 {
+						return false
+					}
+					continue
+				}
+				got := r.PopFront()
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					return false
+				}
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+			for i := range model {
+				if r.At(i) != model[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package simtime is a deterministic discrete-event simulation kernel.
+//
+// The paper's evaluation ran on hardware a pure-Go reproduction cannot
+// reach (P100 GPUs, an Arria 10 FPGA, a 40 Gbps fabric). The experiment
+// harness therefore re-runs each evaluation as a queueing simulation: the
+// same component graph as the functional pipeline, but with device service
+// times taken from the calibrated models in internal/perf and time
+// advanced by this kernel instead of the wall clock. Events at equal
+// timestamps fire in scheduling order, so every run is exactly
+// reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts a virtual duration to floating-point ms.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds to virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return popped
+}
+
+// Sim is one simulation run. The zero value is ready to use.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+}
+
+// New returns a simulation at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn at absolute time t. Scheduling in the past panics —
+// that is always a logic error in a process model.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: scheduling at %d before now %d", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time. Negative d panics.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Step fires the next event, returning false when none remain.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps ≤ deadline, then sets the clock
+// to the deadline. Events scheduled after it remain pending.
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.events) }
