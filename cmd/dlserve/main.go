@@ -25,6 +25,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"dlbooster/internal/core"
 	"dlbooster/internal/dataset"
 	"dlbooster/internal/engine"
+	"dlbooster/internal/faults"
 	"dlbooster/internal/fpga"
 	"dlbooster/internal/gpu"
 	"dlbooster/internal/metrics"
@@ -49,12 +51,21 @@ func main() {
 	n := flag.Int("n", 64, "client: number of images to send")
 	size := flag.Int("size", 224, "server decoder output edge")
 	pace := flag.Bool("pace", false, "server: pace GPU compute at the calibrated GoogLeNet rate")
+	faultFPGA := flag.String("fault-fpga", "", "server: inject decoder faults, e.g. fail-rate=0.3,seed=7 or stuck-after=64 (keys: "+strings.Join(faults.SpecKeys(), " ")+")")
+	decodeRetries := flag.Int("decode-retries", 0, "server: resubmit a failed decode command up to N times")
+	cmdTimeout := flag.Duration("cmd-timeout", 0, "server: per-command decode timeout (0 = wait forever)")
+	fallbackAfter := flag.Int("fallback-after", 0, "server: reroute decoding to the CPU after N consecutive FPGA failures (0 = never)")
 	flag.Parse()
 
+	res := core.Resilience{
+		MaxRetries:    *decodeRetries,
+		CmdTimeout:    *cmdTimeout,
+		FallbackAfter: *fallbackAfter,
+	}
 	var err error
 	switch {
 	case *listen != "":
-		err = serve(*listen, *backendName, *batch, *size, *pace)
+		err = serve(*listen, *backendName, *batch, *size, *pace, *faultFPGA, res)
 	case *connect != "":
 		err = client(*connect, *n)
 	default:
@@ -103,18 +114,31 @@ func (c *conns) send(p engine.Prediction) {
 	c.mu.Unlock()
 }
 
-func serve(addr, backendName string, batch, size int, pace bool) error {
+func serve(addr, backendName string, batch, size int, pace bool, faultFPGA string, res core.Resilience) error {
+	faultCfg, err := faults.ParseSpec(faultFPGA)
+	if err != nil {
+		return err
+	}
+	var inject *faults.Injector
+	if faultCfg.Enabled() {
+		inject = faults.New(faultCfg)
+	}
 	var backend backends.Backend
 	switch backendName {
 	case "dlbooster":
 		b, err := backends.NewDLBooster(core.Config{
 			BatchSize: batch, OutW: size, OutH: size, Channels: 3, PoolBatches: 8,
+			FPGA:       fpga.Config{Inject: inject},
+			Resilience: res,
 		})
 		if err != nil {
 			return err
 		}
 		backend = b
 	case "cpu":
+		if inject != nil {
+			return fmt.Errorf("-fault-fpga targets the decoder; the cpu backend has none")
+		}
 		b, err := backends.NewCPU(backends.CPUConfig{
 			BatchSize: batch, OutW: size, OutH: size, Channels: 3,
 			PoolBatches: 8, Workers: 4,
@@ -156,6 +180,15 @@ func serve(addr, backendName string, batch, size int, pace bool) error {
 	go func() {
 		if err := backend.RunEpoch(core.CollectorFromQueue(items)); err != nil {
 			fmt.Fprintf(os.Stderr, "dlserve: backend: %v\n", err)
+		}
+		if db, ok := backend.(*backends.DLBooster); ok {
+			for _, e := range db.Events() {
+				fmt.Fprintf(os.Stderr, "dlserve: %s: %s\n", e.Name, e.Detail)
+			}
+			if db.Degraded() {
+				fmt.Fprintf(os.Stderr, "dlserve: served %d images on the CPU fallback path (%d retries, %d command timeouts)\n",
+					db.FallbackDecodes(), db.Retries(), db.CmdTimeouts())
+			}
 		}
 		backend.CloseBatches()
 	}()

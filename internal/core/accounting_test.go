@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dlbooster/internal/faults"
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/queue"
+)
+
+// Buffer-accounting invariant tests: every get_item is matched by
+// exactly one recycle_item (Table 1), under clean shutdown, mid-stream
+// Close, and injected-fault runs. Pool.Outstanding is the ledger.
+
+func TestAccountingCleanShutdown(t *testing.T) {
+	items := chaosItems(t, 22) // 22 at batch 4 → a partial final batch too
+	b := newBooster(t, Config{BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3})
+	results := drainAll(t, b)
+	if err := b.RunEpoch(CollectorFromItems(items)); err != nil {
+		t.Fatal(err)
+	}
+	b.CloseBatches()
+	<-results
+	assertPoolBalanced(t, b)
+}
+
+func TestAccountingMidStreamClose(t *testing.T) {
+	// A streaming epoch is torn down while items are still arriving: the
+	// reader must return (not hang), and after the consumer recycles
+	// what was published, no buffer may remain checked out — including
+	// the half-built batch the reader was filling, which its epoch
+	// cleanup returns.
+	spec := chaosItems(t, 1)[0] // one decodable payload to replicate
+	b := newBooster(t, Config{BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3})
+	itemq := queue.New[Item](64)
+	epochDone := make(chan error, 1)
+	go func() { epochDone <- b.RunEpoch(CollectorFromQueue(itemq)) }()
+
+	// Feed one full batch plus a partial one, consume the full batch.
+	for i := 0; i < 6; i++ {
+		if err := itemq.Push(Item{Ref: spec.Ref, Meta: ItemMeta{Seq: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, ok, err := b.Batches().PopTimeout(10 * time.Second)
+	if err != nil || !ok {
+		t.Fatalf("first batch never published: ok=%v err=%v", ok, err)
+	}
+	if err := b.RecycleBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear down mid-stream: 2 items are sitting in an unsealed batch.
+	b.Close()
+	itemq.Close()
+	select {
+	case <-epochDone: // error or nil — either way it must return
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunEpoch hung through mid-stream Close")
+	}
+	// Drain anything still published, ignoring recycle errors (the pool
+	// is closed; the checkout ledger is still maintained).
+	for {
+		bt, err := b.Batches().Pop()
+		if err != nil {
+			break
+		}
+		_ = b.RecycleBatch(bt)
+	}
+	if n := b.Pool().Outstanding(); n != 0 {
+		t.Fatalf("%d buffers still checked out after mid-stream Close", n)
+	}
+}
+
+func TestAccountingInjectedFaultRun(t *testing.T) {
+	// Mixed fault load — failures, retries, fallback rescues, and real
+	// decode errors from corruption — must keep the ledger exact and
+	// settle every item exactly once.
+	const n = 30
+	items := chaosItems(t, n)
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		FPGA: fpga.Config{Inject: faults.New(faults.Config{
+			Seed: 5, FailEvery: 4, CorruptEvery: 7, Delay: 200 * time.Microsecond, DelayEvery: 5,
+		})},
+		Resilience: Resilience{
+			MaxRetries:    1,
+			RetryBackoff:  10 * time.Microsecond,
+			FallbackAfter: 6,
+		},
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	all := <-results
+	settled := 0
+	for _, d := range all {
+		settled += d.images
+	}
+	if settled != n {
+		t.Fatalf("settled %d items, want %d", settled, n)
+	}
+	if got := b.Images() + b.DecodeErrors(); got != n {
+		t.Fatalf("images+errors = %d, want %d", got, n)
+	}
+	assertPoolBalanced(t, b)
+}
+
+func TestResilienceValidation(t *testing.T) {
+	base := Config{BatchSize: 2, OutW: 8, OutH: 8, Channels: 1, PoolBatches: 2}
+	bad := []Resilience{
+		{MaxRetries: -1},
+		{FallbackAfter: -1},
+		{RetryBackoff: -time.Millisecond},
+		{CmdTimeout: -time.Millisecond},
+	}
+	for i, r := range bad {
+		cfg := base
+		cfg.Resilience = r
+		if _, err := New(cfg); err == nil {
+			t.Errorf("resilience %d accepted: %+v", i, r)
+		}
+	}
+	cfg := base
+	cfg.Resilience = Resilience{MaxRetries: 2}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.cfg.Resilience.RetryBackoff <= 0 {
+		t.Fatal("retry backoff not defaulted")
+	}
+	if errors.Is(err, nil) && b.Degraded() {
+		t.Fatal("fresh booster reports degraded")
+	}
+}

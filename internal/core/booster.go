@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dlbooster/internal/fpga"
 	"dlbooster/internal/hugepage"
+	"dlbooster/internal/imageproc"
 	"dlbooster/internal/metrics"
+	"dlbooster/internal/pix"
 	"dlbooster/internal/queue"
 )
 
@@ -38,12 +41,63 @@ type Config struct {
 	// limit, and later epochs replay from memory. MNIST fits; ILSVRC
 	// does not (Figure 6 discussion).
 	CacheLimitBytes int64
+	// Resilience is the failure policy (retry, timeout, CPU fallback).
+	Resilience Resilience
+}
+
+// Resilience is the failure policy of the host bridger: how the
+// FPGAReader reacts when decode commands fail, stall, or a board
+// wedges outright. The zero value preserves the paper's fail-fast
+// behaviour: an errored command marks its slot invalid, and a stuck
+// board stalls the reader (the paper's closed-loop testbed never sees
+// either, but a production deployment does — so the policy degrades
+// the pipeline instead of stalling it).
+type Resilience struct {
+	// MaxRetries resubmits a failed decode command up to N times before
+	// settling it (0 = no retries). Retries target transient decoder
+	// faults; a payload that genuinely cannot decode burns its retries
+	// and settles like any other final failure.
+	MaxRetries int
+	// RetryBackoff is the pause before the first retry, doubling per
+	// attempt. Defaults to 100µs when MaxRetries is set.
+	RetryBackoff time.Duration
+	// CmdTimeout bounds the FINISH wait per command: an expired command
+	// is settled host-side and its late FINISH, if one ever arrives, is
+	// discarded. The same bound applies to submission, so the full FIFO
+	// of a wedged board sheds work instead of blocking the reader
+	// forever (0 = wait forever).
+	CmdTimeout time.Duration
+	// FallbackAfter engages graceful degradation: after N consecutive
+	// final FPGA failures the booster reroutes decode work to the CPU
+	// backend path and records the switch in the event log. While
+	// fallback is configured, every finally-failed command is also
+	// rescued by a CPU decode, so a dead decoder loses no images
+	// (0 = disabled).
+	FallbackAfter int
+}
+
+func (r Resilience) normalize() (Resilience, error) {
+	if r.MaxRetries < 0 || r.FallbackAfter < 0 {
+		return r, fmt.Errorf("core: negative resilience counters %+v", r)
+	}
+	if r.RetryBackoff < 0 || r.CmdTimeout < 0 {
+		return r, fmt.Errorf("core: negative resilience durations %+v", r)
+	}
+	if r.MaxRetries > 0 && r.RetryBackoff == 0 {
+		r.RetryBackoff = 100 * time.Microsecond
+	}
+	return r, nil
 }
 
 func (c *Config) normalize() error {
 	if c.BatchSize <= 0 {
 		return errors.New("core: batch size must be positive")
 	}
+	res, err := c.Resilience.normalize()
+	if err != nil {
+		return err
+	}
+	c.Resilience = res
 	if c.OutW <= 0 || c.OutH <= 0 {
 		return fmt.Errorf("core: bad output geometry %dx%d", c.OutW, c.OutH)
 	}
@@ -70,16 +124,26 @@ func (c *Config) normalize() error {
 
 // Booster is the DLBooster data-preprocessing backend.
 type Booster struct {
-	cfg  Config
-	pool *hugepage.Pool
-	devs []*fpga.Device
-	ch   *FPGAChannel
-	full *queue.Queue[*Batch]
+	cfg    Config
+	pool   *hugepage.Pool
+	devs   []*fpga.Device
+	mirror fpga.Mirror
+	ch     *FPGAChannel
+	full   *queue.Queue[*Batch]
 
 	images metrics.Counter
 	errors metrics.Counter
 	seq    int
 	cmdID  uint64
+
+	// Failure-policy accounting (see Resilience).
+	retries      metrics.Counter
+	timeouts     metrics.Counter
+	fallbacks    metrics.Counter
+	lateFinishes metrics.Counter
+	consecFails  atomic.Int64
+	degraded     atomic.Bool
+	events       metrics.EventLog
 
 	cacheMu       sync.Mutex
 	cache         []cachedBatch
@@ -123,11 +187,12 @@ func New(cfg Config) (*Booster, error) {
 		devs[i] = dev
 	}
 	return &Booster{
-		cfg:  cfg,
-		pool: pool,
-		devs: devs,
-		ch:   newFPGAChannel(devs),
-		full: queue.New[*Batch](cfg.PoolBatches),
+		cfg:    cfg,
+		pool:   pool,
+		devs:   devs,
+		mirror: mirror,
+		ch:     newFPGAChannel(devs),
+		full:   queue.New[*Batch](cfg.PoolBatches),
 	}, nil
 }
 
@@ -151,6 +216,94 @@ func (b *Booster) Images() int64 { return b.images.Value() }
 
 // DecodeErrors returns the count of failed decodes.
 func (b *Booster) DecodeErrors() int64 { return b.errors.Value() }
+
+// Retries returns the count of decode-command resubmissions.
+func (b *Booster) Retries() int64 { return b.retries.Value() }
+
+// CmdTimeouts returns the count of commands settled by timeout (FINISH
+// never arrived, or the board FIFO never accepted the submit).
+func (b *Booster) CmdTimeouts() int64 { return b.timeouts.Value() }
+
+// FallbackDecodes returns the count of images decoded on the CPU
+// fallback path instead of the FPGA.
+func (b *Booster) FallbackDecodes() int64 { return b.fallbacks.Value() }
+
+// LateFinishes returns the count of FINISH signals that arrived after
+// their command had already been settled by timeout.
+func (b *Booster) LateFinishes() int64 { return b.lateFinishes.Value() }
+
+// Degraded reports whether the booster has switched decode work to the
+// CPU fallback path.
+func (b *Booster) Degraded() bool { return b.degraded.Load() }
+
+// Events exposes the failure-event log (degraded-mode switches).
+func (b *Booster) Events() []metrics.Event { return b.events.Events() }
+
+// noteFPGAFailure tracks a final (unretried or unretriable) FPGA
+// failure and engages degraded mode at the configured threshold.
+func (b *Booster) noteFPGAFailure() {
+	n := b.consecFails.Add(1)
+	fa := b.cfg.Resilience.FallbackAfter
+	if fa > 0 && n >= int64(fa) && b.degraded.CompareAndSwap(false, true) {
+		b.events.Record("degraded",
+			fmt.Sprintf("FPGA→CPU fallback engaged after %d consecutive decoder failures", n))
+	}
+}
+
+// noteFPGASuccess resets the consecutive-failure streak.
+func (b *Booster) noteFPGASuccess() { b.consecFails.Store(0) }
+
+// backoff sleeps before retry `attempt` (1-based), doubling from the
+// configured base.
+func (b *Booster) backoff(attempt int) {
+	d := b.cfg.Resilience.RetryBackoff
+	if d <= 0 {
+		return
+	}
+	shift := attempt - 1
+	if shift > 10 {
+		shift = 10 // cap: backoff is damage control, not a parking lot
+	}
+	time.Sleep(d << shift)
+}
+
+// cpuDecode is the degraded-mode decode path: the same mirror stages
+// the FPGA would run (parse → entropy decode → reconstruct → resize)
+// executed on the host CPU, writing into the same HugePage batch slot,
+// so the downstream Dispatcher and engines see identical batches.
+func (b *Booster) cpuDecode(ref fpga.DataRef, dst []byte) error {
+	data := ref.Inline
+	if data == nil {
+		if b.cfg.Source == nil {
+			return fpga.ErrNoData
+		}
+		var err error
+		data, err = b.cfg.Source.Fetch(ref)
+		if err != nil {
+			return err
+		}
+	}
+	job, err := b.mirror.Parse(data)
+	if err != nil {
+		return err
+	}
+	job, err = b.mirror.EntropyDecode(job)
+	if err != nil {
+		return err
+	}
+	img, err := b.mirror.Reconstruct(job)
+	if err != nil {
+		return err
+	}
+	if img.C != b.cfg.Channels {
+		return fmt.Errorf("core: decoded %d channels, want %d", img.C, b.cfg.Channels)
+	}
+	out, err := pix.FromBytes(b.cfg.OutW, b.cfg.OutH, b.cfg.Channels, dst)
+	if err != nil {
+		return err
+	}
+	return imageproc.ResizeInto(img, out, imageproc.Bilinear)
+}
 
 // RecycleBatch returns a consumed batch's buffer to the pool (Table 1
 // recycle_item). The Dispatcher calls it after stream synchronisation.
@@ -181,10 +334,15 @@ type building struct {
 	sealed      bool
 }
 
-// pendingSlot maps a command to its batch slot.
+// pendingSlot maps an in-flight command to its batch slot, carrying
+// what the failure policy needs: the command itself for resubmission,
+// the attempt count, and the submit time for timeout detection.
 type pendingSlot struct {
-	bld  *building
-	slot int
+	bld       *building
+	slot      int
+	cmd       fpga.Cmd
+	attempts  int
+	submitted time.Time
 }
 
 // RunEpoch drives one pass of the collector through the FPGA decoder —
@@ -200,32 +358,156 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 		return errors.New("core: nil collector")
 	}
 	imageBytes := b.cfg.OutW * b.cfg.OutH * b.cfg.Channels
+	res := b.cfg.Resilience
 	pending := make(map[uint64]pendingSlot)
+	// abandoned holds command IDs settled by timeout whose FINISH may
+	// still arrive from a merely-slow (not dead) board; the late signal
+	// is discarded instead of tripping the unknown-command check.
+	abandoned := make(map[uint64]bool)
 	var cur *building
 	stream, _ := col.(StreamingCollector)
+
+	// live tracks every buffer this epoch has taken from the pool but
+	// not yet published. On an abnormal exit (pool or decoder closed
+	// mid-epoch) those buffers are returned so the get/recycle ledger
+	// stays balanced — the accounting invariant the chaos tests assert.
+	live := make(map[*building]bool)
+	defer func() {
+		for bld := range live {
+			_ = b.pool.Put(bld.batch.Buf) // Push may fail post-Close; the checkout is cleared regardless
+		}
+	}()
+
+	// finishIfDone publishes a batch once it is sealed with no decodes
+	// in flight. outstanding is exact — each submitted command is
+	// settled exactly once (FINISH, retry exhaustion, or timeout) — so
+	// the condition fires exactly once per batch.
+	finishIfDone := func(bld *building) error {
+		if bld.sealed && bld.outstanding == 0 {
+			if err := b.finishBatch(bld.batch); err != nil {
+				// Publish failed (queue closed mid-teardown): the buffer
+				// stays in live so the epoch cleanup recycles it.
+				return err
+			}
+			delete(live, bld)
+		}
+		return nil
+	}
+
+	// settleFPGASuccess and settleFailure are the only two ways a
+	// pending command resolves; both decrement outstanding.
+	settleSuccess := func(ps pendingSlot) error {
+		b.noteFPGASuccess()
+		b.images.Add(1)
+		ps.bld.batch.Valid[ps.slot] = true
+		ps.bld.outstanding--
+		return finishIfDone(ps.bld)
+	}
+	// settleFailure resolves a command whose FPGA decode finally failed
+	// (retries exhausted, submission shed, or timed out). With fallback
+	// configured the item is rescued by the CPU decode path — the
+	// degradation of the failure model — otherwise its slot stays
+	// invalid, the paper's original behaviour.
+	settleFailure := func(ps pendingSlot) error {
+		b.noteFPGAFailure()
+		off := ps.slot * imageBytes
+		dst := ps.bld.batch.Buf.Bytes()[off : off+imageBytes]
+		if res.FallbackAfter > 0 && b.cpuDecode(ps.cmd.Data, dst) == nil {
+			b.images.Add(1)
+			b.fallbacks.Add(1)
+			ps.bld.batch.Valid[ps.slot] = true
+		} else {
+			b.errors.Add(1)
+			ps.bld.batch.Valid[ps.slot] = false
+		}
+		ps.bld.outstanding--
+		return finishIfDone(ps.bld)
+	}
 
 	process := func(comps []fpga.Completion) error {
 		for _, c := range comps {
 			ps, ok := pending[c.ID]
 			if !ok {
+				if abandoned[c.ID] {
+					delete(abandoned, c.ID)
+					b.lateFinishes.Add(1)
+					continue
+				}
 				return fmt.Errorf("core: completion for unknown cmd %d", c.ID)
 			}
-			delete(pending, c.ID)
-			if c.Err != nil {
-				b.errors.Add(1)
-				ps.bld.batch.Valid[ps.slot] = false
-			} else {
-				b.images.Add(1)
-				ps.bld.batch.Valid[ps.slot] = true
-			}
-			ps.bld.outstanding--
-			if ps.bld.sealed && ps.bld.outstanding == 0 {
-				if err := b.finishBatch(ps.bld.batch); err != nil {
+			if c.Err == nil {
+				delete(pending, c.ID)
+				if err := settleSuccess(ps); err != nil {
 					return err
 				}
+				continue
+			}
+			if ps.attempts < res.MaxRetries && !b.degraded.Load() {
+				ps.attempts++
+				b.retries.Add(1)
+				b.backoff(ps.attempts)
+				ok, err := b.resubmit(ps.cmd)
+				if err != nil {
+					return err
+				}
+				if ok {
+					ps.submitted = time.Now()
+					pending[c.ID] = ps
+					continue
+				}
+				// The board FIFO stayed full for a whole timeout:
+				// nothing to retry against — fall through to settle.
+			}
+			delete(pending, c.ID)
+			if err := settleFailure(ps); err != nil {
+				return err
 			}
 		}
 		return nil
+	}
+
+	// expire settles every pending command whose FINISH is overdue —
+	// the only way a wedged board's swallowed commands ever resolve.
+	expire := func() error {
+		if res.CmdTimeout <= 0 || len(pending) == 0 {
+			return nil
+		}
+		now := time.Now()
+		for id, ps := range pending {
+			if now.Sub(ps.submitted) < res.CmdTimeout {
+				continue
+			}
+			delete(pending, id)
+			abandoned[id] = true
+			b.timeouts.Add(1)
+			if err := settleFailure(ps); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// awaitOne blocks for the next FINISH from any board, bounded by a
+	// fraction of the command timeout when one is configured so a stuck
+	// board cannot park the reader past its own detection threshold.
+	awaitOne := func() error {
+		if res.CmdTimeout > 0 {
+			comp, ok, err := b.ch.WaitCompletionTimeout(res.CmdTimeout / 4)
+			if err != nil {
+				return fmt.Errorf("core: decoder closed mid-epoch: %w", err)
+			}
+			if ok {
+				if err := process(append([]fpga.Completion{comp}, b.ch.DrainOut()...)); err != nil {
+					return err
+				}
+			}
+			return expire()
+		}
+		comp, err := b.ch.WaitCompletion()
+		if err != nil {
+			return fmt.Errorf("core: decoder closed mid-epoch: %w", err)
+		}
+		return process(append([]fpga.Completion{comp}, b.ch.DrainOut()...))
 	}
 
 	for {
@@ -252,6 +534,9 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 				if err := process(b.ch.DrainOut()); err != nil {
 					return err
 				}
+				if err := expire(); err != nil {
+					return err
+				}
 			}
 		}
 		if !ok {
@@ -266,11 +551,7 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			// the pool alone would deadlock when every buffer belongs
 			// to a batch whose completions nobody is draining).
 			for !b.pool.Available() && len(pending) > 0 {
-				comp, err := b.ch.WaitCompletion()
-				if err != nil {
-					return fmt.Errorf("core: decoder closed mid-epoch: %w", err)
-				}
-				if err := process(append([]fpga.Completion{comp}, b.ch.DrainOut()...)); err != nil {
+				if err := awaitOne(); err != nil {
 					return err
 				}
 			}
@@ -279,19 +560,17 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 				return fmt.Errorf("core: memory pool closed: %w", err)
 			}
 			cur = b.newBuilding(buf)
+			live[cur] = true
 		}
 		slot := cur.batch.Images
 		cur.batch.Images++
 		cur.batch.Metas = append(cur.batch.Metas, item.Meta)
 		cur.batch.Valid = append(cur.batch.Valid, false)
-		cur.outstanding++
 		b.cmdID++
-		id := b.cmdID
-		pending[id] = pendingSlot{bld: cur, slot: slot}
 		// Algorithm 1 lines 11–12: encapsulate the physical address
 		// (base + offset of this datum in the batch) into the cmd.
 		cmd := fpga.Cmd{
-			ID:       id,
+			ID:       b.cmdID,
 			Data:     item.Ref,
 			DMAAddr:  cur.batch.Buf.PhysAddr(),
 			DMAOff:   slot * imageBytes,
@@ -299,38 +578,83 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			OutH:     b.cfg.OutH,
 			Channels: b.cfg.Channels,
 		}
-		if err := b.ch.SubmitCmd(cmd); err != nil {
-			return err
+		if b.degraded.Load() {
+			// Degraded mode: decode rerouted to the CPU backend path,
+			// bypassing the decoder entirely.
+			dst := cur.batch.Buf.Bytes()[cmd.DMAOff : cmd.DMAOff+imageBytes]
+			if b.cpuDecode(item.Ref, dst) == nil {
+				b.images.Add(1)
+				b.fallbacks.Add(1)
+				cur.batch.Valid[slot] = true
+			} else {
+				b.errors.Add(1)
+			}
+		} else {
+			submitted := true
+			var err error
+			if res.CmdTimeout > 0 {
+				submitted, err = b.ch.SubmitCmdTimeout(cmd, res.CmdTimeout)
+			} else {
+				err = b.ch.SubmitCmd(cmd)
+			}
+			if err != nil {
+				return err
+			}
+			cur.outstanding++
+			ps := pendingSlot{bld: cur, slot: slot, cmd: cmd, submitted: time.Now()}
+			if submitted {
+				pending[cmd.ID] = ps
+			} else {
+				// The FIFO never accepted the command — a wedged board.
+				// Settle host-side without waiting for a FINISH that
+				// cannot come.
+				b.timeouts.Add(1)
+				if err := settleFailure(ps); err != nil {
+					return err
+				}
+			}
 		}
 		// Lines 13–15: pull processed batches with best effort.
 		if err := process(b.ch.DrainOut()); err != nil {
 			return err
 		}
+		if err := expire(); err != nil {
+			return err
+		}
 		if cur.batch.Images == b.cfg.BatchSize {
 			cur.sealed = true
+			// With every slot already settled (pure degraded mode) no
+			// FINISH will arrive to publish the batch — do it here.
+			if err := finishIfDone(cur); err != nil {
+				return err
+			}
 			cur = nil
 		}
 	}
 	// Flush: seal the partial batch and wait out all in-flight decodes.
 	if cur != nil {
 		cur.sealed = true
-		if cur.outstanding == 0 && cur.batch.Images >= 0 {
-			if err := b.finishBatch(cur.batch); err != nil {
-				return err
-			}
+		if err := finishIfDone(cur); err != nil {
+			return err
 		}
 		cur = nil
 	}
 	for len(pending) > 0 {
-		comp, err := b.ch.WaitCompletion()
-		if err != nil {
-			return fmt.Errorf("core: decoder closed with %d decodes outstanding", len(pending))
-		}
-		if err := process([]fpga.Completion{comp}); err != nil {
+		if err := awaitOne(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// resubmit re-queues a retried command. Under a command timeout the
+// push is bounded, so the full FIFO of a wedged board sheds the retry
+// (ok=false) instead of deadlocking the reader.
+func (b *Booster) resubmit(cmd fpga.Cmd) (bool, error) {
+	if t := b.cfg.Resilience.CmdTimeout; t > 0 {
+		return b.ch.SubmitCmdTimeout(cmd, t)
+	}
+	return true, b.ch.SubmitCmd(cmd)
 }
 
 func (b *Booster) newBuilding(buf *hugepage.Buffer) *building {
@@ -486,6 +810,28 @@ func (c *FPGAChannel) SubmitCmd(cmd fpga.Cmd) error {
 	c.rr++
 	c.mu.Unlock()
 	return d.Submit(cmd)
+}
+
+// SubmitCmdTimeout submits to the next board round-robin, bounded by t:
+// ok is false when the board's FIFO stayed full for the whole window —
+// the signature of a wedged board — letting the caller shed the command
+// instead of blocking the reader forever.
+func (c *FPGAChannel) SubmitCmdTimeout(cmd fpga.Cmd, t time.Duration) (bool, error) {
+	c.mu.Lock()
+	d := c.devs[c.rr%len(c.devs)]
+	c.rr++
+	c.mu.Unlock()
+	return d.SubmitTimeout(cmd, t)
+}
+
+// WaitCompletionTimeout waits up to t for the next FINISH signal; ok is
+// false on timeout.
+func (c *FPGAChannel) WaitCompletionTimeout(t time.Duration) (fpga.Completion, bool, error) {
+	comp, ok, err := c.merged.PopTimeout(t)
+	if err != nil {
+		return fpga.Completion{}, false, fpga.ErrClosed
+	}
+	return comp, ok, nil
 }
 
 // DrainOut queries the decoders' processing signals asynchronously,

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dlbooster/internal/dataset"
+	"dlbooster/internal/faults"
+	"dlbooster/internal/fpga"
+)
+
+// Chaos tests: deterministic fault injection against the full pipeline.
+// Every test runs the epoch under a watchdog — the first property of the
+// failure model is that no fault mode can deadlock the reader.
+
+func chaosItems(t *testing.T, n int) []Item {
+	t.Helper()
+	spec := dataset.MNISTLike(n)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Ref: fpga.DataRef{Inline: mustJPEG(t, spec, i)}, Meta: ItemMeta{Seq: i}}
+	}
+	return items
+}
+
+// runEpochWatchdog fails the test instead of hanging forever when a
+// fault mode deadlocks the reader.
+func runEpochWatchdog(t *testing.T, b *Booster, col DataCollector) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- b.RunEpoch(col) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunEpoch: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunEpoch deadlocked under fault injection")
+	}
+}
+
+// assertPoolBalanced checks the buffer-accounting invariant after the
+// consumer has drained and recycled everything: every get_item matched
+// by exactly one recycle_item.
+func assertPoolBalanced(t *testing.T, b *Booster) {
+	t.Helper()
+	if n := b.Pool().Outstanding(); n != 0 {
+		t.Fatalf("%d buffers leaked (outstanding after full drain)", n)
+	}
+	if free := b.Pool().FreeLen(); free != b.Pool().Count() {
+		t.Fatalf("free queue holds %d of %d buffers", free, b.Pool().Count())
+	}
+}
+
+// TestChaosFullFPGAFailureDegradesToCPU is the acceptance scenario: an
+// injector failing 100% of decode commands must not lose a single
+// image — the booster detects the dead decoder, switches to the CPU
+// fallback path exactly once, and completes the epoch with every batch
+// published and every slot valid.
+func TestChaosFullFPGAFailureDegradesToCPU(t *testing.T) {
+	const n = 24
+	items := chaosItems(t, n)
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		FPGA: fpga.Config{Inject: faults.New(faults.Config{FailEvery: 1})},
+		Resilience: Resilience{
+			MaxRetries:    1,
+			RetryBackoff:  10 * time.Microsecond,
+			FallbackAfter: 3,
+		},
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	all := <-results
+	if len(all) != n/4 {
+		t.Fatalf("batches = %d, want %d", len(all), n/4)
+	}
+	seen := map[int]bool{}
+	for _, d := range all {
+		for s := 0; s < d.images; s++ {
+			if !d.valid[s] {
+				t.Fatalf("item %d lost to a dead decoder despite fallback", d.metas[s].Seq)
+			}
+			seen[d.metas[s].Seq] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct images, want %d", len(seen), n)
+	}
+	if b.Images() != n || b.DecodeErrors() != 0 {
+		t.Fatalf("images=%d errors=%d, want %d/0", b.Images(), b.DecodeErrors(), n)
+	}
+	if !b.Degraded() {
+		t.Fatal("booster never switched to degraded mode")
+	}
+	if got := b.FallbackDecodes(); got != n {
+		t.Fatalf("fallback decodes = %d, want %d (decoder never succeeds)", got, n)
+	}
+	if b.Retries() == 0 {
+		t.Fatal("no retries before degrading")
+	}
+	assertPoolBalanced(t, b)
+}
+
+// TestChaosDegradedSwitchFiresExactlyOnce asserts the mode switch is
+// recorded exactly once, at the configured consecutive-failure
+// threshold, and that the event log says why.
+func TestChaosDegradedSwitchFiresExactlyOnce(t *testing.T) {
+	const n, after = 16, 3
+	items := chaosItems(t, n)
+	inj := faults.New(faults.Config{FailEvery: 1})
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		FPGA:       fpga.Config{Inject: inj},
+		Resilience: Resilience{FallbackAfter: after},
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	<-results
+	events := b.Events()
+	degradedEvents := 0
+	for _, e := range events {
+		if e.Name == "degraded" {
+			degradedEvents++
+		}
+	}
+	if degradedEvents != 1 {
+		t.Fatalf("degraded events = %d, want exactly 1 (log: %+v)", degradedEvents, events)
+	}
+	// The switch fired at the threshold: at least `after` commands
+	// reached the decoder before it, and everything was rescued.
+	if ops := inj.Ops(); ops < after {
+		t.Fatalf("decoder saw %d commands, threshold is %d", ops, after)
+	}
+	if b.FallbackDecodes() != n || b.DecodeErrors() != 0 {
+		t.Fatalf("fallbacks=%d errors=%d, want %d/0", b.FallbackDecodes(), b.DecodeErrors(), n)
+	}
+	assertPoolBalanced(t, b)
+}
+
+// TestChaosRetryAbsorbsTransientFaults: every 5th decode command fails
+// once; a single retry absorbs each fault with no errors, no fallback
+// and no mode switch.
+func TestChaosRetryAbsorbsTransientFaults(t *testing.T) {
+	const n = 20
+	items := chaosItems(t, n)
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		FPGA: fpga.Config{Inject: faults.New(faults.Config{FailEvery: 5})},
+		Resilience: Resilience{
+			MaxRetries:   2,
+			RetryBackoff: 10 * time.Microsecond,
+		},
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	all := <-results
+	for _, d := range all {
+		for s := 0; s < d.images; s++ {
+			if !d.valid[s] {
+				t.Fatalf("item %d failed despite retries", d.metas[s].Seq)
+			}
+		}
+	}
+	if b.Images() != n || b.DecodeErrors() != 0 {
+		t.Fatalf("images=%d errors=%d", b.Images(), b.DecodeErrors())
+	}
+	if b.Retries() == 0 {
+		t.Fatal("injector fired but nothing was retried")
+	}
+	if b.Degraded() || b.FallbackDecodes() != 0 {
+		t.Fatal("transient faults must not engage degraded mode")
+	}
+	assertPoolBalanced(t, b)
+}
+
+// TestChaosThroughputRecoversAfterFaultWindow confines failures to the
+// first 10 decoder operations: items decoded inside the window fail
+// (fail-fast policy, no retries or fallback), and every item after the
+// window closes decodes cleanly — throughput recovers by itself.
+func TestChaosThroughputRecoversAfterFaultWindow(t *testing.T) {
+	const n, window = 30, 10
+	items := chaosItems(t, n)
+	b := newBooster(t, Config{
+		BatchSize: 5, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		FPGA: fpga.Config{Inject: faults.New(faults.Config{
+			FailEvery: 1, WindowStart: 1, WindowLen: window,
+		})},
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	all := <-results
+	// A single board's parser consumes the FIFO in submission order, so
+	// exactly items 0..9 land in the fault window.
+	for _, d := range all {
+		for s := 0; s < d.images; s++ {
+			wantValid := d.metas[s].Seq >= window
+			if d.valid[s] != wantValid {
+				t.Fatalf("item %d valid = %v, want %v", d.metas[s].Seq, d.valid[s], wantValid)
+			}
+		}
+	}
+	if b.DecodeErrors() != window || b.Images() != n-window {
+		t.Fatalf("errors=%d images=%d, want %d/%d", b.DecodeErrors(), b.Images(), window, n-window)
+	}
+	if b.Degraded() {
+		t.Fatal("fail-fast policy must not degrade")
+	}
+	assertPoolBalanced(t, b)
+}
+
+// TestChaosStuckDeviceTimesOutAndDegrades wedges the single decoder
+// board on its 3rd command: submitted commands are swallowed forever.
+// The command timeout must detect it, settle the swallowed commands
+// host-side, shed submissions the full FIFO rejects, and degrade to the
+// CPU path — completing the epoch with zero lost images and the ledger
+// balanced.
+func TestChaosStuckDeviceTimesOutAndDegrades(t *testing.T) {
+	const n = 12
+	items := chaosItems(t, n)
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		FPGA: fpga.Config{
+			CmdQueueCap: 2,
+			Inject:      faults.New(faults.Config{StuckAfter: 3}),
+		},
+		Resilience: Resilience{
+			CmdTimeout:    40 * time.Millisecond,
+			FallbackAfter: 1,
+		},
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	all := <-results
+	seen := map[int]bool{}
+	for _, d := range all {
+		for s := 0; s < d.images; s++ {
+			if !d.valid[s] {
+				t.Fatalf("item %d lost to the stuck board", d.metas[s].Seq)
+			}
+			if seen[d.metas[s].Seq] {
+				t.Fatalf("item %d delivered twice", d.metas[s].Seq)
+			}
+			seen[d.metas[s].Seq] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct images, want %d", len(seen), n)
+	}
+	if !b.Device().Wedged() {
+		t.Fatal("stuck fault never wedged the board")
+	}
+	if !b.Degraded() {
+		t.Fatal("stuck board did not engage degraded mode")
+	}
+	if b.CmdTimeouts() == 0 {
+		t.Fatal("no command timed out against a board that stopped finishing")
+	}
+	if b.Images() != n || b.DecodeErrors() != 0 {
+		t.Fatalf("images=%d errors=%d, want %d/0", b.Images(), b.DecodeErrors(), n)
+	}
+	assertPoolBalanced(t, b)
+}
+
+// TestChaosCorruptPayloadsHitRealDecodeErrors: corrupt-always injection
+// flips bytes in decode payloads; some corrupted JPEGs may still decode
+// (flips can land in entropy data that remains parseable), but every
+// item must settle exactly once, with no deadlock and no leak.
+func TestChaosCorruptPayloadsHitRealDecodeErrors(t *testing.T) {
+	const n = 16
+	items := chaosItems(t, n)
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		FPGA: fpga.Config{Inject: faults.New(faults.Config{Seed: 11, CorruptRate: 1})},
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	all := <-results
+	settled := 0
+	for _, d := range all {
+		settled += d.images
+	}
+	if settled != n {
+		t.Fatalf("settled %d items, want %d", settled, n)
+	}
+	if got := b.Images() + b.DecodeErrors(); got != n {
+		t.Fatalf("images+errors = %d, want %d", got, n)
+	}
+	assertPoolBalanced(t, b)
+}

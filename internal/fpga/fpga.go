@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dlbooster/internal/faults"
 	"dlbooster/internal/hugepage"
 	"dlbooster/internal/imageproc"
 	"dlbooster/internal/pix"
@@ -94,6 +96,15 @@ type Config struct {
 	// CLBBudget is the number of configurable logic blocks available;
 	// 0 means DefaultCLBBudget.
 	CLBBudget int
+
+	// Inject hooks a fault injector into the command path (nil = no
+	// faults). Each command consumes one injector decision in the
+	// parser: a latency spike stalls the front-end, Fail raises a
+	// FINISH carrying ErrInjected, Corrupt flips payload bytes before
+	// parsing (exercising the real decode-error path), and Stuck wedges
+	// the board permanently — submitted commands are swallowed and
+	// never finish, exactly like a hung device, until Close.
+	Inject *faults.Injector
 }
 
 // CLB costs per stage instance, in arbitrary fabric units, and the
@@ -163,6 +174,11 @@ type Device struct {
 	cmds        *queue.Queue[Cmd]
 	completions *queue.Queue[Completion]
 
+	// stuckc is closed by Close; a wedged parser parks on it so a
+	// stuck device still tears down cleanly.
+	stuckc chan struct{}
+	wedged atomic.Bool
+
 	// Inter-stage channels sized like small hardware FIFOs.
 	toHuffman chan stageJob
 	toIDCT    chan stageJob
@@ -208,6 +224,7 @@ func New(cfg Config, arena *hugepage.Arena, source DataSource, mirror Mirror) (*
 		toHuffman:   make(chan stageJob, cfg.HuffmanWays*2),
 		toIDCT:      make(chan stageJob, cfg.IDCTWays*2),
 		toResize:    make(chan stageJob, cfg.ResizeWays*2),
+		stuckc:      make(chan struct{}),
 	}
 	d.start()
 	return d, nil
@@ -231,6 +248,22 @@ func (d *Device) Submit(cmd Cmd) error {
 	}
 	return nil
 }
+
+// SubmitTimeout pushes a command but gives up after t when the FIFO
+// stays full — the case of a wedged board whose queue never drains. ok
+// is false on timeout; the error is ErrClosed after Close.
+func (d *Device) SubmitTimeout(cmd Cmd, t time.Duration) (bool, error) {
+	ok, err := d.cmds.PushTimeout(cmd, t)
+	if err != nil {
+		return false, ErrClosed
+	}
+	return ok, nil
+}
+
+// Wedged reports whether an injected stuck fault has hung the board.
+// Submitted commands are swallowed until Close; only a host-side
+// timeout can detect the condition, as with real hardware.
+func (d *Device) Wedged() bool { return d.wedged.Load() }
 
 // Drain returns all completions accumulated so far without blocking —
 // the drain_out of Table 1.
@@ -260,6 +293,7 @@ func (d *Device) Stats() (parser, huffman, idct, resize StageStats) {
 // completions remain readable until drained.
 func (d *Device) Close() {
 	d.closed.Do(func() {
+		close(d.stuckc) // release a wedged parser
 		d.cmds.Close()
 		d.wg.Wait()
 		d.completions.Close()
@@ -331,6 +365,23 @@ func (d *Device) finish(c Completion) {
 }
 
 func (d *Device) parse(cmd Cmd) {
+	// Fault hooks run before the stage accounting so an injected stall
+	// does not pollute the load-balance stats.
+	plan := d.cfg.Inject.Next()
+	if d.wedged.Load() || plan.Stuck {
+		// A hung board swallows the command — no FINISH is ever raised.
+		// The parser parks until Close so teardown still works.
+		d.wedged.Store(true)
+		<-d.stuckc
+		return
+	}
+	if plan.Delay > 0 {
+		time.Sleep(plan.Delay)
+	}
+	if plan.Fail || plan.Drop {
+		d.finish(Completion{ID: cmd.ID, Err: fmt.Errorf("fpga: decode cmd %d: %w", cmd.ID, faults.ErrInjected)})
+		return
+	}
 	start := time.Now()
 	defer func() {
 		d.statMu.Lock()
@@ -364,6 +415,11 @@ func (d *Device) parse(cmd Cmd) {
 			d.finish(Completion{ID: cmd.ID, Err: err})
 			return
 		}
+	}
+	if plan.Corrupt {
+		// Corrupt a copy (the caller's payload may be shared) so the
+		// real decode-error path downstream is exercised end to end.
+		data = d.cfg.Inject.CorruptBytes(append([]byte(nil), data...))
 	}
 	job, err := d.currentMirror().Parse(data)
 	if err != nil {

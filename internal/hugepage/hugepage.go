@@ -219,6 +219,21 @@ func (p *Pool) Put(b *Buffer) error {
 	return p.free.Push(b)
 }
 
+// Outstanding returns the number of buffers currently checked out — the
+// leak/double-free balance the chaos tests assert over: after a clean
+// drain it must be zero, and it can never exceed Count.
+func (p *Pool) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, o := range p.out {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
 // Close shuts the free queue down, waking any goroutine blocked in Get.
 func (p *Pool) Close() { p.free.Close() }
 

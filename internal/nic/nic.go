@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"dlbooster/internal/faults"
 	"dlbooster/internal/queue"
 )
 
@@ -34,6 +35,12 @@ type Config struct {
 	BandwidthBits float64
 	// RxQueueCap bounds the server-side receive queue (default 256).
 	RxQueueCap int
+	// Inject hooks a fault injector into Deliver (nil = no faults):
+	// Drop discards the frame silently (counted in Dropped), Fail
+	// returns ErrInjected to the sender, Corrupt flips payload bytes in
+	// a copy before delivery, and Delay models a congestion spike on
+	// the wire. Stuck is not meaningful for a fabric and is ignored.
+	Inject *faults.Injector
 }
 
 // Fabric is the shared link plus the server's receive queue.
@@ -45,6 +52,7 @@ type Fabric struct {
 	linkFree  time.Time // when the serialised link next becomes idle
 	delivered int64
 	bytesSent int64
+	dropped   int64
 }
 
 // New creates a fabric.
@@ -60,6 +68,22 @@ func New(cfg Config) *Fabric {
 func (f *Fabric) Deliver(fr Frame) error {
 	if len(fr.Payload) == 0 {
 		return errors.New("nic: empty frame")
+	}
+	plan := f.cfg.Inject.Next()
+	if plan.Delay > 0 {
+		time.Sleep(plan.Delay)
+	}
+	if plan.Drop {
+		f.mu.Lock()
+		f.dropped++
+		f.mu.Unlock()
+		return nil
+	}
+	if plan.Fail {
+		return fmt.Errorf("nic: deliver from client %d: %w", fr.ClientID, faults.ErrInjected)
+	}
+	if plan.Corrupt {
+		fr.Payload = f.cfg.Inject.CorruptBytes(append([]byte(nil), fr.Payload...))
 	}
 	if f.cfg.BandwidthBits > 0 {
 		wire := time.Duration(float64(len(fr.Payload)*8) / f.cfg.BandwidthBits * float64(time.Second))
@@ -109,14 +133,30 @@ func (f *Fabric) Stats() (frames, bytes int64) {
 	return f.delivered, f.bytesSent
 }
 
+// Dropped returns the number of frames discarded by injected faults.
+func (f *Fabric) Dropped() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
 // Close shuts the fabric down; blocked senders and receivers are woken.
 func (f *Fabric) Close() { f.rx.Close() }
 
 // ClientGroup runs n closed-loop senders cycling through a payload set.
+// Clients take strict round-robin turns on the shared medium, so the
+// delivery order into the RX queue is deterministic and no client can
+// starve another — the fairness a real NIC's per-flow scheduling (or
+// TCP's congestion control) provides, which unpaced goroutines do not.
 type ClientGroup struct {
-	stop chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
+
+	mu      sync.Mutex
+	turn    *sync.Cond
+	next    int // whose turn it is, mod n
+	n       int
+	stopped bool
 }
 
 // StartClients launches n clients on the fabric, each cycling through
@@ -135,20 +175,21 @@ func StartClients(f *Fabric, n int, payloads [][]byte) (*ClientGroup, error) {
 			return nil, fmt.Errorf("nic: payload %d is empty", i)
 		}
 	}
-	g := &ClientGroup{stop: make(chan struct{})}
+	g := &ClientGroup{n: n}
+	g.turn = sync.NewCond(&g.mu)
 	for c := 0; c < n; c++ {
 		g.wg.Add(1)
 		go func(c int) {
 			defer g.wg.Done()
 			seq := 0
 			for {
-				select {
-				case <-g.stop:
+				if !g.acquireTurn(c) {
 					return
-				default:
 				}
 				p := payloads[(seq*n+c)%len(payloads)]
-				if err := f.Deliver(Frame{ClientID: c, Seq: seq, Payload: p}); err != nil {
+				err := f.Deliver(Frame{ClientID: c, Seq: seq, Payload: p})
+				g.releaseTurn()
+				if err != nil {
 					return
 				}
 				seq++
@@ -158,9 +199,34 @@ func StartClients(f *Fabric, n int, payloads [][]byte) (*ClientGroup, error) {
 	return g, nil
 }
 
+// acquireTurn blocks until it is client c's turn; false means the group
+// was stopped while waiting.
+func (g *ClientGroup) acquireTurn(c int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.next != c && !g.stopped {
+		g.turn.Wait()
+	}
+	return !g.stopped
+}
+
+// releaseTurn hands the medium to the next client. An exiting client
+// must call it too, or the ring would stall on its slot.
+func (g *ClientGroup) releaseTurn() {
+	g.mu.Lock()
+	g.next = (g.next + 1) % g.n
+	g.turn.Broadcast()
+	g.mu.Unlock()
+}
+
 // Stop halts the clients and waits for them to exit. The fabric must be
-// closed (or being drained) for blocked senders to unblock.
+// closed (or being drained) for a sender blocked in Deliver to unblock.
 func (g *ClientGroup) Stop() {
-	g.once.Do(func() { close(g.stop) })
+	g.once.Do(func() {
+		g.mu.Lock()
+		g.stopped = true
+		g.turn.Broadcast()
+		g.mu.Unlock()
+	})
 	g.wg.Wait()
 }

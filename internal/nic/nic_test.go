@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"dlbooster/internal/faults"
 	"dlbooster/internal/queue"
 )
 
@@ -95,14 +96,20 @@ func TestClientsClosedLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Consume frames until all three clients have shown up; the Go
-	// scheduler may let one client burst ahead, so bound by frame count
-	// rather than expecting interleaving.
+	// Clients take strict round-robin turns on the medium, so the
+	// delivery order is fully deterministic: frame i comes from client
+	// i mod 3 with per-client sequence i div 3 — no scheduler luck.
 	seen := map[int]int{}
-	for i := 0; i < 100000 && len(seen) < 3; i++ {
+	for i := 0; i < 60; i++ {
 		fr, err := f.Recv()
 		if err != nil {
 			t.Fatal(err)
+		}
+		if fr.ClientID != i%3 {
+			t.Fatalf("frame %d from client %d, want %d", i, fr.ClientID, i%3)
+		}
+		if fr.Seq != i/3 {
+			t.Fatalf("frame %d seq = %d, want %d", i, fr.Seq, i/3)
 		}
 		seen[fr.ClientID]++
 	}
@@ -111,6 +118,42 @@ func TestClientsClosedLoop(t *testing.T) {
 	g.Stop() // idempotent
 	if len(seen) != 3 {
 		t.Fatalf("clients seen = %v, want 3 distinct", seen)
+	}
+	for c, n := range seen {
+		if n != 20 {
+			t.Fatalf("client %d sent %d frames, want 20", c, n)
+		}
+	}
+}
+
+func TestDeliverFaults(t *testing.T) {
+	// drop-every=3 + fail-every=4 with drop taking precedence on op 12:
+	// over ops 1..12 that is drops {3,6,9,12} and fails {4,8}.
+	inj := faults.New(faults.Config{DropEvery: 3, FailEvery: 4})
+	f := New(Config{RxQueueCap: 16, Inject: inj})
+	delivered, failed := 0, 0
+	for i := 0; i < 12; i++ {
+		err := f.Deliver(Frame{ClientID: 1, Seq: i, Payload: []byte("img")})
+		switch {
+		case err == nil:
+		case errors.Is(err, faults.ErrInjected):
+			failed++
+		default:
+			t.Fatal(err)
+		}
+	}
+	for {
+		_, ok, err := f.TryRecv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		delivered++
+	}
+	if f.Dropped() != 4 || failed != 2 || delivered != 6 {
+		t.Fatalf("dropped=%d failed=%d delivered=%d, want 4/2/6", f.Dropped(), failed, delivered)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"dlbooster/internal/faults"
 	"dlbooster/internal/fpga"
 )
 
@@ -43,6 +44,13 @@ type FileInfo struct {
 type Config struct {
 	ReadBandwidth float64       // bytes/s; 0 = unpaced
 	ReadLatency   time.Duration // per-request; 0 = none
+	// Inject hooks a fault injector into the read path (nil = no
+	// faults): Fail (and Drop, which for a disk is the same thing)
+	// fails the read with ErrInjected, Corrupt flips bytes in the
+	// returned copy (a media error the checksum-less read misses), and
+	// Delay models a stalled request. Stuck is ignored — a hung disk is
+	// modelled by a large Delay.
+	Inject *faults.Injector
 }
 
 // Device is a simulated NVMe disk.
@@ -54,9 +62,10 @@ type Device struct {
 	manifest map[string]FileInfo
 	order    []string // insertion order for deterministic iteration
 
-	reads     int64
-	bytesRead int64
-	busy      time.Duration
+	reads      int64
+	bytesRead  int64
+	busy       time.Duration
+	readFaults int64
 }
 
 // New creates an empty device.
@@ -150,6 +159,16 @@ func (d *Device) Len() int {
 // ReadAt reads length bytes of an object starting at off, applying the
 // pacing model.
 func (d *Device) ReadAt(name string, off, length int64) ([]byte, error) {
+	plan := d.cfg.Inject.Next()
+	if plan.Delay > 0 {
+		time.Sleep(plan.Delay)
+	}
+	if plan.Fail || plan.Drop {
+		d.mu.Lock()
+		d.readFaults++
+		d.mu.Unlock()
+		return nil, fmt.Errorf("nvme: read %q: %w", name, faults.ErrInjected)
+	}
 	d.mu.Lock()
 	fi, ok := d.manifest[name]
 	if !ok {
@@ -170,6 +189,9 @@ func (d *Device) ReadAt(name string, off, length int64) ([]byte, error) {
 	d.mu.Unlock()
 	if pause > 0 {
 		time.Sleep(pause)
+	}
+	if plan.Corrupt {
+		d.cfg.Inject.CorruptBytes(out) // out is already a private copy
 	}
 	return out, nil
 }
@@ -200,6 +222,13 @@ func (d *Device) Stats() (reads, bytesRead int64, busy time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.reads, d.bytesRead, d.busy
+}
+
+// ReadFaults returns the number of reads failed by injected faults.
+func (d *Device) ReadFaults() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.readFaults
 }
 
 // Fetch implements fpga.DataSource: the FPGA DataReader's DMA-from-disk

@@ -181,6 +181,24 @@ func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok bool, err error) {
 	}
 }
 
+// PushTimeout behaves like Push but gives up after d, returning
+// ok=false with a nil error. err is ErrClosed when the queue closes
+// before space appears. The FPGAReader uses it to bound submission to a
+// wedged decoder whose command FIFO never drains.
+func (q *Queue[T]) PushTimeout(v T, d time.Duration) (ok bool, err error) {
+	deadline := time.Now().Add(d)
+	for {
+		ok, err = q.TryPush(v)
+		if ok || err != nil {
+			return ok, err
+		}
+		if !time.Now().Before(deadline) {
+			return false, nil
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
 // Drain removes and returns every element currently queued, without
 // blocking. It corresponds to fpga_channel.drain_out() in Algorithm 1:
 // collect all completions that have accumulated so far.
