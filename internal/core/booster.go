@@ -62,10 +62,13 @@ type Resilience struct {
 	// attempt. Defaults to 100µs when MaxRetries is set.
 	RetryBackoff time.Duration
 	// CmdTimeout bounds the FINISH wait per command: an expired command
-	// is settled host-side and its late FINISH, if one ever arrives, is
-	// discarded. The same bound applies to submission, so the full FIFO
-	// of a wedged board sheds work instead of blocking the reader
-	// forever (0 = wait forever).
+	// is revoked on its board (fencing any still-pending DMA write, so
+	// the batch slot is safe to rescue and the buffer safe to recycle)
+	// and settled host-side. If the revocation loses the race — the
+	// FINISH was already raised — the command is simply kept pending and
+	// settles normally. The same bound applies to submission, so the
+	// full FIFO of a wedged board sheds work instead of blocking the
+	// reader forever (0 = wait forever).
 	CmdTimeout time.Duration
 	// FallbackAfter engages graceful degradation: after N consecutive
 	// final FPGA failures the booster reroutes decode work to the CPU
@@ -228,8 +231,9 @@ func (b *Booster) CmdTimeouts() int64 { return b.timeouts.Value() }
 // fallback path instead of the FPGA.
 func (b *Booster) FallbackDecodes() int64 { return b.fallbacks.Value() }
 
-// LateFinishes returns the count of FINISH signals that arrived after
-// their command had already been settled by timeout.
+// LateFinishes returns the count of commands whose FINISH beat the
+// timeout sweep's revocation attempt: the command looked expired but
+// had already completed, so it was kept pending and settled normally.
 func (b *Booster) LateFinishes() int64 { return b.lateFinishes.Value() }
 
 // Degraded reports whether the booster has switched decode work to the
@@ -253,18 +257,21 @@ func (b *Booster) noteFPGAFailure() {
 // noteFPGASuccess resets the consecutive-failure streak.
 func (b *Booster) noteFPGASuccess() { b.consecFails.Store(0) }
 
-// backoff sleeps before retry `attempt` (1-based), doubling from the
-// configured base.
-func (b *Booster) backoff(attempt int) {
+// backoffDur returns the pause before retry `attempt` (1-based),
+// doubling from the configured base. The reader never sleeps it
+// inline — a retry is scheduled by deadline (pendingSlot.retryAt) and
+// resubmitted from the event-loop sweep, so one command backing off
+// does not head-of-line block completion draining for every other.
+func (b *Booster) backoffDur(attempt int) time.Duration {
 	d := b.cfg.Resilience.RetryBackoff
 	if d <= 0 {
-		return
+		return 0
 	}
 	shift := attempt - 1
 	if shift > 10 {
 		shift = 10 // cap: backoff is damage control, not a parking lot
 	}
-	time.Sleep(d << shift)
+	return d << shift
 }
 
 // cpuDecode is the degraded-mode decode path: the same mirror stages
@@ -336,13 +343,16 @@ type building struct {
 
 // pendingSlot maps an in-flight command to its batch slot, carrying
 // what the failure policy needs: the command itself for resubmission,
-// the attempt count, and the submit time for timeout detection.
+// the attempt count, the submit time for timeout detection, and — when
+// the command is held host-side between a failed attempt and its
+// retry — the earliest time the resubmission may go out.
 type pendingSlot struct {
 	bld       *building
 	slot      int
 	cmd       fpga.Cmd
 	attempts  int
 	submitted time.Time
+	retryAt   time.Time // zero = in the board; set = awaiting scheduled retry
 }
 
 // RunEpoch drives one pass of the collector through the FPGA decoder —
@@ -360,10 +370,6 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 	imageBytes := b.cfg.OutW * b.cfg.OutH * b.cfg.Channels
 	res := b.cfg.Resilience
 	pending := make(map[uint64]pendingSlot)
-	// abandoned holds command IDs settled by timeout whose FINISH may
-	// still arrive from a merely-slow (not dead) board; the late signal
-	// is discarded instead of tripping the unknown-command check.
-	abandoned := make(map[uint64]bool)
 	var cur *building
 	stream, _ := col.(StreamingCollector)
 
@@ -428,11 +434,6 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 		for _, c := range comps {
 			ps, ok := pending[c.ID]
 			if !ok {
-				if abandoned[c.ID] {
-					delete(abandoned, c.ID)
-					b.lateFinishes.Add(1)
-					continue
-				}
 				return fmt.Errorf("core: completion for unknown cmd %d", c.ID)
 			}
 			if c.Err == nil {
@@ -443,20 +444,15 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 				continue
 			}
 			if ps.attempts < res.MaxRetries && !b.degraded.Load() {
+				// Schedule the retry by deadline instead of sleeping the
+				// backoff inline: the reader keeps draining completions
+				// and expiring timeouts for every other command while
+				// this one waits its turn.
 				ps.attempts++
 				b.retries.Add(1)
-				b.backoff(ps.attempts)
-				ok, err := b.resubmit(ps.cmd)
-				if err != nil {
-					return err
-				}
-				if ok {
-					ps.submitted = time.Now()
-					pending[c.ID] = ps
-					continue
-				}
-				// The board FIFO stayed full for a whole timeout:
-				// nothing to retry against — fall through to settle.
+				ps.retryAt = time.Now().Add(b.backoffDur(ps.attempts))
+				pending[c.ID] = ps
+				continue
 			}
 			delete(pending, c.ID)
 			if err := settleFailure(ps); err != nil {
@@ -466,19 +462,93 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 		return nil
 	}
 
-	// expire settles every pending command whose FINISH is overdue —
+	// resubmitDue sends every host-held retry whose backoff has elapsed
+	// back to the boards; a shed resubmission (full FIFO of a wedged
+	// board) or a degraded-mode switch settles the command instead.
+	resubmitDue := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		now := time.Now()
+		for id, ps := range pending {
+			if ps.retryAt.IsZero() || now.Before(ps.retryAt) {
+				continue
+			}
+			if b.degraded.Load() {
+				delete(pending, id)
+				if err := settleFailure(ps); err != nil {
+					return err
+				}
+				continue
+			}
+			ok, err := b.resubmit(ps.cmd)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				delete(pending, id)
+				b.timeouts.Add(1)
+				if err := settleFailure(ps); err != nil {
+					return err
+				}
+				continue
+			}
+			ps.retryAt = time.Time{}
+			ps.submitted = now
+			pending[id] = ps
+		}
+		return nil
+	}
+
+	// nextRetry returns the wait until the earliest scheduled retry.
+	nextRetry := func() (time.Duration, bool) {
+		var earliest time.Time
+		for _, ps := range pending {
+			if ps.retryAt.IsZero() {
+				continue
+			}
+			if earliest.IsZero() || ps.retryAt.Before(earliest) {
+				earliest = ps.retryAt
+			}
+		}
+		if earliest.IsZero() {
+			return 0, false
+		}
+		d := time.Until(earliest)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+
+	// expire settles every in-board command whose FINISH is overdue —
 	// the only way a wedged board's swallowed commands ever resolve.
+	// Before a slot is settled (and its buffer thereby becomes eligible
+	// for publishing and recycling) the command is revoked on its board:
+	// Cancel returns only once no DMA write for it can ever land, so a
+	// merely-slow board cannot scribble over a rescued slot or a reused
+	// buffer later. When the revocation loses the race the FINISH is
+	// already in the completion stream — the command is not lost, just
+	// slow — so it stays pending with a fresh clock and settles normally.
 	expire := func() error {
 		if res.CmdTimeout <= 0 || len(pending) == 0 {
 			return nil
 		}
 		now := time.Now()
 		for id, ps := range pending {
+			if !ps.retryAt.IsZero() {
+				continue // host-held awaiting retry: nothing in the board
+			}
 			if now.Sub(ps.submitted) < res.CmdTimeout {
 				continue
 			}
+			if !b.ch.Cancel(id) {
+				b.lateFinishes.Add(1)
+				ps.submitted = now
+				pending[id] = ps
+				continue
+			}
 			delete(pending, id)
-			abandoned[id] = true
 			b.timeouts.Add(1)
 			if err := settleFailure(ps); err != nil {
 				return err
@@ -487,27 +557,57 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 		return nil
 	}
 
-	// awaitOne blocks for the next FINISH from any board, bounded by a
-	// fraction of the command timeout when one is configured so a stuck
-	// board cannot park the reader past its own detection threshold.
+	// awaitOne blocks for the next FINISH from any board. The wait is
+	// bounded by a fraction of the command timeout (so a stuck board
+	// cannot park the reader past its own detection threshold) and by
+	// the earliest scheduled retry (so a backing-off command is
+	// resubmitted on time even when no FINISH ever arrives).
 	awaitOne := func() error {
+		if err := resubmitDue(); err != nil {
+			return err
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+		wait := time.Duration(-1)
 		if res.CmdTimeout > 0 {
-			comp, ok, err := b.ch.WaitCompletionTimeout(res.CmdTimeout / 4)
+			wait = res.CmdTimeout / 4
+		}
+		if d, ok := nextRetry(); ok && (wait < 0 || d < wait) {
+			wait = d
+		}
+		if wait < 0 {
+			comp, err := b.ch.WaitCompletion()
 			if err != nil {
 				return fmt.Errorf("core: decoder closed mid-epoch: %w", err)
 			}
-			if ok {
-				if err := process(append([]fpga.Completion{comp}, b.ch.DrainOut()...)); err != nil {
-					return err
-				}
-			}
-			return expire()
+			return process(append([]fpga.Completion{comp}, b.ch.DrainOut()...))
 		}
-		comp, err := b.ch.WaitCompletion()
+		comp, ok, err := b.ch.WaitCompletionTimeout(wait)
 		if err != nil {
 			return fmt.Errorf("core: decoder closed mid-epoch: %w", err)
 		}
-		return process(append([]fpga.Completion{comp}, b.ch.DrainOut()...))
+		if ok {
+			if err := process(append([]fpga.Completion{comp}, b.ch.DrainOut()...)); err != nil {
+				return err
+			}
+		}
+		if err := expire(); err != nil {
+			return err
+		}
+		return resubmitDue()
+	}
+
+	// poll is the non-blocking sweep between submissions: drain FINISH
+	// signals, expire overdue commands, send due retries.
+	poll := func() error {
+		if err := process(b.ch.DrainOut()); err != nil {
+			return err
+		}
+		if err := expire(); err != nil {
+			return err
+		}
+		return resubmitDue()
 	}
 
 	for {
@@ -531,10 +631,7 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 				if ok || !alive {
 					break
 				}
-				if err := process(b.ch.DrainOut()); err != nil {
-					return err
-				}
-				if err := expire(); err != nil {
+				if err := poll(); err != nil {
 					return err
 				}
 			}
@@ -615,10 +712,7 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			}
 		}
 		// Lines 13–15: pull processed batches with best effort.
-		if err := process(b.ch.DrainOut()); err != nil {
-			return err
-		}
-		if err := expire(); err != nil {
+		if err := poll(); err != nil {
 			return err
 		}
 		if cur.batch.Images == b.cfg.BatchSize {
@@ -822,6 +916,22 @@ func (c *FPGAChannel) SubmitCmdTimeout(cmd fpga.Cmd, t time.Duration) (bool, err
 	c.rr++
 	c.mu.Unlock()
 	return d.SubmitTimeout(cmd, t)
+}
+
+// Cancel revokes a timed-out command on whichever board holds it (a
+// command lives on at most one board — a retry is only resubmitted
+// after the previous attempt's FINISH was consumed). True means the
+// revocation won: no DMA write for the command can land after Cancel
+// returns and no FINISH for it will ever surface, so its batch slot may
+// be rescued and its buffer recycled. False means the command already
+// finished and its FINISH must be drained normally.
+func (c *FPGAChannel) Cancel(id uint64) bool {
+	for _, d := range c.devs {
+		if d.Cancel(id) {
+			return true
+		}
+	}
+	return false
 }
 
 // WaitCompletionTimeout waits up to t for the next FINISH signal; ok is

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -291,6 +292,77 @@ func TestChaosCorruptPayloadsHitRealDecodeErrors(t *testing.T) {
 	}
 	if got := b.Images() + b.DecodeErrors(); got != n {
 		t.Fatalf("images+errors = %d, want %d", got, n)
+	}
+	assertPoolBalanced(t, b)
+}
+
+// TestChaosRevokedSlowCommandCannotCorruptBuffers covers the
+// slow-but-alive board: the first decode command is delayed in the
+// parser far past the command timeout (which also stalls everything
+// queued behind it in the FIFO), so the reader revokes the overdue
+// commands, rescues their slots on the CPU, publishes, and recycles the
+// buffers — all while the board is still working. The revocation fence
+// must keep every late DMA write from landing: each published slot
+// holds exactly its own item's pixels, the late FINISH signals are
+// suppressed rather than surfacing as unknown commands, and the ledger
+// balances.
+func TestChaosRevokedSlowCommandCannotCorruptBuffers(t *testing.T) {
+	const n = 12
+	spec := dataset.MNISTLike(n)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Ref: fpga.DataRef{Inline: mustJPEG(t, spec, i)}, Meta: ItemMeta{Seq: i}}
+	}
+	b := newBooster(t, Config{
+		BatchSize: 2, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 2,
+		FPGA: fpga.Config{Inject: faults.New(faults.Config{
+			Delay: 200 * time.Millisecond, DelayEvery: 1, WindowStart: 1, WindowLen: 1,
+		})},
+		Resilience: Resilience{
+			CmdTimeout:    25 * time.Millisecond,
+			FallbackAfter: 100, // rescue failed slots, don't switch modes
+		},
+	})
+	// Reference pixels: the CPU path runs the same mirror stages and
+	// resize the board would, so every slot must match byte for byte.
+	refs := make([][]byte, n)
+	for i := range refs {
+		refs[i] = make([]byte, 28*28)
+		if err := b.cpuDecode(items[i].Ref, refs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	all := <-results
+	seen := map[int]bool{}
+	for _, d := range all {
+		for s := 0; s < d.images; s++ {
+			seq := d.metas[s].Seq
+			if !d.valid[s] {
+				t.Fatalf("item %d lost to the slow board", seq)
+			}
+			if seen[seq] {
+				t.Fatalf("item %d delivered twice", seq)
+			}
+			seen[seq] = true
+			if !bytes.Equal(d.pixels[s], refs[seq]) {
+				t.Fatalf("item %d pixels corrupted (late DMA landed in a settled slot)", seq)
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct images, want %d", len(seen), n)
+	}
+	if b.CmdTimeouts() == 0 {
+		t.Fatal("no command was revoked against a 200ms-slow board under a 25ms timeout")
+	}
+	if b.Images() != n || b.DecodeErrors() != 0 {
+		t.Fatalf("images=%d errors=%d, want %d/0", b.Images(), b.DecodeErrors(), n)
+	}
+	if b.Degraded() {
+		t.Fatal("slow board must not flip the mode switch below the threshold")
 	}
 	assertPoolBalanced(t, b)
 }

@@ -32,6 +32,7 @@ var (
 	ErrClosed      = errors.New("fpga: device closed")
 	ErrNoData      = errors.New("fpga: command has no data source")
 	ErrBadTarget   = errors.New("fpga: bad DMA target")
+	ErrRevoked     = errors.New("fpga: command revoked by host")
 	errNilMirror   = errors.New("fpga: nil mirror")
 	errBadGeometry = errors.New("fpga: bad output geometry")
 )
@@ -162,6 +163,18 @@ type StageStats struct {
 	Busy time.Duration
 }
 
+// cmdState tracks one in-flight command through the revocation fence:
+// inflight from Submit until its FINISH is raised, dmaActive strictly
+// while the resizer writes the DMA window, cancelled once the host has
+// revoked it.
+type cmdState uint8
+
+const (
+	cmdInflight cmdState = iota
+	cmdDMAActive
+	cmdCancelled
+)
+
 // Device is one simulated FPGA decoder board.
 type Device struct {
 	cfg    Config
@@ -173,6 +186,14 @@ type Device struct {
 
 	cmds        *queue.Queue[Cmd]
 	completions *queue.Queue[Completion]
+
+	// The revocation fence (Cancel): every submitted command is tracked
+	// until its FINISH is raised, and the resizer's DMA write holds
+	// dmaActive under regMu's happens-before so a host Cancel can
+	// guarantee no write lands after it returns.
+	regMu   sync.Mutex
+	regCond *sync.Cond
+	reg     map[uint64]cmdState
 
 	// stuckc is closed by Close; a wedged parser parks on it so a
 	// stuck device still tears down cleanly.
@@ -225,7 +246,9 @@ func New(cfg Config, arena *hugepage.Arena, source DataSource, mirror Mirror) (*
 		toIDCT:      make(chan stageJob, cfg.IDCTWays*2),
 		toResize:    make(chan stageJob, cfg.ResizeWays*2),
 		stuckc:      make(chan struct{}),
+		reg:         make(map[uint64]cmdState),
 	}
+	d.regCond = sync.NewCond(&d.regMu)
 	d.start()
 	return d, nil
 }
@@ -243,7 +266,9 @@ func (d *Device) Config() Config { return d.cfg }
 // Submit pushes a command into the FIFO queue, blocking when it is full
 // (the host bridger relies on this back-pressure).
 func (d *Device) Submit(cmd Cmd) error {
+	d.register(cmd.ID)
 	if err := d.cmds.Push(cmd); err != nil {
+		d.unregister(cmd.ID)
 		return ErrClosed
 	}
 	return nil
@@ -253,11 +278,85 @@ func (d *Device) Submit(cmd Cmd) error {
 // stays full — the case of a wedged board whose queue never drains. ok
 // is false on timeout; the error is ErrClosed after Close.
 func (d *Device) SubmitTimeout(cmd Cmd, t time.Duration) (bool, error) {
+	d.register(cmd.ID)
 	ok, err := d.cmds.PushTimeout(cmd, t)
 	if err != nil {
+		d.unregister(cmd.ID)
 		return false, ErrClosed
 	}
+	if !ok {
+		d.unregister(cmd.ID)
+	}
 	return ok, nil
+}
+
+// register tracks a command before it enters the FIFO, so a FINISH can
+// never race an untracked command, and unregister rolls the entry back
+// when the FIFO rejects the push.
+func (d *Device) register(id uint64) {
+	d.regMu.Lock()
+	d.reg[id] = cmdInflight
+	d.regMu.Unlock()
+}
+
+func (d *Device) unregister(id uint64) {
+	d.regMu.Lock()
+	delete(d.reg, id)
+	d.regMu.Unlock()
+}
+
+// Cancel revokes a submitted command — the host-side abort doorbell a
+// real DMA engine exposes. It returns true when the revocation won: the
+// command is still inside the board (queued, parked in a wedged parser,
+// or anywhere short of its DMA write) and is now fenced, so no write to
+// its DMA window can land after Cancel returns and its FINISH, if the
+// pipeline ever reaches one, is suppressed. It returns false when the
+// command has already finished: its FINISH is in (or headed to) the
+// completion stream and must be consumed normally. If the command's DMA
+// write is in progress, Cancel waits the write out before deciding, so
+// a true return is always a hard no-more-writes guarantee.
+func (d *Device) Cancel(id uint64) bool {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	for {
+		st, ok := d.reg[id]
+		if !ok {
+			return false
+		}
+		switch st {
+		case cmdDMAActive:
+			d.regCond.Wait()
+		case cmdInflight:
+			d.reg[id] = cmdCancelled
+			return true
+		case cmdCancelled:
+			return true
+		}
+	}
+}
+
+// dmaBegin gates the resizer's DMA write: false means the host revoked
+// the command and the write must not happen. Holding the dmaActive
+// state (not the mutex) across the write keeps concurrent resize ways
+// independent while still letting Cancel wait out an in-progress write.
+func (d *Device) dmaBegin(id uint64) bool {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	st, ok := d.reg[id]
+	if !ok || st == cmdCancelled {
+		return false
+	}
+	d.reg[id] = cmdDMAActive
+	return true
+}
+
+func (d *Device) dmaEnd(id uint64) {
+	d.regMu.Lock()
+	if d.reg[id] == cmdDMAActive {
+		d.reg[id] = cmdInflight
+	}
+	d.regCond.Broadcast()
+	d.regMu.Unlock()
 }
 
 // Wedged reports whether an injected stuck fault has hung the board.
@@ -356,8 +455,19 @@ func (d *Device) start() {
 	}
 }
 
-// finish raises a completion; it is the FINISH arbiter of Figure 4.
+// finish raises a completion; it is the FINISH arbiter of Figure 4. A
+// command the host revoked has already been settled there, so its
+// FINISH is swallowed instead of surfacing as an unknown signal. The
+// registry entry is dropped before the push so Cancel never blocks
+// behind a full completion queue.
 func (d *Device) finish(c Completion) {
+	d.regMu.Lock()
+	st, tracked := d.reg[c.ID]
+	delete(d.reg, c.ID)
+	d.regMu.Unlock()
+	if tracked && st == cmdCancelled {
+		return
+	}
 	// The completion queue is sized generously; if the host stops
 	// draining, the push blocks, which stalls the pipeline exactly as a
 	// full hardware FIFO would.
@@ -490,7 +600,14 @@ func (d *Device) resizeAndDMA(j stageJob) error {
 		return err
 	}
 	// The resizer writes straight into the DMA window: no intermediate
-	// buffer, matching the hardware data path.
+	// buffer, matching the hardware data path. The write is fenced by
+	// the revocation registry: once the host has cancelled the command
+	// (it timed out and its slot was settled, possibly recycled), the
+	// write must not land.
+	if !d.dmaBegin(cmd.ID) {
+		return ErrRevoked
+	}
+	defer d.dmaEnd(cmd.ID)
 	return imageproc.ResizeInto(j.img, dst, imageproc.Bilinear)
 }
 

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
+	"dlbooster/internal/faults"
 	"dlbooster/internal/hugepage"
 	"dlbooster/internal/imageproc"
 	"dlbooster/internal/jpeg"
@@ -408,5 +410,119 @@ func TestMirrorStageTypeSafety(t *testing.T) {
 	var rm RawMirror
 	if _, err := rm.Reconstruct("wrong"); err == nil {
 		t.Fatal("raw mirror accepted wrong job type")
+	}
+}
+
+// encodeTestJPEG returns a small encoded image for revocation tests.
+func encodeTestJPEG(t *testing.T, seed int64) []byte {
+	t.Helper()
+	data, err := jpeg.Encode(testImage(64, 64, 1, seed), jpeg.EncodeOptions{Quality: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCancelFencesDelayedDMA is the revocation guarantee: the host
+// cancels a command while the board is still working on it (an injected
+// latency spike parks the parser), and after Cancel returns true no
+// byte of the command's DMA window may change and no FINISH may
+// surface — the slot can be rescued and the buffer recycled safely.
+func TestCancelFencesDelayedDMA(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Inject = faults.New(faults.Config{Delay: 150 * time.Millisecond, DelayEvery: 1, WindowStart: 1, WindowLen: 1})
+	d, pool := newTestDevice(t, cfg)
+	buf, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := buf.Bytes()[:28*28]
+	for i := range window {
+		window[i] = 0xAB
+	}
+	cmd := Cmd{
+		ID:      1,
+		Data:    DataRef{Inline: encodeTestJPEG(t, 3)},
+		DMAAddr: buf.PhysAddr(),
+		OutW:    28, OutH: 28, Channels: 1,
+	}
+	if err := d.Submit(cmd); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the parser has consumed the injector decision (it is
+	// now sleeping the delay), then revoke.
+	for cfg.Inject.Ops() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if !d.Cancel(cmd.ID) {
+		t.Fatal("Cancel lost against a board that cannot have finished")
+	}
+	if !d.Cancel(cmd.ID) {
+		t.Fatal("Cancel is not idempotent while the command is in the board")
+	}
+	// Let the delayed pipeline run the revoked command to its end.
+	time.Sleep(300 * time.Millisecond)
+	for i, b := range window {
+		if b != 0xAB {
+			t.Fatalf("revoked command wrote DMA window at byte %d", i)
+		}
+	}
+	if comps := d.Drain(); len(comps) != 0 {
+		t.Fatalf("revoked command raised FINISH: %+v", comps)
+	}
+}
+
+// TestCancelLosesAfterFinish: once a command's FINISH has been raised,
+// Cancel must report the revocation lost so the host consumes the
+// completion instead of discarding the slot's real result.
+func TestCancelLosesAfterFinish(t *testing.T) {
+	d, pool := newTestDevice(t, DefaultConfig())
+	buf, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := Cmd{
+		ID:      9,
+		Data:    DataRef{Inline: encodeTestJPEG(t, 4)},
+		DMAAddr: buf.PhysAddr(),
+		OutW:    28, OutH: 28, Channels: 1,
+	}
+	if err := d.Submit(cmd); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := d.WaitCompletion()
+	if err != nil || comp.Err != nil {
+		t.Fatalf("completion = %+v, err %v", comp, err)
+	}
+	if d.Cancel(cmd.ID) {
+		t.Fatal("Cancel won against an already-finished command")
+	}
+}
+
+// TestCancelStuckSwallowedCommand: a wedged board swallows commands
+// without ever finishing them; the host's revocation must win so the
+// swallowed command's slot can be settled and its buffer reused.
+func TestCancelStuckSwallowedCommand(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Inject = faults.New(faults.Config{StuckAfter: 1})
+	d, pool := newTestDevice(t, cfg)
+	buf, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := Cmd{
+		ID:      5,
+		Data:    DataRef{Inline: encodeTestJPEG(t, 5)},
+		DMAAddr: buf.PhysAddr(),
+		OutW:    28, OutH: 28, Channels: 1,
+	}
+	if err := d.Submit(cmd); err != nil {
+		t.Fatal(err)
+	}
+	for !d.Wedged() {
+		time.Sleep(time.Millisecond)
+	}
+	if !d.Cancel(cmd.ID) {
+		t.Fatal("Cancel lost against a wedged board that swallowed the command")
 	}
 }

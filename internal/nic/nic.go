@@ -148,6 +148,9 @@ func (f *Fabric) Close() { f.rx.Close() }
 // delivery order into the RX queue is deterministic and no client can
 // starve another — the fairness a real NIC's per-flow scheduling (or
 // TCP's congestion control) provides, which unpaced goroutines do not.
+// A client that exits early (a Deliver error, e.g. an injected Fail)
+// retires its ring slot; the turn keeps rotating among the survivors
+// instead of stalling the whole group on the empty slot.
 type ClientGroup struct {
 	wg   sync.WaitGroup
 	once sync.Once
@@ -156,6 +159,8 @@ type ClientGroup struct {
 	turn    *sync.Cond
 	next    int // whose turn it is, mod n
 	n       int
+	live    int    // clients still running
+	dead    []bool // exited clients, skipped by the rotation
 	stopped bool
 }
 
@@ -175,12 +180,13 @@ func StartClients(f *Fabric, n int, payloads [][]byte) (*ClientGroup, error) {
 			return nil, fmt.Errorf("nic: payload %d is empty", i)
 		}
 	}
-	g := &ClientGroup{n: n}
+	g := &ClientGroup{n: n, live: n, dead: make([]bool, n)}
 	g.turn = sync.NewCond(&g.mu)
 	for c := 0; c < n; c++ {
 		g.wg.Add(1)
 		go func(c int) {
 			defer g.wg.Done()
+			defer g.exit(c)
 			seq := 0
 			for {
 				if !g.acquireTurn(c) {
@@ -210,12 +216,41 @@ func (g *ClientGroup) acquireTurn(c int) bool {
 	return !g.stopped
 }
 
-// releaseTurn hands the medium to the next client. An exiting client
-// must call it too, or the ring would stall on its slot.
+// releaseTurn hands the medium to the next live client. An exiting
+// client must call it too, or the ring would stall on its slot.
 func (g *ClientGroup) releaseTurn() {
 	g.mu.Lock()
-	g.next = (g.next + 1) % g.n
+	g.advanceLocked()
 	g.turn.Broadcast()
+	g.mu.Unlock()
+}
+
+// advanceLocked rotates the turn past every retired slot. With no live
+// client left there is nobody to hand the turn to (and nobody waiting).
+func (g *ClientGroup) advanceLocked() {
+	if g.live == 0 {
+		return
+	}
+	g.next = (g.next + 1) % g.n
+	for g.dead[g.next] {
+		g.next = (g.next + 1) % g.n
+	}
+}
+
+// exit retires a client's ring slot when its goroutine returns. If the
+// rotation is already parked on the dying client's slot (it died after
+// releasing its turn, and the ring wrapped back before the exit ran),
+// the turn moves on so the survivors keep sending.
+func (g *ClientGroup) exit(c int) {
+	g.mu.Lock()
+	if !g.dead[c] {
+		g.dead[c] = true
+		g.live--
+		if g.next == c {
+			g.advanceLocked()
+		}
+		g.turn.Broadcast()
+	}
 	g.mu.Unlock()
 }
 

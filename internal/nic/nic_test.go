@@ -188,3 +188,57 @@ func TestStartClientsValidation(t *testing.T) {
 		t.Fatal("empty payload accepted")
 	}
 }
+
+func TestClientExitKeepsRingRotating(t *testing.T) {
+	// Delivery op 5 (client 1's second send) returns ErrInjected and
+	// kills that client. Its ring slot must be retired so the rotation
+	// keeps alternating between the survivors instead of stalling the
+	// whole group the next time the turn reaches the empty slot.
+	inj := faults.New(faults.Config{FailEvery: 5, WindowStart: 5, WindowLen: 1})
+	f := New(Config{RxQueueCap: 8, Inject: inj})
+	g, err := StartClients(f, 3, [][]byte{[]byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivered order: ops 1–4 are c0,c1,c2,c0; op 5 fails (no frame,
+	// client 1 exits); from there the ring alternates c2,c0,c2,c0,…
+	counts := map[int]int{}
+	for i := 0; i < 40; i++ {
+		fr, err := f.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{0, 1, 2, 0}[min(i, 3)]
+		if i >= 4 {
+			want = []int{2, 0}[(i-4)%2]
+		}
+		if fr.ClientID != want {
+			t.Fatalf("frame %d from client %d, want %d", i, fr.ClientID, want)
+		}
+		counts[fr.ClientID]++
+	}
+	if counts[1] != 1 {
+		t.Fatalf("dead client delivered %d frames, want 1", counts[1])
+	}
+	f.Close()
+	g.Stop()
+}
+
+func TestAllClientsExitStopCleanly(t *testing.T) {
+	// Every delivery fails: all clients die on their first turn. Stop
+	// must still return (no goroutine parked on a dead ring).
+	inj := faults.New(faults.Config{FailRate: 1})
+	f := New(Config{RxQueueCap: 8, Inject: inj})
+	g, err := StartClients(f, 3, [][]byte{[]byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { g.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung after every client exited")
+	}
+	f.Close()
+}
