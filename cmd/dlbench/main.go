@@ -5,6 +5,7 @@
 //	dlbench -fig fig7a      # one figure
 //	dlbench -fig ablations  # the design-choice ablations
 //	dlbench -list           # figure ids
+//	dlbench -metrics        # traced end-to-end run + telemetry table
 package main
 
 import (
@@ -45,7 +46,18 @@ var runners = map[string]func() (experiments.Figure, error){
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (all, ablations, or a figure id)")
 	list := flag.Bool("list", false, "list figure ids and exit")
+	showMetrics := flag.Bool("metrics", false, "run a traced end-to-end pipeline and print the telemetry table")
+	metricsImages := flag.Int("metrics-images", 64, "with -metrics: images to push through the pipeline")
+	metricsBatch := flag.Int("metrics-batch", 8, "with -metrics: batch size")
 	flag.Parse()
+
+	if *showMetrics {
+		if err := runMetrics(*metricsImages, *metricsBatch); err != nil {
+			fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		ids := make([]string, 0, len(runners))

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/dataset"
+	"dlbooster/internal/engine"
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/gpu"
+	"dlbooster/internal/metrics"
+	"dlbooster/internal/perf"
+)
+
+// runMetrics drives one small instrumented end-to-end pipeline — corpus
+// → FPGAReader → Dispatcher → inference engine — with full tracing on,
+// and prints the unified telemetry table. It demonstrates the snapshot
+// every component feeds (docs/METRICS.md is the field reference); the
+// virtual-time figures stay separate because tracing measures the real
+// pipeline, not the simulation.
+func runMetrics(images, batchSize int) error {
+	const size = 96
+	spec := dataset.ILSVRCLike(minInt(images, 64))
+	reg := metrics.NewRegistry()
+	booster, err := core.New(core.Config{
+		BatchSize: batchSize, OutW: size, OutH: size, Channels: 3,
+		PoolBatches: 4,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer booster.Close()
+
+	items := make([]core.Item, images)
+	for i := range items {
+		data, err := spec.JPEG(i % spec.Count)
+		if err != nil {
+			return err
+		}
+		items[i] = core.Item{
+			Ref:  fpga.DataRef{Inline: data},
+			Meta: core.ItemMeta{Label: i % 1000, Seq: i, ReceivedAt: time.Now()},
+		}
+	}
+
+	dev, err := gpu.NewDevice(0, 1<<30)
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+	solver, err := core.NewSolver(dev, 2, batchSize*size*size*3)
+	if err != nil {
+		return err
+	}
+	disp, err := core.NewDispatcher(booster.Batches(), booster.RecycleBatch,
+		[]*core.Solver{solver}, core.DispatcherConfig{Metrics: reg})
+	if err != nil {
+		return err
+	}
+	inf, err := engine.NewInference(engine.InferenceConfig{
+		Profile: perf.GoogLeNet, Solver: solver, Classes: 1000,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	errc := make(chan error, 2)
+	go func() {
+		err := booster.RunEpoch(core.CollectorFromItems(items))
+		booster.CloseBatches()
+		errc <- err
+	}()
+	go func() { errc <- disp.Run() }()
+	stats, err := inf.Run()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+	fmt.Printf("dlbench -metrics: %d images through the traced pipeline (%d batches)\n\n",
+		stats.Images, stats.Batches)
+	fmt.Print(booster.Snapshot().Table())
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

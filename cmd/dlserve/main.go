@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -55,17 +56,26 @@ func main() {
 	decodeRetries := flag.Int("decode-retries", 0, "server: resubmit a failed decode command up to N times")
 	cmdTimeout := flag.Duration("cmd-timeout", 0, "server: per-command decode timeout (0 = wait forever)")
 	fallbackAfter := flag.Int("fallback-after", 0, "server: reroute decoding to the CPU after N consecutive FPGA failures (0 = never)")
+	metricsAddr := flag.String("metrics-addr", "", "server: serve telemetry on this address — /metrics (Prometheus text) and /metrics.json (snapshot)")
+	snapEvery := flag.Duration("snapshot-every", 0, "server: write a JSON telemetry snapshot at this interval (0 = off)")
+	snapFile := flag.String("snapshot-file", "", "server: overwrite this file with each periodic snapshot (default: stderr)")
 	flag.Parse()
 
-	res := core.Resilience{
-		MaxRetries:    *decodeRetries,
-		CmdTimeout:    *cmdTimeout,
-		FallbackAfter: *fallbackAfter,
-	}
 	var err error
 	switch {
 	case *listen != "":
-		err = serve(*listen, *backendName, *batch, *size, *pace, *faultFPGA, res)
+		err = serve(serveConfig{
+			addr: *listen, backend: *backendName, batch: *batch, size: *size,
+			pace: *pace, faultFPGA: *faultFPGA,
+			res: core.Resilience{
+				MaxRetries:    *decodeRetries,
+				CmdTimeout:    *cmdTimeout,
+				FallbackAfter: *fallbackAfter,
+			},
+			metricsAddr: *metricsAddr,
+			snapEvery:   *snapEvery,
+			snapFile:    *snapFile,
+		})
 	case *connect != "":
 		err = client(*connect, *n)
 	default:
@@ -114,8 +124,26 @@ func (c *conns) send(p engine.Prediction) {
 	c.mu.Unlock()
 }
 
-func serve(addr, backendName string, batch, size int, pace bool, faultFPGA string, res core.Resilience) error {
-	faultCfg, err := faults.ParseSpec(faultFPGA)
+// serveConfig carries the server-mode flags.
+type serveConfig struct {
+	addr      string
+	backend   string
+	batch     int
+	size      int
+	pace      bool
+	faultFPGA string
+	res       core.Resilience
+
+	// Telemetry: metricsAddr serves /metrics and /metrics.json over
+	// HTTP; snapEvery writes periodic JSON snapshots to snapFile (or
+	// stderr). Either one enables full tracing on the pipeline.
+	metricsAddr string
+	snapEvery   time.Duration
+	snapFile    string
+}
+
+func serve(cfg serveConfig) error {
+	faultCfg, err := faults.ParseSpec(cfg.faultFPGA)
 	if err != nil {
 		return err
 	}
@@ -123,13 +151,19 @@ func serve(addr, backendName string, batch, size int, pace bool, faultFPGA strin
 	if faultCfg.Enabled() {
 		inject = faults.New(faultCfg)
 	}
+	var reg *metrics.Registry
+	if cfg.metricsAddr != "" || cfg.snapEvery > 0 {
+		reg = metrics.NewRegistry()
+	}
+	batch, size := cfg.batch, cfg.size
 	var backend backends.Backend
-	switch backendName {
+	switch cfg.backend {
 	case "dlbooster":
 		b, err := backends.NewDLBooster(core.Config{
 			BatchSize: batch, OutW: size, OutH: size, Channels: 3, PoolBatches: 8,
 			FPGA:       fpga.Config{Inject: inject},
-			Resilience: res,
+			Resilience: cfg.res,
+			Metrics:    reg,
 		})
 		if err != nil {
 			return err
@@ -148,7 +182,7 @@ func serve(addr, backendName string, batch, size int, pace bool, faultFPGA strin
 		}
 		backend = b
 	default:
-		return fmt.Errorf("unknown backend %q", backendName)
+		return fmt.Errorf("unknown backend %q", cfg.backend)
 	}
 	defer backend.Close()
 
@@ -161,7 +195,7 @@ func serve(addr, backendName string, batch, size int, pace bool, faultFPGA strin
 	if err != nil {
 		return err
 	}
-	disp, err := core.NewDispatcher(backend.Batches(), backend.RecycleBatch, []*core.Solver{solver}, core.DispatcherConfig{})
+	disp, err := core.NewDispatcher(backend.Batches(), backend.RecycleBatch, []*core.Solver{solver}, core.DispatcherConfig{Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -169,11 +203,21 @@ func serve(addr, backendName string, batch, size int, pace bool, faultFPGA strin
 	lat := &metrics.Histogram{}
 	inf, err := engine.NewInference(engine.InferenceConfig{
 		Profile: perf.GoogLeNet, Solver: solver, Classes: 1000,
-		PaceCompute: pace, Latency: lat,
-		Emit: cs.send,
+		PaceCompute: cfg.pace, Latency: lat,
+		Emit:    cs.send,
+		Metrics: reg,
 	})
 	if err != nil {
 		return err
+	}
+
+	if cfg.metricsAddr != "" {
+		if err := serveMetrics(cfg.metricsAddr, reg); err != nil {
+			return err
+		}
+	}
+	if cfg.snapEvery > 0 {
+		go snapshotLoop(reg, cfg.snapEvery, cfg.snapFile)
 	}
 
 	items := queue.New[core.Item](256)
@@ -203,7 +247,7 @@ func serve(addr, backendName string, batch, size int, pace bool, faultFPGA strin
 		}
 	}()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
@@ -214,6 +258,51 @@ func serve(addr, backendName string, batch, size int, pace bool, faultFPGA strin
 			return err
 		}
 		go handleConn(nc, cs, items)
+	}
+}
+
+// serveMetrics exposes the registry over HTTP: /metrics is the
+// Prometheus text exposition, /metrics.json the full snapshot.
+func serveMetrics(addr string, reg *metrics.Registry) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := reg.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dlserve: telemetry on http://%s/metrics\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
+}
+
+// snapshotLoop periodically renders the registry to JSON, overwriting
+// path each tick (or appending to stderr when path is empty) — the
+// capture mechanism EXPERIMENTS.md uses for offline analysis.
+func snapshotLoop(reg *metrics.Registry, every time.Duration, path string) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		data, err := reg.Snapshot().JSON()
+		if err != nil {
+			continue
+		}
+		if path == "" {
+			fmt.Fprintf(os.Stderr, "%s\n", data)
+			continue
+		}
+		_ = os.WriteFile(path, append(data, '\n'), 0o644)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"dlbooster/internal/gpu"
 	"dlbooster/internal/hugepage"
+	"dlbooster/internal/metrics"
 )
 
 // ItemMeta carries per-image bookkeeping across the pipeline: identity
@@ -36,6 +37,10 @@ type Batch struct {
 	Valid       []bool // false marks slots whose decode failed
 	Seq         int    // batch sequence number
 	AssembledAt time.Time
+	// Trace is the batch's observability span, stamped at each pipeline
+	// stage and completed at recycle. It is nil unless the Booster was
+	// built with a metrics registry, so untraced runs carry no cost.
+	Trace *metrics.Span
 }
 
 // ImageBytes returns the per-slot stride.

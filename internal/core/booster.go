@@ -43,6 +43,14 @@ type Config struct {
 	CacheLimitBytes int64
 	// Resilience is the failure policy (retry, timeout, CPU fallback).
 	Resilience Resilience
+	// Metrics, when non-nil, enables full observability: per-batch trace
+	// spans, per-stage latency histograms and get_item wait timing are
+	// recorded into this registry, alongside the pull-based counters,
+	// gauges and queue probes the Booster registers regardless. Nil (the
+	// default) keeps every hot path free of timestamp and histogram
+	// work — Booster.Snapshot still reports counters, queue depths and
+	// events, just no stage latencies.
+	Metrics *metrics.Registry
 }
 
 // Resilience is the failure policy of the host bridger: how the
@@ -134,10 +142,19 @@ type Booster struct {
 	ch     *FPGAChannel
 	full   *queue.Queue[*Batch]
 
-	images metrics.Counter
-	errors metrics.Counter
-	seq    int
-	cmdID  uint64
+	images    metrics.Counter
+	errors    metrics.Counter
+	collected metrics.Counter
+	published metrics.Counter
+	seq       int
+	cmdID     uint64
+
+	// reg is never nil: the user's registry when Config.Metrics was set
+	// (traced = full span/latency instrumentation), otherwise an
+	// internal one carrying only pull-based probes so Snapshot always
+	// answers.
+	reg    *metrics.Registry
+	traced bool
 
 	// Failure-policy accounting (see Resilience).
 	retries      metrics.Counter
@@ -146,12 +163,16 @@ type Booster struct {
 	lateFinishes metrics.Counter
 	consecFails  atomic.Int64
 	degraded     atomic.Bool
-	events       metrics.EventLog
 
 	cacheMu       sync.Mutex
 	cache         []cachedBatch
 	cacheBytes    int64
 	cacheOverflow bool
+
+	// Cache-hit accounting (§3.1 hybrid service): images and bytes
+	// served from the in-memory epoch cache instead of the decoder.
+	cacheReplayImages metrics.Counter
+	cacheReplayBytes  metrics.Counter
 
 	closeOnce sync.Once
 }
@@ -189,15 +210,69 @@ func New(cfg Config) (*Booster, error) {
 		}
 		devs[i] = dev
 	}
-	return &Booster{
+	b := &Booster{
 		cfg:    cfg,
 		pool:   pool,
 		devs:   devs,
 		mirror: mirror,
 		ch:     newFPGAChannel(devs),
 		full:   queue.New[*Batch](cfg.PoolBatches),
-	}, nil
+		reg:    cfg.Metrics,
+		traced: cfg.Metrics != nil,
+	}
+	if b.reg == nil {
+		b.reg = metrics.NewRegistry()
+	}
+	b.instrument()
+	return b, nil
 }
+
+// instrument registers the Booster's pull-based telemetry: counters the
+// pipeline maintains anyway, queue-depth probes and per-board decoder
+// stats. Everything here is read only at Snapshot time, so registration
+// costs the hot path nothing — the cheap-by-default contract.
+func (b *Booster) instrument() {
+	r := b.reg
+	r.RegisterCounterFunc("items_collected_total", b.collected.Value)
+	r.RegisterCounterFunc("images_decoded_total", b.images.Value)
+	r.RegisterCounterFunc("decode_errors_total", b.errors.Value)
+	r.RegisterCounterFunc("decode_retries_total", b.retries.Value)
+	r.RegisterCounterFunc("cmd_timeouts_total", b.timeouts.Value)
+	r.RegisterCounterFunc("fallback_decodes_total", b.fallbacks.Value)
+	r.RegisterCounterFunc("late_finishes_total", b.lateFinishes.Value)
+	r.RegisterCounterFunc("batches_published_total", b.published.Value)
+	r.RegisterCounterFunc("cache_replay_images_total", b.cacheReplayImages.Value)
+	r.RegisterCounterFunc("cache_replay_bytes_total", b.cacheReplayBytes.Value)
+	r.RegisterGauge("degraded", func() float64 {
+		if b.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
+	r.RegisterGauge("cache_batches", func() float64 { return float64(b.CachedBatches()) })
+	r.RegisterGauge("cache_bytes", func() float64 {
+		b.cacheMu.Lock()
+		defer b.cacheMu.Unlock()
+		return float64(b.cacheBytes)
+	})
+	r.RegisterQueue("full_batch", b.full.Len, b.full.Cap)
+	r.RegisterQueue("fpga_completions", b.ch.merged.Len, b.ch.merged.Cap)
+	b.pool.Instrument(r, b.traced)
+	for i, d := range b.devs {
+		d.Instrument(r, fmt.Sprintf("fpga%d", i))
+	}
+}
+
+// Snapshot returns the unified telemetry view of the backend: every
+// counter, queue depth, gauge, decoder stage stat and event — plus
+// per-stage latency histograms and recent batch spans when the Booster
+// was built with Config.Metrics set.
+func (b *Booster) Snapshot() *metrics.PipelineSnapshot { return b.reg.Snapshot() }
+
+// Registry exposes the Booster's metrics registry, so callers can hang
+// additional instruments (dispatcher queues, engine latencies) off the
+// same snapshot.
+func (b *Booster) Registry() *metrics.Registry { return b.reg }
 
 // Batches returns the Full_Batch_Queue the Dispatcher drains.
 func (b *Booster) Batches() *queue.Queue[*Batch] { return b.full }
@@ -241,7 +316,7 @@ func (b *Booster) LateFinishes() int64 { return b.lateFinishes.Value() }
 func (b *Booster) Degraded() bool { return b.degraded.Load() }
 
 // Events exposes the failure-event log (degraded-mode switches).
-func (b *Booster) Events() []metrics.Event { return b.events.Events() }
+func (b *Booster) Events() []metrics.Event { return b.reg.Events() }
 
 // noteFPGAFailure tracks a final (unretried or unretriable) FPGA
 // failure and engages degraded mode at the configured threshold.
@@ -249,7 +324,7 @@ func (b *Booster) noteFPGAFailure() {
 	n := b.consecFails.Add(1)
 	fa := b.cfg.Resilience.FallbackAfter
 	if fa > 0 && n >= int64(fa) && b.degraded.CompareAndSwap(false, true) {
-		b.events.Record("degraded",
+		b.reg.Event("degraded",
 			fmt.Sprintf("FPGA→CPU fallback engaged after %d consecutive decoder failures", n))
 	}
 }
@@ -314,9 +389,16 @@ func (b *Booster) cpuDecode(ref fpga.DataRef, dst []byte) error {
 
 // RecycleBatch returns a consumed batch's buffer to the pool (Table 1
 // recycle_item). The Dispatcher calls it after stream synchronisation.
+// A traced batch's span terminates here: the recycle timestamp is
+// stamped and the completed span handed to the registry exactly once.
 func (b *Booster) RecycleBatch(batch *Batch) error {
 	if batch == nil || batch.Buf == nil {
 		return errors.New("core: nil batch")
+	}
+	if tr := batch.Trace; tr != nil {
+		batch.Trace = nil
+		tr.Recycled = time.Now()
+		b.reg.CompleteSpan(*tr)
 	}
 	return b.pool.Put(batch.Buf)
 }
@@ -405,6 +487,12 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 	settleSuccess := func(ps pendingSlot) error {
 		b.noteFPGASuccess()
 		b.images.Add(1)
+		if b.traced {
+			b.reg.ObserveSince(metrics.StageFPGADecode, ps.submitted)
+		}
+		if tr := ps.bld.batch.Trace; tr != nil {
+			tr.FPGA++
+		}
 		ps.bld.batch.Valid[ps.slot] = true
 		ps.bld.outstanding--
 		return finishIfDone(ps.bld)
@@ -418,12 +506,25 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 		b.noteFPGAFailure()
 		off := ps.slot * imageBytes
 		dst := ps.bld.batch.Buf.Bytes()[off : off+imageBytes]
+		var t0 time.Time
+		if b.traced {
+			t0 = time.Now()
+		}
 		if res.FallbackAfter > 0 && b.cpuDecode(ps.cmd.Data, dst) == nil {
 			b.images.Add(1)
 			b.fallbacks.Add(1)
+			if b.traced {
+				b.reg.ObserveSince(metrics.StageCPUFallback, t0)
+			}
+			if tr := ps.bld.batch.Trace; tr != nil {
+				tr.Fallback++
+			}
 			ps.bld.batch.Valid[ps.slot] = true
 		} else {
 			b.errors.Add(1)
+			if tr := ps.bld.batch.Trace; tr != nil {
+				tr.Failed++
+			}
 			ps.bld.batch.Valid[ps.slot] = false
 		}
 		ps.bld.outstanding--
@@ -639,6 +740,11 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 		if !ok {
 			break
 		}
+		b.collected.Add(1)
+		var collectedAt time.Time
+		if b.traced {
+			collectedAt = time.Now()
+		}
 		if cur == nil {
 			// Algorithm 1 lines 5–10: peek the free queue; while no
 			// buffer is available and decodes are still in flight,
@@ -657,6 +763,10 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 				return fmt.Errorf("core: memory pool closed: %w", err)
 			}
 			cur = b.newBuilding(buf)
+			if tr := cur.batch.Trace; tr != nil {
+				tr.Collected = collectedAt
+				tr.BufAcquired = time.Now()
+			}
 			live[cur] = true
 		}
 		slot := cur.batch.Images
@@ -679,12 +789,25 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			// Degraded mode: decode rerouted to the CPU backend path,
 			// bypassing the decoder entirely.
 			dst := cur.batch.Buf.Bytes()[cmd.DMAOff : cmd.DMAOff+imageBytes]
+			var t0 time.Time
+			if b.traced {
+				t0 = time.Now()
+			}
 			if b.cpuDecode(item.Ref, dst) == nil {
 				b.images.Add(1)
 				b.fallbacks.Add(1)
+				if b.traced {
+					b.reg.ObserveSince(metrics.StageCPUFallback, t0)
+				}
+				if tr := cur.batch.Trace; tr != nil {
+					tr.Fallback++
+				}
 				cur.batch.Valid[slot] = true
 			} else {
 				b.errors.Add(1)
+				if tr := cur.batch.Trace; tr != nil {
+					tr.Failed++
+				}
 			}
 		} else {
 			submitted := true
@@ -717,6 +840,9 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 		}
 		if cur.batch.Images == b.cfg.BatchSize {
 			cur.sealed = true
+			if tr := cur.batch.Trace; tr != nil {
+				tr.Sealed = time.Now()
+			}
 			// With every slot already settled (pure degraded mode) no
 			// FINISH will arrive to publish the batch — do it here.
 			if err := finishIfDone(cur); err != nil {
@@ -728,6 +854,9 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 	// Flush: seal the partial batch and wait out all in-flight decodes.
 	if cur != nil {
 		cur.sealed = true
+		if tr := cur.batch.Trace; tr != nil {
+			tr.Sealed = time.Now()
+		}
 		if err := finishIfDone(cur); err != nil {
 			return err
 		}
@@ -753,11 +882,15 @@ func (b *Booster) resubmit(cmd fpga.Cmd) (bool, error) {
 
 func (b *Booster) newBuilding(buf *hugepage.Buffer) *building {
 	b.seq++
-	return &building{batch: &Batch{
+	batch := &Batch{
 		Buf: buf,
 		W:   b.cfg.OutW, H: b.cfg.OutH, C: b.cfg.Channels,
 		Seq: b.seq,
-	}}
+	}
+	if b.traced {
+		batch.Trace = &metrics.Span{Batch: b.seq}
+	}
+	return &building{batch: batch}
 }
 
 // finishBatch timestamps, optionally caches, and publishes a batch.
@@ -768,10 +901,18 @@ func (b *Booster) finishBatch(batch *Batch) error {
 		return b.pool.Put(batch.Buf)
 	}
 	batch.AssembledAt = time.Now()
+	if tr := batch.Trace; tr != nil {
+		tr.Published = batch.AssembledAt
+		tr.Images = batch.Images
+	}
 	if b.cfg.CacheLimitBytes > 0 {
 		b.cacheBatch(batch)
 	}
-	return b.full.Push(batch)
+	if err := b.full.Push(batch); err != nil {
+		return err
+	}
+	b.published.Add(1)
+	return nil
 }
 
 func (b *Booster) cacheBatch(batch *Batch) {
@@ -846,9 +987,12 @@ func (b *Booster) ReplayCache() error {
 			AssembledAt: time.Now(),
 		}
 		b.images.Add(int64(cb.images))
+		b.cacheReplayImages.Add(int64(cb.images))
+		b.cacheReplayBytes.Add(int64(len(cb.data)))
 		if err := b.full.Push(batch); err != nil {
 			return err
 		}
+		b.published.Add(1)
 	}
 	return nil
 }

@@ -3,8 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"dlbooster/internal/gpu"
+	"dlbooster/internal/metrics"
 	"dlbooster/internal/queue"
 )
 
@@ -56,6 +59,13 @@ type DispatcherConfig struct {
 	// attributes to "copying small pieces". It exists for the ablation
 	// benchmark; DLBooster proper keeps it false.
 	PerItemCopy bool
+	// Metrics, when non-nil, registers the dispatcher's telemetry with
+	// the registry: per-solver Trans Queue depths (trans<i>_free,
+	// trans<i>_full) and the batches_dispatched_total counter. Pass the
+	// Booster's Registry() so everything lands in one snapshot. All
+	// probes are pull-based; span stamps on traced batches are the only
+	// per-batch work and they cost two timestamps per round.
+	Metrics *metrics.Registry
 }
 
 // Dispatcher moves processed batches from host memory to the registered
@@ -67,7 +77,7 @@ type Dispatcher struct {
 	recycle func(*Batch) error
 	solvers []*Solver
 
-	dispatched int64
+	dispatched atomic.Int64
 }
 
 // NewDispatcher builds a dispatcher over the backend's batch queue. The
@@ -80,11 +90,19 @@ func NewDispatcher(batches *queue.Queue[*Batch], recycle func(*Batch) error, sol
 	if len(solvers) == 0 {
 		return nil, errors.New("core: no solvers registered")
 	}
-	return &Dispatcher{cfg: cfg, batches: batches, recycle: recycle, solvers: solvers}, nil
+	d := &Dispatcher{cfg: cfg, batches: batches, recycle: recycle, solvers: solvers}
+	if r := cfg.Metrics; r.On() {
+		r.RegisterCounterFunc("batches_dispatched_total", d.dispatched.Load)
+		for i, s := range solvers {
+			r.RegisterQueue(fmt.Sprintf("trans%d_free", i), s.Free.Len, s.Free.Cap)
+			r.RegisterQueue(fmt.Sprintf("trans%d_full", i), s.Full.Len, s.Full.Cap)
+		}
+	}
+	return d, nil
 }
 
 // Dispatched returns the number of batches moved to devices.
-func (d *Dispatcher) Dispatched() int64 { return d.dispatched }
+func (d *Dispatcher) Dispatched() int64 { return d.dispatched.Load() }
 
 // inflight is one copy submitted in the current dispatch round.
 type inflight struct {
@@ -111,6 +129,9 @@ func (d *Dispatcher) Run() error {
 				// Stream over: synchronise what this round already
 				// submitted, then exit.
 				return d.finishRound(round)
+			}
+			if tr := hostBatch.Trace; tr != nil {
+				tr.Dispatched = time.Now()
 			}
 			devBuf, err := s.Free.Pop() // lines 4–6
 			if err != nil {
@@ -148,6 +169,9 @@ func (d *Dispatcher) finishRound(round []inflight) error {
 		if err := f.solver.Stream.Synchronize(); err != nil {
 			return err
 		}
+		if tr := f.host.Trace; tr != nil {
+			tr.Synced = time.Now()
+		}
 	}
 	for _, f := range round {
 		db := &DeviceBatch{
@@ -164,7 +188,7 @@ func (d *Dispatcher) finishRound(round []inflight) error {
 		if err := f.solver.Full.Push(db); err != nil {
 			return err
 		}
-		d.dispatched++
+		d.dispatched.Add(1)
 	}
 	return nil
 }

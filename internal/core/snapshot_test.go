@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dlbooster/internal/dataset"
+	"dlbooster/internal/faults"
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/metrics"
+)
+
+// TestSnapshotSpanConservation runs a traced epoch and checks the
+// accounting invariants of the span model: every collected image lands
+// in exactly one terminal state (FPGA, fallback, or failed), every
+// published batch completes exactly one span, and the global counters
+// agree with the per-span sums.
+func TestSnapshotSpanConservation(t *testing.T) {
+	const n = 23 // deliberately not a batch multiple: the flush path must trace too
+	items := chaosItems(t, n)
+	reg := metrics.NewRegistry()
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		Metrics: reg,
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	<-results
+	assertPoolBalanced(t, b)
+
+	s := b.Snapshot()
+	if s == nil {
+		t.Fatal("nil snapshot from traced booster")
+	}
+	if got := s.Counters["items_collected_total"]; got != n {
+		t.Fatalf("items_collected_total = %d, want %d", got, n)
+	}
+	if s.Counters["items_collected_total"] != s.Counters["images_decoded_total"]+s.Counters["decode_errors_total"] {
+		t.Fatalf("collected %d != decoded %d + errors %d",
+			s.Counters["items_collected_total"], s.Counters["images_decoded_total"], s.Counters["decode_errors_total"])
+	}
+	// Per-span conservation on every completed span.
+	for _, sp := range s.RecentSpans {
+		if sp.Images != sp.FPGA+sp.Fallback+sp.Failed {
+			t.Fatalf("span %d: %d images != %d fpga + %d fallback + %d failed",
+				sp.Batch, sp.Images, sp.FPGA, sp.Fallback, sp.Failed)
+		}
+		for name, ts := range map[string]time.Time{
+			"collected": sp.Collected, "buf_acquired": sp.BufAcquired,
+			"sealed": sp.Sealed, "published": sp.Published,
+			"dispatched": sp.Dispatched, "synced": sp.Synced, "recycled": sp.Recycled,
+		} {
+			// drainAll recycles without a dispatcher, so dispatch/sync
+			// stay zero; the collect→publish→recycle chain must not.
+			if (name == "dispatched" || name == "synced") == ts.IsZero() {
+				continue
+			}
+			if ts.IsZero() {
+				t.Fatalf("span %d: stage %s never stamped", sp.Batch, name)
+			}
+		}
+	}
+	// Global span sums equal the pipeline counters.
+	if s.Counters["span_images_total"] != s.Counters["items_collected_total"] {
+		t.Fatalf("span_images_total = %d, want %d",
+			s.Counters["span_images_total"], s.Counters["items_collected_total"])
+	}
+	if s.Counters["span_images_fpga_total"] != s.Counters["images_decoded_total"] {
+		t.Fatalf("span fpga = %d, decoded = %d",
+			s.Counters["span_images_fpga_total"], s.Counters["images_decoded_total"])
+	}
+	// 23 images at batch 4 → 6 published batches, each exactly one span.
+	if s.SpansCompleted != 6 || s.Counters["batches_published_total"] != 6 {
+		t.Fatalf("spans = %d, published = %d, want 6", s.SpansCompleted, s.Counters["batches_published_total"])
+	}
+	// The traced stages must have fired.
+	if s.Stages[metrics.StageFPGADecode].Count != n {
+		t.Fatalf("fpga_decode observations = %d, want %d", s.Stages[metrics.StageFPGADecode].Count, n)
+	}
+	for _, stage := range []string{metrics.StageAssemble, metrics.StageBatchE2E, metrics.StageGetItemWait} {
+		if s.Stages[stage].Count == 0 {
+			t.Fatalf("stage %s never observed", stage)
+		}
+	}
+	// Hugepage ledger surfaces in the same snapshot.
+	if s.Counters["hugepage_gets_total"] != s.Counters["hugepage_puts_total"] {
+		t.Fatalf("hugepage gets %d != puts %d",
+			s.Counters["hugepage_gets_total"], s.Counters["hugepage_puts_total"])
+	}
+	if q, ok := s.Queues["hugepage_free"]; !ok || q.Len != q.Cap {
+		t.Fatalf("hugepage_free queue = %+v after full drain", s.Queues["hugepage_free"])
+	}
+}
+
+// TestSnapshotUntracedDefault pins the cheap-by-default contract: a
+// Booster built without Config.Metrics still answers Snapshot with
+// counters, queues and gauges, but carries no spans, no stage
+// histograms, and no Trace pointer on any batch.
+func TestSnapshotUntracedDefault(t *testing.T) {
+	const n = 8
+	items := chaosItems(t, n)
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+	})
+	done := make(chan bool, 1)
+	go func() {
+		traced := false
+		for {
+			batch, err := b.Batches().Pop()
+			if err != nil {
+				done <- traced
+				return
+			}
+			if batch.Trace != nil {
+				traced = true
+			}
+			_ = b.RecycleBatch(batch)
+		}
+	}()
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	if <-done {
+		t.Fatal("untraced booster attached a Trace span")
+	}
+	s := b.Snapshot()
+	if s == nil {
+		t.Fatal("untraced booster must still snapshot")
+	}
+	if got := s.Counters["images_decoded_total"]; got != n {
+		t.Fatalf("images_decoded_total = %d, want %d", got, n)
+	}
+	if len(s.Stages) != 0 {
+		t.Fatalf("untraced snapshot has stage histograms: %v", s.Stages)
+	}
+	if s.SpansCompleted != 0 {
+		t.Fatalf("untraced snapshot completed %d spans", s.SpansCompleted)
+	}
+	if _, ok := s.Queues["full_batch"]; !ok {
+		t.Fatal("untraced snapshot missing full_batch queue probe")
+	}
+}
+
+// TestSnapshotSurfacesDegradation injects a dead decoder and asserts the
+// whole failure story is readable from one snapshot: the degraded gauge,
+// the retry/fallback counters, the degraded event, and spans whose
+// images all terminated on the fallback path.
+func TestSnapshotSurfacesDegradation(t *testing.T) {
+	const n = 12
+	items := chaosItems(t, n)
+	reg := metrics.NewRegistry()
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		FPGA: fpga.Config{Inject: faults.New(faults.Config{FailEvery: 1})},
+		Resilience: Resilience{
+			MaxRetries:    1,
+			RetryBackoff:  10 * time.Microsecond,
+			FallbackAfter: 2,
+		},
+		Metrics: reg,
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	<-results
+
+	s := b.Snapshot()
+	if s.Gauges["degraded"] != 1 {
+		t.Fatalf("degraded gauge = %v", s.Gauges["degraded"])
+	}
+	if s.Counters["fallback_decodes_total"] != n || s.Counters["images_decoded_total"] != n {
+		t.Fatalf("fallbacks = %d, images = %d, want %d of each",
+			s.Counters["fallback_decodes_total"], s.Counters["images_decoded_total"], n)
+	}
+	if s.Counters["decode_retries_total"] == 0 {
+		t.Fatal("retries never surfaced in the snapshot")
+	}
+	found := false
+	for _, e := range s.Events {
+		if e.Name == "degraded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no degraded event in snapshot: %v", s.Events)
+	}
+	if s.Counters["span_images_fallback_total"] != n || s.Counters["span_images_fpga_total"] != 0 {
+		t.Fatalf("span terminals: fallback=%d fpga=%d, want %d/0",
+			s.Counters["span_images_fallback_total"], s.Counters["span_images_fpga_total"], n)
+	}
+	if s.Stages[metrics.StageCPUFallback].Count != n {
+		t.Fatalf("cpu_fallback observations = %d, want %d", s.Stages[metrics.StageCPUFallback].Count, n)
+	}
+}
+
+// benchmarkEpoch measures one epoch through the reader with recycling,
+// with or without a registry — the nil-registry run is the no-regression
+// baseline the observability layer must not disturb.
+func benchmarkEpoch(b *testing.B, reg *metrics.Registry) {
+	spec := dataset.MNISTLike(32)
+	items := make([]Item, 32)
+	for i := range items {
+		data, err := spec.JPEG(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items[i] = Item{Ref: fpga.DataRef{Inline: data}, Meta: ItemMeta{Seq: i}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bo, err := New(Config{
+			BatchSize: 8, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 4,
+			Metrics: reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				batch, err := bo.Batches().Pop()
+				if err != nil {
+					return
+				}
+				_ = bo.RecycleBatch(batch)
+			}
+		}()
+		b.StartTimer()
+		if err := bo.RunEpoch(CollectorFromItems(items)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		bo.CloseBatches()
+		<-done
+		bo.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkEpochUntraced(b *testing.B) { benchmarkEpoch(b, nil) }
+
+func BenchmarkEpochTraced(b *testing.B) { benchmarkEpoch(b, metrics.NewRegistry()) }

@@ -45,6 +45,11 @@ type TrainerConfig struct {
 	// Figure 6(d): "kernels", "update", "transform" — modelled as the
 	// calibrated per-GPU core fractions over the run's duration.
 	Busy *metrics.BusyTracker
+	// Metrics, when non-nil, receives per-iteration train_iter latency
+	// observations and the train_images_total / train_iterations_total /
+	// train_skipped_total counters. Pass the Booster's Registry() so the
+	// engine shares the pipeline snapshot. Nil costs the loop nothing.
+	Metrics *metrics.Registry
 }
 
 // TrainStats summarises a training run.
@@ -83,7 +88,13 @@ func (t *Trainer) Run() (TrainStats, error) {
 	var st TrainStats
 	start := time.Now()
 	syncEff := perf.MultiGPUSyncEfficiency(len(t.cfg.Solvers))
+	reg := t.cfg.Metrics
 	for {
+		var iterStart time.Time
+		if reg.On() {
+			iterStart = time.Now()
+		}
+		imagesBefore, skippedBefore := st.Images, st.SkippedBad
 		type popped struct {
 			solver *core.Solver
 			db     *core.DeviceBatch
@@ -134,6 +145,12 @@ func (t *Trainer) Run() (TrainStats, error) {
 			if err := p.solver.Free.Push(p.db.Buf); err != nil {
 				return st, err
 			}
+		}
+		if reg.On() {
+			reg.ObserveSince(metrics.StageTrainIter, iterStart)
+			reg.Add("train_iterations_total", 1)
+			reg.Add("train_images_total", st.Images-imagesBefore)
+			reg.Add("train_skipped_total", st.SkippedBad-skippedBefore)
 		}
 		if closed {
 			break

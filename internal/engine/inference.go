@@ -34,6 +34,11 @@ type InferenceConfig struct {
 	Latency *metrics.Histogram
 	// Emit, when set, receives every prediction (the reply path).
 	Emit func(Prediction)
+	// Metrics, when non-nil, receives per-image infer_e2e latency
+	// observations and the infer_images_total / infer_batches_total /
+	// infer_skipped_total counters. Pass the Booster's Registry() so the
+	// engine shares the pipeline snapshot. Nil costs the loop nothing.
+	Metrics *metrics.Registry
 }
 
 // InferStats summarises an inference run.
@@ -72,6 +77,7 @@ func (e *Inference) Run() (InferStats, error) {
 		if err != nil {
 			break
 		}
+		imagesBefore, skippedBefore := st.Images, st.SkippedBad
 		if e.cfg.PaceCompute {
 			sleepSeconds(e.cfg.Profile.BatchSeconds(db.Images))
 		}
@@ -93,6 +99,7 @@ func (e *Inference) Run() (InferStats, error) {
 					if e.cfg.Latency != nil {
 						e.cfg.Latency.Add(float64(p.Latency) / float64(time.Millisecond))
 					}
+					e.cfg.Metrics.Observe(metrics.StageInferE2E, float64(p.Latency)/float64(time.Millisecond))
 				}
 			}
 			if e.cfg.Emit != nil {
@@ -101,6 +108,11 @@ func (e *Inference) Run() (InferStats, error) {
 			st.Images++
 		}
 		st.Batches++
+		if reg := e.cfg.Metrics; reg.On() {
+			reg.Add("infer_batches_total", 1)
+			reg.Add("infer_images_total", st.Images-imagesBefore)
+			reg.Add("infer_skipped_total", st.SkippedBad-skippedBefore)
+		}
 		if e.cfg.Solver.Device != nil {
 			e.cfg.Solver.Device.RecordKernelBusy(time.Duration(e.cfg.Profile.BatchSeconds(db.Images) * float64(time.Second)))
 		}

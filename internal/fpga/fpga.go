@@ -23,6 +23,7 @@ import (
 	"dlbooster/internal/faults"
 	"dlbooster/internal/hugepage"
 	"dlbooster/internal/imageproc"
+	"dlbooster/internal/metrics"
 	"dlbooster/internal/pix"
 	"dlbooster/internal/queue"
 )
@@ -213,6 +214,12 @@ type Device struct {
 	huffmanSt StageStats
 	idctSt    StageStats
 	resizeSt  StageStats
+
+	// Board-level command accounting: always maintained (cheap atomics),
+	// surfaced per board by Instrument.
+	submitted atomic.Int64
+	finished  atomic.Int64
+	cancelled atomic.Int64
 }
 
 type stageJob struct {
@@ -271,6 +278,7 @@ func (d *Device) Submit(cmd Cmd) error {
 		d.unregister(cmd.ID)
 		return ErrClosed
 	}
+	d.submitted.Add(1)
 	return nil
 }
 
@@ -286,6 +294,8 @@ func (d *Device) SubmitTimeout(cmd Cmd, t time.Duration) (bool, error) {
 	}
 	if !ok {
 		d.unregister(cmd.ID)
+	} else {
+		d.submitted.Add(1)
 	}
 	return ok, nil
 }
@@ -328,6 +338,7 @@ func (d *Device) Cancel(id uint64) bool {
 			d.regCond.Wait()
 		case cmdInflight:
 			d.reg[id] = cmdCancelled
+			d.cancelled.Add(1)
 			return true
 		case cmdCancelled:
 			return true
@@ -468,10 +479,53 @@ func (d *Device) finish(c Completion) {
 	if tracked && st == cmdCancelled {
 		return
 	}
+	d.finished.Add(1)
 	// The completion queue is sized generously; if the host stops
 	// draining, the push blocks, which stalls the pipeline exactly as a
 	// full hardware FIFO would.
 	_ = d.completions.Push(c)
+}
+
+// Submitted returns the number of commands accepted into the FIFO.
+func (d *Device) Submitted() int64 { return d.submitted.Load() }
+
+// Finished returns the number of FINISH signals raised (suppressed
+// completions of revoked commands are not counted).
+func (d *Device) Finished() int64 { return d.finished.Load() }
+
+// Cancelled returns the number of commands the host revoked in time.
+func (d *Device) Cancelled() int64 { return d.cancelled.Load() }
+
+// Instrument registers the board's telemetry under the given prefix
+// (e.g. "fpga0"): command counters, per-stage busy seconds and job
+// counts (the load-balance view of §3.3), and a wedged gauge. All
+// series are pull-based — the decode pipeline pays nothing until a
+// snapshot is taken. A nil registry is a no-op.
+func (d *Device) Instrument(r *metrics.Registry, prefix string) {
+	if !r.On() {
+		return
+	}
+	r.RegisterCounterFunc(prefix+"_cmds_total", d.submitted.Load)
+	r.RegisterCounterFunc(prefix+"_finishes_total", d.finished.Load)
+	r.RegisterCounterFunc(prefix+"_cancels_total", d.cancelled.Load)
+	r.RegisterGauge(prefix+"_wedged", func() float64 {
+		if d.Wedged() {
+			return 1
+		}
+		return 0
+	})
+	stage := func(name string, pick func(p, h, i, z StageStats) StageStats) {
+		r.RegisterGauge(prefix+"_"+name+"_busy_seconds", func() float64 {
+			return pick(d.Stats()).Busy.Seconds()
+		})
+		r.RegisterGauge(prefix+"_"+name+"_jobs", func() float64 {
+			return float64(pick(d.Stats()).Jobs)
+		})
+	}
+	stage("parser", func(p, _, _, _ StageStats) StageStats { return p })
+	stage("huffman", func(_, h, _, _ StageStats) StageStats { return h })
+	stage("idct", func(_, _, i, _ StageStats) StageStats { return i })
+	stage("resize", func(_, _, _, z StageStats) StageStats { return z })
 }
 
 func (d *Device) parse(cmd Cmd) {

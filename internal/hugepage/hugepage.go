@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"dlbooster/internal/metrics"
 	"dlbooster/internal/queue"
 )
 
@@ -125,6 +127,13 @@ type Pool struct {
 	count int
 	free  *queue.Queue[*Buffer]
 
+	// gets/puts are always maintained (cheap atomics); reg is the
+	// optional observability registry — nil keeps Get free of timestamp
+	// work, the cheap-by-default contract of the telemetry layer.
+	gets metrics.Counter
+	puts metrics.Counter
+	reg  *metrics.Registry
+
 	mu  sync.Mutex
 	out []bool // out[i] reports buffer i currently checked out
 }
@@ -185,10 +194,18 @@ func (p *Pool) Available() bool {
 // Get removes a buffer from the free queue, blocking until one is
 // available (Table 1 get_item). It returns queue.ErrClosed after Close.
 func (p *Pool) Get() (*Buffer, error) {
+	var start time.Time
+	if p.reg.On() {
+		start = time.Now()
+	}
 	b, err := p.free.Pop()
 	if err != nil {
 		return nil, err
 	}
+	if p.reg.On() {
+		p.reg.ObserveSince(metrics.StageGetItemWait, start)
+	}
+	p.gets.Add(1)
 	p.setOut(b.index, true)
 	return b, nil
 }
@@ -198,6 +215,7 @@ func (p *Pool) Get() (*Buffer, error) {
 func (p *Pool) TryGet() (b *Buffer, ok bool, err error) {
 	b, ok, err = p.free.TryPop()
 	if ok {
+		p.gets.Add(1)
 		p.setOut(b.index, true)
 	}
 	return b, ok, err
@@ -216,7 +234,34 @@ func (p *Pool) Put(b *Buffer) error {
 	}
 	p.out[b.index] = false
 	p.mu.Unlock()
+	p.puts.Add(1)
 	return p.free.Push(b)
+}
+
+// Gets returns the number of successful buffer checkouts (get_item).
+func (p *Pool) Gets() int64 { return p.gets.Value() }
+
+// Puts returns the number of buffer recycles (recycle_item).
+func (p *Pool) Puts() int64 { return p.puts.Value() }
+
+// Instrument registers the pool's telemetry with a registry: the
+// hugepage_gets_total / hugepage_puts_total counters, the
+// hugepage_outstanding gauge and the hugepage_free queue depth — all
+// pull-based, read only at snapshot time. traceWaits additionally
+// enables the get_item_wait latency histogram on Get, which costs two
+// timestamps per checkout — callers leave it off unless full tracing
+// was requested. A nil registry is a no-op.
+func (p *Pool) Instrument(r *metrics.Registry, traceWaits bool) {
+	if !r.On() {
+		return
+	}
+	if traceWaits {
+		p.reg = r
+	}
+	r.RegisterCounterFunc("hugepage_gets_total", p.gets.Value)
+	r.RegisterCounterFunc("hugepage_puts_total", p.puts.Value)
+	r.RegisterGauge("hugepage_outstanding", func() float64 { return float64(p.Outstanding()) })
+	r.RegisterQueue("hugepage_free", p.FreeLen, func() int { return p.count })
 }
 
 // Outstanding returns the number of buffers currently checked out — the

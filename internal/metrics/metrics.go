@@ -124,10 +124,14 @@ func (h *Histogram) Max() float64 { return h.Percentile(100) }
 
 // Summary is a rendered snapshot of a histogram.
 type Summary struct {
-	Count               int
-	Mean, P50, P95, P99 float64
-	Min, Max            float64
-	StdDevPopulationEst float64
+	Count               int     `json:"count"`
+	Mean                float64 `json:"mean"`
+	P50                 float64 `json:"p50"`
+	P95                 float64 `json:"p95"`
+	P99                 float64 `json:"p99"`
+	Min                 float64 `json:"min"`
+	Max                 float64 `json:"max"`
+	StdDevPopulationEst float64 `json:"stddev"`
 }
 
 // Summarize returns the standard report for a latency distribution.
@@ -154,9 +158,9 @@ func (s Summary) String() string {
 // numeric metrics — a degraded-mode switch, a device replacement, a
 // fault window opening or closing.
 type Event struct {
-	Name   string
-	Detail string
-	At     time.Time
+	Name   string    `json:"name"`
+	Detail string    `json:"detail"`
+	At     time.Time `json:"at"`
 }
 
 // EventLog is a concurrency-safe append-only record of Events. The

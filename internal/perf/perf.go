@@ -304,9 +304,9 @@ const (
 const (
 	CorePricePerHour     = 0.105 // USD per physical core-hour ("$0.10∼0.11")
 	CoreAnnualRevenue    = 900.0 // USD per core-year ("∼$900 per year")
-	FPGAWatts            = 25.0
-	CPUWatts             = 130.0
-	GPUWatts             = 250.0
+	FPGAWatts            = 25.0  // typical decode-board power draw
+	CPUWatts             = 130.0 // server-class CPU package power
+	GPUWatts             = 250.0 // training-class GPU board power
 	FPGAEquivalentCores  = 30  // "a well-optimized FPGA decoder can offer the same ... as 30 cores"
 	SavedCoreResaleHours = 1.5 // "$1.5/h" resale of freed cores per FPGA
 )
