@@ -6,6 +6,8 @@
 //	dlbench -fig ablations  # the design-choice ablations
 //	dlbench -list           # figure ids
 //	dlbench -metrics        # traced end-to-end run + telemetry table
+//	dlbench -doctor         # traced run + ranked bottleneck diagnosis
+//	dlbench -json out.json  # traced run + schema-versioned bench result
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"strings"
 
 	"dlbooster/internal/experiments"
+	"dlbooster/internal/metrics"
 )
 
 var runners = map[string]func() (experiments.Figure, error){
@@ -47,14 +50,34 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (all, ablations, or a figure id)")
 	list := flag.Bool("list", false, "list figure ids and exit")
 	showMetrics := flag.Bool("metrics", false, "run a traced end-to-end pipeline and print the telemetry table")
-	metricsImages := flag.Int("metrics-images", 64, "with -metrics: images to push through the pipeline")
-	metricsBatch := flag.Int("metrics-batch", 8, "with -metrics: batch size")
+	doctor := flag.Bool("doctor", false, "run a traced end-to-end pipeline and print the ranked bottleneck diagnosis")
+	benchJSON := flag.String("json", "", "run a traced end-to-end pipeline and write a schema-versioned benchmark result (BENCH_<n>.json) to this path")
+	metricsImages := flag.Int("metrics-images", 64, "with -metrics/-doctor/-json: images to push through the pipeline")
+	metricsBatch := flag.Int("metrics-batch", 8, "with -metrics/-doctor/-json: batch size")
 	flag.Parse()
 
-	if *showMetrics {
-		if err := runMetrics(*metricsImages, *metricsBatch); err != nil {
+	if *showMetrics || *doctor || *benchJSON != "" {
+		// One traced run feeds every instrumented view, so -metrics,
+		// -doctor and -json can be combined without re-running.
+		res, err := tracedRun(*metricsImages, *metricsBatch)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
 			os.Exit(1)
+		}
+		if *showMetrics {
+			printMetrics(res)
+		}
+		if *doctor {
+			fmt.Print(metrics.Diagnose(res.snap, nil).Report())
+		}
+		if *benchJSON != "" {
+			br := benchResult(res)
+			if err := br.WriteFile(*benchJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("dlbench: wrote %s (%.0f images/s over %.3fs)\n",
+				*benchJSON, br.Throughput, br.ElapsedSeconds)
 		}
 		return
 	}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"fmt"
+	"os/exec"
+	"runtime"
+	"strings"
 	"time"
 
 	"dlbooster/internal/core"
@@ -13,14 +16,28 @@ import (
 	"dlbooster/internal/perf"
 )
 
-// runMetrics drives one small instrumented end-to-end pipeline — corpus
-// → FPGAReader → Dispatcher → inference engine — with full tracing on,
-// and prints the unified telemetry table. It demonstrates the snapshot
-// every component feeds (docs/METRICS.md is the field reference); the
-// virtual-time figures stay separate because tracing measures the real
-// pipeline, not the simulation.
-func runMetrics(images, batchSize int) error {
-	const size = 96
+// tracedRunSize is the decoder output edge of the instrumented run —
+// small enough that the run takes well under a second, part of the
+// BenchConfig identity benchdiff compares on.
+const tracedRunSize = 96
+
+// tracedResult is what one instrumented end-to-end run produced, shared
+// by the -metrics table, the -doctor report and the -json bench result.
+type tracedResult struct {
+	snap    *metrics.PipelineSnapshot
+	images  int64
+	batches int
+	elapsed time.Duration
+	config  metrics.BenchConfig
+}
+
+// tracedRun drives one small instrumented end-to-end pipeline — corpus
+// → FPGAReader → Dispatcher → inference engine — with full tracing on.
+// It is the real pipeline under a deterministic corpus, not the
+// virtual-time simulation the figures use, so its numbers are honest
+// wall-clock measurements.
+func tracedRun(images, batchSize int) (*tracedResult, error) {
+	const size = tracedRunSize
 	spec := dataset.ILSVRCLike(minInt(images, 64))
 	reg := metrics.NewRegistry()
 	booster, err := core.New(core.Config{
@@ -29,7 +46,7 @@ func runMetrics(images, batchSize int) error {
 		Metrics:     reg,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer booster.Close()
 
@@ -37,7 +54,7 @@ func runMetrics(images, batchSize int) error {
 	for i := range items {
 		data, err := spec.JPEG(i % spec.Count)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		items[i] = core.Item{
 			Ref:  fpga.DataRef{Inline: data},
@@ -47,26 +64,27 @@ func runMetrics(images, batchSize int) error {
 
 	dev, err := gpu.NewDevice(0, 1<<30)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer dev.Close()
 	solver, err := core.NewSolver(dev, 2, batchSize*size*size*3)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	disp, err := core.NewDispatcher(booster.Batches(), booster.RecycleBatch,
 		[]*core.Solver{solver}, core.DispatcherConfig{Metrics: reg})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	inf, err := engine.NewInference(engine.InferenceConfig{
 		Profile: perf.GoogLeNet, Solver: solver, Classes: 1000,
 		Metrics: reg,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 
+	start := time.Now()
 	errc := make(chan error, 2)
 	go func() {
 		err := booster.RunEpoch(core.CollectorFromItems(items))
@@ -76,17 +94,62 @@ func runMetrics(images, batchSize int) error {
 	go func() { errc <- disp.Run() }()
 	stats, err := inf.Run()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for i := 0; i < 2; i++ {
 		if err := <-errc; err != nil {
-			return err
+			return nil, err
 		}
 	}
+	return &tracedResult{
+		snap:    booster.Snapshot(),
+		images:  stats.Images,
+		batches: stats.Batches,
+		elapsed: time.Since(start),
+		config: metrics.BenchConfig{
+			Images: images, Batch: batchSize, Size: size,
+			Boards: 1,
+		},
+	}, nil
+}
+
+// printMetrics renders the -metrics telemetry table.
+func printMetrics(res *tracedResult) {
 	fmt.Printf("dlbench -metrics: %d images through the traced pipeline (%d batches)\n\n",
-		stats.Images, stats.Batches)
-	fmt.Print(booster.Snapshot().Table())
-	return nil
+		res.images, res.batches)
+	fmt.Print(res.snap.Table())
+}
+
+// benchResult assembles the schema-versioned BENCH_<n>.json record from
+// one traced run.
+func benchResult(res *tracedResult) *metrics.BenchResult {
+	elapsed := res.elapsed.Seconds()
+	throughput := 0.0
+	if elapsed > 0 {
+		throughput = float64(res.images) / elapsed
+	}
+	return &metrics.BenchResult{
+		SchemaVersion:  metrics.BenchSchemaVersion,
+		Name:           "traced-e2e",
+		TakenAt:        time.Now().UTC(),
+		GitSHA:         gitSHA(),
+		GoVersion:      runtime.Version(),
+		Config:         res.config,
+		ElapsedSeconds: elapsed,
+		Throughput:     throughput,
+		Stages:         res.snap.Stages,
+		Counters:       res.snap.Counters,
+	}
+}
+
+// gitSHA best-efforts the commit of the working tree ("unknown" when
+// git or the repository is unavailable, e.g. in a release tarball).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func minInt(a, b int) int {

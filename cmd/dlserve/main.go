@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -25,9 +26,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"dlbooster/internal/backends"
@@ -59,6 +62,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "server: serve telemetry on this address — /metrics (Prometheus text) and /metrics.json (snapshot)")
 	snapEvery := flag.Duration("snapshot-every", 0, "server: write a JSON telemetry snapshot at this interval (0 = off)")
 	snapFile := flag.String("snapshot-file", "", "server: overwrite this file with each periodic snapshot (default: stderr)")
+	traceFile := flag.String("trace-file", "", "server: write a Chrome trace_event timeline (Perfetto-loadable) to this file on shutdown; also serves /trace.json when -metrics-addr is set")
+	flightDir := flag.String("flight-dir", "", "server: enable the flight recorder, dumping its rings into this directory on degradation, wedged-device faults, backend errors and shutdown")
 	flag.Parse()
 
 	var err error
@@ -75,6 +80,8 @@ func main() {
 			metricsAddr: *metricsAddr,
 			snapEvery:   *snapEvery,
 			snapFile:    *snapFile,
+			traceFile:   *traceFile,
+			flightDir:   *flightDir,
 		})
 	case *connect != "":
 		err = client(*connect, *n)
@@ -134,12 +141,16 @@ type serveConfig struct {
 	faultFPGA string
 	res       core.Resilience
 
-	// Telemetry: metricsAddr serves /metrics and /metrics.json over
-	// HTTP; snapEvery writes periodic JSON snapshots to snapFile (or
-	// stderr). Either one enables full tracing on the pipeline.
+	// Telemetry: metricsAddr serves /metrics, /metrics.json and
+	// /trace.json over HTTP; snapEvery writes periodic JSON snapshots to
+	// snapFile (or stderr); traceFile receives a Chrome trace timeline on
+	// shutdown. Any of them enables full tracing on the pipeline.
+	// flightDir enables the always-on flight recorder independently.
 	metricsAddr string
 	snapEvery   time.Duration
 	snapFile    string
+	traceFile   string
+	flightDir   string
 }
 
 func serve(cfg serveConfig) error {
@@ -151,9 +162,26 @@ func serve(cfg serveConfig) error {
 	if faultCfg.Enabled() {
 		inject = faults.New(faultCfg)
 	}
+	if cfg.snapFile != "" && cfg.snapEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "dlserve: warning: -snapshot-file %q has no effect without -snapshot-every\n", cfg.snapFile)
+	}
 	var reg *metrics.Registry
-	if cfg.metricsAddr != "" || cfg.snapEvery > 0 {
+	if cfg.metricsAddr != "" || cfg.snapEvery > 0 || cfg.traceFile != "" {
 		reg = metrics.NewRegistry()
+	}
+	var flight *metrics.FlightRecorder
+	if cfg.flightDir != "" {
+		flight = metrics.NewFlightRecorder(metrics.FlightConfig{DumpDir: cfg.flightDir})
+		// Injected faults land in the recorder's timeline; the first
+		// wedged-device fault ("fault_stuck") triggers an automatic dump.
+		inject.SetHook(func(kind string, op int64) {
+			if path := flight.Note("fault_"+kind, fmt.Sprintf("injected %s fault at decoder op %d", kind, op)); path != "" {
+				fmt.Fprintf(os.Stderr, "dlserve: flight recorder dumped to %s\n", path)
+			}
+		})
+		if reg != nil {
+			reg.AttachFlight(flight)
+		}
 	}
 	batch, size := cfg.batch, cfg.size
 	var backend backends.Backend
@@ -164,6 +192,7 @@ func serve(cfg serveConfig) error {
 			FPGA:       fpga.Config{Inject: inject},
 			Resilience: cfg.res,
 			Metrics:    reg,
+			Flight:     flight,
 		})
 		if err != nil {
 			return err
@@ -219,11 +248,44 @@ func serve(cfg serveConfig) error {
 	if cfg.snapEvery > 0 {
 		go snapshotLoop(reg, cfg.snapEvery, cfg.snapFile)
 	}
+	if flight != nil {
+		// The recorder samples the richest registry available: the
+		// booster's internal one carries queue depths and decoder stats
+		// even when no -metrics-addr registry exists.
+		sampleReg := reg
+		if db, ok := backend.(*backends.DLBooster); ok {
+			sampleReg = db.Registry()
+		}
+		if sampleReg != nil {
+			stop := flight.SampleLoop(sampleReg, time.Second)
+			defer stop()
+		}
+	}
+	if cfg.traceFile != "" || flight != nil {
+		// On SIGINT/SIGTERM, flush the timeline and the flight rings
+		// before exiting — the chaos-test (and operator) exit path.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if cfg.traceFile != "" && reg != nil {
+				writeTraceFile(cfg.traceFile, reg)
+			}
+			if flight != nil {
+				if path, err := flight.Dump("shutdown"); err == nil {
+					fmt.Fprintf(os.Stderr, "dlserve: flight recorder dumped to %s\n", path)
+				}
+			}
+			os.Exit(0)
+		}()
+	}
 
 	items := queue.New[core.Item](256)
 	go func() {
+		defer flight.DumpOnPanic()
 		if err := backend.RunEpoch(core.CollectorFromQueue(items)); err != nil {
 			fmt.Fprintf(os.Stderr, "dlserve: backend: %v\n", err)
+			flight.Note("backend_error", err.Error())
 		}
 		if db, ok := backend.(*backends.DLBooster); ok {
 			for _, e := range db.Events() {
@@ -262,7 +324,8 @@ func serve(cfg serveConfig) error {
 }
 
 // serveMetrics exposes the registry over HTTP: /metrics is the
-// Prometheus text exposition, /metrics.json the full snapshot.
+// Prometheus text exposition, /metrics.json the full snapshot,
+// /trace.json the recent spans and events as a Chrome trace timeline.
 func serveMetrics(addr string, reg *metrics.Registry) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -277,6 +340,10 @@ func serveMetrics(addr string, reg *metrics.Registry) error {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteChromeTrace(w)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -302,8 +369,25 @@ func snapshotLoop(reg *metrics.Registry, every time.Duration, path string) {
 			fmt.Fprintf(os.Stderr, "%s\n", data)
 			continue
 		}
-		_ = os.WriteFile(path, append(data, '\n'), 0o644)
+		// Atomic (temp + fsync + rename): a scraper reading the file
+		// mid-write sees the previous snapshot, never a truncated one.
+		_ = metrics.WriteFileAtomic(path, append(data, '\n'))
 	}
+}
+
+// writeTraceFile renders the registry's recent spans and events as a
+// Chrome trace timeline and writes it atomically.
+func writeTraceFile(path string, reg *metrics.Registry) {
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteChromeTrace(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "dlserve: trace export: %v\n", err)
+		return
+	}
+	if err := metrics.WriteFileAtomic(path, buf.Bytes()); err != nil {
+		fmt.Fprintf(os.Stderr, "dlserve: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dlserve: wrote trace timeline to %s\n", path)
 }
 
 func handleConn(nc net.Conn, cs *conns, items *queue.Queue[core.Item]) {

@@ -5,11 +5,14 @@ package dlbooster
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmds compiles every command into a temp dir once per test run.
@@ -25,6 +28,12 @@ func buildCmds(t *testing.T) map[string]string {
 		}
 		bins[name] = bin
 	}
+	bin := filepath.Join(dir, "benchdiff")
+	out, err := exec.Command("go", "build", "-o", bin, "./tools/benchdiff").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building benchdiff: %v\n%s", err, out)
+	}
+	bins["benchdiff"] = bin
 	return bins
 }
 
@@ -116,5 +125,119 @@ func TestCommands(t *testing.T) {
 		if !strings.Contains(string(out), "receipt→prediction latency") {
 			t.Fatalf("client output:\n%s", out)
 		}
+	})
+
+	t.Run("dlbench-doctor", func(t *testing.T) {
+		out, err := exec.Command(bins["dlbench"], "-doctor", "-metrics-images", "32").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "verdict:") {
+			t.Fatalf("doctor output has no verdict:\n%s", out)
+		}
+	})
+
+	t.Run("bench-trajectory", func(t *testing.T) {
+		dir := t.TempDir()
+		base := filepath.Join(dir, "BENCH_base.json")
+		cur := filepath.Join(dir, "BENCH_cur.json")
+		for _, path := range []string{base, cur} {
+			out, err := exec.Command(bins["dlbench"], "-json", path, "-metrics-images", "32").CombinedOutput()
+			if err != nil {
+				t.Fatalf("dlbench -json: %v\n%s", err, out)
+			}
+		}
+		// Back-to-back runs of the same scenario compare clean at a wide
+		// threshold.
+		out, err := exec.Command(bins["benchdiff"], "-threshold", "10", base, cur).CombinedOutput()
+		if err != nil {
+			t.Fatalf("benchdiff: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "PASS") {
+			t.Fatalf("benchdiff output:\n%s", out)
+		}
+		// A config mismatch is an error (exit 2), not a comparison.
+		mismatch := filepath.Join(dir, "BENCH_other.json")
+		if out, err := exec.Command(bins["dlbench"], "-json", mismatch, "-metrics-images", "32", "-metrics-batch", "4").CombinedOutput(); err != nil {
+			t.Fatalf("dlbench -json: %v\n%s", err, out)
+		}
+		if out, err := exec.Command(bins["benchdiff"], base, mismatch).CombinedOutput(); err == nil {
+			t.Fatalf("mismatched configs compared:\n%s", out)
+		}
+	})
+
+	t.Run("dlserve-chaos-flight", func(t *testing.T) {
+		// A wedged decoder board under command timeouts: the server must
+		// degrade to CPU decode, the flight recorder must dump, and the
+		// trace endpoints must serve/flush a Chrome trace timeline.
+		flightDir := t.TempDir()
+		traceFile := filepath.Join(t.TempDir(), "trace.json")
+		srv := exec.Command(bins["dlserve"],
+			"-listen", "127.0.0.1:39472", "-batch", "4", "-size", "64",
+			"-fault-fpga", "stuck-after=1", "-cmd-timeout", "50ms", "-fallback-after", "2",
+			"-flight-dir", flightDir, "-trace-file", traceFile,
+			"-metrics-addr", "127.0.0.1:39473")
+		var srvOut bytes.Buffer
+		srv.Stdout, srv.Stderr = &srvOut, &srvOut
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			_ = srv.Process.Kill()
+			_, _ = srv.Process.Wait()
+		}()
+		var out []byte
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			out, err = exec.Command(bins["dlserve"], "-connect", "127.0.0.1:39472", "-n", "16").CombinedOutput()
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("client: %v\n%s\nserver:\n%s", err, out, srvOut.String())
+		}
+
+		// Degradation must have produced at least one flight dump.
+		var dumps []string
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			dumps, _ = filepath.Glob(filepath.Join(flightDir, "flight-*.json"))
+			if len(dumps) > 0 {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if len(dumps) == 0 {
+			t.Fatalf("no flight dump in %s\nserver:\n%s", flightDir, srvOut.String())
+		}
+		data, err := os.ReadFile(dumps[0])
+		if err != nil || !strings.Contains(string(data), `"reason"`) {
+			t.Fatalf("flight dump unreadable: %v\n%s", err, data)
+		}
+
+		// /trace.json serves a timeline next to /metrics.json.
+		resp, err := http.Get("http://127.0.0.1:39473/trace.json")
+		if err != nil {
+			t.Fatalf("GET /trace.json: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), "traceEvents") {
+			t.Fatalf("/trace.json:\n%s", body)
+		}
+
+		// SIGINT flushes the trace file before exit.
+		if err := srv.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		deadline = time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if data, err := os.ReadFile(traceFile); err == nil && strings.Contains(string(data), "traceEvents") {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("trace file never written\nserver:\n%s", srvOut.String())
 	})
 }

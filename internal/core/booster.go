@@ -51,6 +51,13 @@ type Config struct {
 	// work — Booster.Snapshot still reports counters, queue depths and
 	// events, just no stage latencies.
 	Metrics *metrics.Registry
+	// Flight, when non-nil, attaches an always-on flight recorder: every
+	// completed batch span and every event lands in its fixed-size rings,
+	// and degradation or command revocation can trigger an automatic
+	// post-mortem dump. Independent of Metrics — a flight recorder alone
+	// enables per-batch span stamping (a handful of time.Now calls per
+	// batch) but not per-image histogram observes.
+	Flight *metrics.FlightRecorder
 }
 
 // Resilience is the failure policy of the host bridger: how the
@@ -155,6 +162,11 @@ type Booster struct {
 	// answers.
 	reg    *metrics.Registry
 	traced bool
+	// flight is the optional always-on recorder (nil-safe to call).
+	// spanned gates per-batch span stamping: on when either the full
+	// registry instrumentation or a flight recorder wants spans.
+	flight  *metrics.FlightRecorder
+	spanned bool
 
 	// Failure-policy accounting (see Resilience).
 	retries      metrics.Counter
@@ -219,9 +231,14 @@ func New(cfg Config) (*Booster, error) {
 		full:   queue.New[*Batch](cfg.PoolBatches),
 		reg:    cfg.Metrics,
 		traced: cfg.Metrics != nil,
+		flight: cfg.Flight,
 	}
+	b.spanned = b.traced || b.flight != nil
 	if b.reg == nil {
 		b.reg = metrics.NewRegistry()
+	}
+	if b.flight != nil {
+		b.reg.AttachFlight(b.flight)
 	}
 	b.instrument()
 	return b, nil
@@ -651,6 +668,8 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			}
 			delete(pending, id)
 			b.timeouts.Add(1)
+			b.flight.Note("cmd_revoked",
+				fmt.Sprintf("cmd %d revoked after %v without FINISH", id, res.CmdTimeout))
 			if err := settleFailure(ps); err != nil {
 				return err
 			}
@@ -742,7 +761,7 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 		}
 		b.collected.Add(1)
 		var collectedAt time.Time
-		if b.traced {
+		if b.spanned {
 			collectedAt = time.Now()
 		}
 		if cur == nil {
@@ -887,7 +906,7 @@ func (b *Booster) newBuilding(buf *hugepage.Buffer) *building {
 		W:   b.cfg.OutW, H: b.cfg.OutH, C: b.cfg.Channels,
 		Seq: b.seq,
 	}
-	if b.traced {
+	if b.spanned {
 		batch.Trace = &metrics.Span{Batch: b.seq}
 	}
 	return &building{batch: batch}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dlbooster/internal/faults"
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/metrics"
+)
+
+// TestFlightOnlyBoosterRecordsSpans builds a booster with a flight
+// recorder but NO metrics registry: span stamping must still run (the
+// recorder's whole point is working without tracing enabled), completed
+// spans must land in the recorder's ring, and the degradation event must
+// reach it as a note — while the per-image stage histograms stay off,
+// preserving the cheap-by-default contract.
+func TestFlightOnlyBoosterRecordsSpans(t *testing.T) {
+	const n = 12
+	items := chaosItems(t, n)
+	flight := metrics.NewFlightRecorder(metrics.FlightConfig{})
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		Flight: flight,
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	<-results
+	assertPoolBalanced(t, b)
+
+	if got := flight.SpansRecorded(); got != 3 {
+		t.Fatalf("flight recorder saw %d spans, want 3", got)
+	}
+	d := flight.Contents("test")
+	for _, sp := range d.Spans {
+		if sp.Collected.IsZero() || sp.Published.IsZero() || sp.Recycled.IsZero() {
+			t.Fatalf("span %d has unstamped lifecycle: %+v", sp.Batch, sp)
+		}
+		if sp.Images != sp.FPGA+sp.Fallback+sp.Failed {
+			t.Fatalf("span %d breaks conservation: %+v", sp.Batch, sp)
+		}
+	}
+	// No registry was attached, so the internal registry must have
+	// recorded no per-image stage observations (flight-only ≠ traced).
+	if s := b.Snapshot(); s.Stages[metrics.StageFPGADecode].Count != 0 {
+		t.Fatalf("flight-only booster observed %d decode latencies, want 0",
+			s.Stages[metrics.StageFPGADecode].Count)
+	}
+}
+
+// TestDegradedEventReachesFlight wires fault injection so the booster
+// degrades, and asserts the "degraded" event forwards into the flight
+// recorder's note ring via the internal registry.
+func TestDegradedEventReachesFlight(t *testing.T) {
+	items := chaosItems(t, 16)
+	flight := metrics.NewFlightRecorder(metrics.FlightConfig{})
+	b := newBooster(t, Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		FPGA:       fpga.Config{Inject: faults.New(faults.Config{FailEvery: 1})},
+		Resilience: Resilience{FallbackAfter: 2},
+		Flight:     flight,
+	})
+	results := drainAll(t, b)
+	runEpochWatchdog(t, b, CollectorFromItems(items))
+	b.CloseBatches()
+	<-results
+
+	if !b.Degraded() {
+		t.Fatal("booster never degraded under fail-rate=1")
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		var found bool
+		for _, note := range flight.Contents("test").Notes {
+			if note.Name == "degraded" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("degraded note never reached the flight recorder: %+v",
+				flight.Contents("test").Notes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

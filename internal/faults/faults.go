@@ -148,10 +148,12 @@ type Stats struct {
 type Injector struct {
 	cfg Config
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	ops   int64
-	stats Stats
+	mu         sync.Mutex
+	rng        *rand.Rand
+	ops        int64
+	stats      Stats
+	hook       func(kind string, op int64)
+	stuckNoted bool
 }
 
 // New builds an injector; it panics on an invalid configuration (an
@@ -168,29 +170,62 @@ func New(cfg Config) *Injector {
 	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetHook installs an observer called once per injected fault with the
+// fault kind ("stuck", "fail", "drop", "corrupt", "delay") and the op
+// ordinal that triggered it. The hook runs outside the injector's lock,
+// so it may call back into anything — including a flight recorder that
+// snapshots the injector. A stuck fault notifies only once, on the op
+// that first wedges the device, not on every op the wedge swallows. A
+// nil injector ignores the call; a nil hook clears it.
+func (i *Injector) SetHook(hook func(kind string, op int64)) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.hook = hook
+	i.mu.Unlock()
+}
+
 // Next decides the fate of the next operation.
 func (i *Injector) Next() Plan {
 	if i == nil {
 		return Plan{}
 	}
+	p, op, kinds, hook := i.nextLocked()
+	if hook != nil {
+		for _, k := range kinds {
+			hook(k, op)
+		}
+	}
+	return p
+}
+
+// nextLocked advances the op counter and decides the plan under the
+// lock, returning what Next needs to invoke the hook after unlocking.
+func (i *Injector) nextLocked() (p Plan, op int64, kinds []string, hook func(string, int64)) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.ops++
 	i.stats.Ops++
-	op := i.ops
+	op = i.ops
+	hook = i.hook
 
-	var p Plan
 	if i.cfg.StuckAfter > 0 && op >= int64(i.cfg.StuckAfter) {
 		p.Stuck = true
 		i.stats.Stucks++
-		return p
+		if !i.stuckNoted {
+			i.stuckNoted = true
+			kinds = append(kinds, "stuck")
+		}
+		return p, op, kinds, hook
 	}
 	if !i.inWindowLocked(op) {
-		return p
+		return p, op, nil, hook
 	}
 	if i.hitLocked(i.cfg.DelayRate, i.cfg.DelayEvery, op) && i.cfg.Delay > 0 {
 		p.Delay = i.cfg.Delay
 		i.stats.Delays++
+		kinds = append(kinds, "delay")
 	}
 	// Terminal outcomes are mutually exclusive; precedence drop > fail >
 	// corrupt keeps one op one fault.
@@ -198,14 +233,17 @@ func (i *Injector) Next() Plan {
 	case i.hitLocked(i.cfg.DropRate, i.cfg.DropEvery, op):
 		p.Drop = true
 		i.stats.Drops++
+		kinds = append(kinds, "drop")
 	case i.hitLocked(i.cfg.FailRate, i.cfg.FailEvery, op):
 		p.Fail = true
 		i.stats.Fails++
+		kinds = append(kinds, "fail")
 	case i.hitLocked(i.cfg.CorruptRate, i.cfg.CorruptEvery, op):
 		p.Corrupt = true
 		i.stats.Corrupts++
+		kinds = append(kinds, "corrupt")
 	}
-	return p
+	return p, op, kinds, hook
 }
 
 func (i *Injector) inWindowLocked(op int64) bool {

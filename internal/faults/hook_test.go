@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHookSeesEachFaultOnce(t *testing.T) {
+	inj := New(Config{FailEvery: 3, DelayEvery: 2, Delay: 1})
+	type fired struct {
+		kind string
+		op   int64
+	}
+	var got []fired
+	inj.SetHook(func(kind string, op int64) { got = append(got, fired{kind, op}) })
+	for i := 0; i < 6; i++ {
+		inj.Next()
+	}
+	want := []fired{{"delay", 2}, {"fail", 3}, {"delay", 4}, {"delay", 6}, {"fail", 6}}
+	if len(got) != len(want) {
+		t.Fatalf("hook fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hook[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHookStuckFiresOnce(t *testing.T) {
+	inj := New(Config{StuckAfter: 3})
+	var stucks int
+	inj.SetHook(func(kind string, _ int64) {
+		if kind == "stuck" {
+			stucks++
+		}
+	})
+	for i := 0; i < 10; i++ {
+		inj.Next()
+	}
+	if stucks != 1 {
+		t.Fatalf("stuck hook fired %d times, want 1 (the op that wedges the device)", stucks)
+	}
+	// Every op past the threshold still gets a stuck plan.
+	if s := inj.Snapshot(); s.Stucks != 8 {
+		t.Fatalf("Stucks = %d, want 8", s.Stucks)
+	}
+}
+
+// TestHookRunsOutsideLock guards the documented reentrancy contract: a
+// hook may call back into the injector without deadlocking.
+func TestHookRunsOutsideLock(t *testing.T) {
+	inj := New(Config{FailEvery: 1})
+	var ops []int64
+	inj.SetHook(func(_ string, _ int64) { ops = append(ops, inj.Ops()) })
+	inj.Next()
+	inj.Next()
+	if len(ops) != 2 || ops[0] != 1 || ops[1] != 2 {
+		t.Fatalf("reentrant hook saw ops %v", ops)
+	}
+}
+
+func TestHookNilSafety(t *testing.T) {
+	var inj *Injector
+	inj.SetHook(func(string, int64) { t.Fatal("hook on nil injector fired") })
+	inj.Next()
+
+	real := New(Config{FailEvery: 1})
+	real.SetHook(func(string, int64) { t.Fatal("cleared hook fired") })
+	real.SetHook(nil)
+	real.Next()
+}
+
+func TestHookConcurrentNext(t *testing.T) {
+	inj := New(Config{FailEvery: 2})
+	var mu sync.Mutex
+	fired := 0
+	inj.SetHook(func(kind string, _ int64) {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				inj.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 50 {
+		t.Fatalf("hook fired %d times for 100 ops at FailEvery=2, want 50", fired)
+	}
+}

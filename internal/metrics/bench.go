@@ -1,0 +1,138 @@
+// The benchmark trajectory schema: BenchResult is the schema-versioned
+// record `dlbench -json` emits (throughput, per-stage percentiles,
+// configuration, git SHA) and `tools/benchdiff` compares, so the repo
+// accumulates BENCH_<n>.json files as a perf history and CI can fail
+// loudly on a regression against the checked-in baseline.
+
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// BenchSchemaVersion stamps every BenchResult; benchdiff refuses to
+// compare files with mismatched versions so a schema change cannot
+// silently pass a stale baseline.
+const BenchSchemaVersion = 1
+
+// BenchConfig records the knobs the benchmark ran with, so two results
+// are only ever compared like-for-like.
+type BenchConfig struct {
+	Images int `json:"images"`
+	Batch  int `json:"batch"`
+	Size   int `json:"size"`
+	Boards int `json:"boards"`
+}
+
+// BenchResult is one benchmark run, serialised as BENCH_<n>.json.
+type BenchResult struct {
+	// SchemaVersion is BenchSchemaVersion at write time.
+	SchemaVersion int `json:"schema_version"`
+	// Name identifies the benchmark scenario.
+	Name string `json:"name"`
+	// TakenAt is when the run finished.
+	TakenAt time.Time `json:"taken_at"`
+	// GitSHA is the commit the binary was built from ("unknown" when
+	// not determinable).
+	GitSHA string `json:"git_sha"`
+	// GoVersion is runtime.Version() of the benchmark binary.
+	GoVersion string `json:"go_version"`
+	// Config is the scenario configuration.
+	Config BenchConfig `json:"config"`
+	// ElapsedSeconds is the wall-clock duration of the measured run.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Throughput is end-to-end images per second.
+	Throughput float64 `json:"throughput_images_per_sec"`
+	// Stages holds the per-stage latency summaries (milliseconds).
+	Stages map[string]Summary `json:"stages"`
+	// Counters holds the final counter values of the run.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// WriteFile serialises the result to path atomically.
+func (r *BenchResult) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, append(data, '\n'))
+}
+
+// ReadBenchResult loads one result file and checks its schema version.
+func ReadBenchResult(path string) (*BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("metrics: parsing %s: %w", path, err)
+	}
+	if r.SchemaVersion != BenchSchemaVersion {
+		return nil, fmt.Errorf("metrics: %s has schema version %d, this binary expects %d", path, r.SchemaVersion, BenchSchemaVersion)
+	}
+	return &r, nil
+}
+
+// BenchRegression is one metric that moved past the threshold between
+// a baseline and a new result.
+type BenchRegression struct {
+	// Metric names what regressed ("throughput" or "<stage> p95").
+	Metric string `json:"metric"`
+	// Base and New are the compared values (img/s for throughput,
+	// milliseconds for stages).
+	Base float64 `json:"base"`
+	New  float64 `json:"new"`
+	// Limit is the value New had to stay within.
+	Limit float64 `json:"limit"`
+}
+
+// String renders the regression for the benchdiff report.
+func (r BenchRegression) String() string {
+	return fmt.Sprintf("%s: base %.3f → new %.3f (limit %.3f)", r.Metric, r.Base, r.New, r.Limit)
+}
+
+// CompareBenchResults checks a new result against a baseline with a
+// multiplicative threshold (>1): throughput must stay above
+// base/threshold and every stage p95 present in both must stay below
+// max(base p95, floorMs) × threshold — the floor keeps sub-millisecond
+// stages from flagging scheduler noise as regressions. It returns the
+// regressions found (empty = pass) and an error on misuse (mismatched
+// configs, bad threshold).
+func CompareBenchResults(base, cur *BenchResult, threshold, floorMs float64) ([]BenchRegression, error) {
+	if base == nil || cur == nil {
+		return nil, fmt.Errorf("metrics: nil bench result")
+	}
+	if threshold <= 1 {
+		return nil, fmt.Errorf("metrics: threshold %v must be > 1", threshold)
+	}
+	if base.Config != cur.Config {
+		return nil, fmt.Errorf("metrics: config mismatch: baseline %+v vs new %+v", base.Config, cur.Config)
+	}
+	var regs []BenchRegression
+	if base.Throughput > 0 {
+		limit := base.Throughput / threshold
+		if cur.Throughput < limit {
+			regs = append(regs, BenchRegression{Metric: "throughput", Base: base.Throughput, New: cur.Throughput, Limit: limit})
+		}
+	}
+	for _, stage := range sortedKeys(base.Stages) {
+		bs := base.Stages[stage]
+		cs, ok := cur.Stages[stage]
+		if !ok || bs.Count == 0 || cs.Count == 0 {
+			continue
+		}
+		ref := bs.P95
+		if ref < floorMs {
+			ref = floorMs
+		}
+		limit := ref * threshold
+		if cs.P95 > limit {
+			regs = append(regs, BenchRegression{Metric: stage + " p95", Base: bs.P95, New: cs.P95, Limit: limit})
+		}
+	}
+	return regs, nil
+}

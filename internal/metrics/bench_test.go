@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func benchFixture() *BenchResult {
+	return &BenchResult{
+		SchemaVersion:  BenchSchemaVersion,
+		Name:           "traced-e2e",
+		TakenAt:        time.Now().UTC(),
+		GitSHA:         "deadbeef",
+		GoVersion:      "go1.22",
+		Config:         BenchConfig{Images: 64, Batch: 8, Size: 96, Boards: 1},
+		ElapsedSeconds: 1.0,
+		Throughput:     100,
+		Stages: map[string]Summary{
+			StageFPGADecode: {Count: 64, Mean: 8, P95: 10},
+			StageCopySync:   {Count: 8, Mean: 0.05, P95: 0.08},
+		},
+		Counters: map[string]int64{"images_decoded_total": 64},
+	}
+}
+
+func TestBenchResultRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	r := benchFixture()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Throughput != r.Throughput || got.Config != r.Config || got.GitSHA != r.GitSHA {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Stages[StageFPGADecode].P95 != 10 {
+		t.Fatalf("stages lost: %+v", got.Stages)
+	}
+}
+
+func TestBenchResultSchemaVersionCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	r := benchFixture()
+	r.SchemaVersion = BenchSchemaVersion + 1
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchResult(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("mismatched schema accepted: %v", err)
+	}
+}
+
+func TestCompareBenchResultsPass(t *testing.T) {
+	base, cur := benchFixture(), benchFixture()
+	// Half the throughput is exactly the 2x limit — still passing.
+	cur.Throughput = 50
+	cur.Stages[StageFPGADecode] = Summary{Count: 64, Mean: 16, P95: 20}
+	regs, err := CompareBenchResults(base, cur, 2.0, 1.0)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("regs = %v, err = %v", regs, err)
+	}
+}
+
+func TestCompareBenchResultsThroughputRegression(t *testing.T) {
+	base, cur := benchFixture(), benchFixture()
+	cur.Throughput = 40
+	regs, err := CompareBenchResults(base, cur, 2.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "throughput" {
+		t.Fatalf("regs = %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "throughput") {
+		t.Fatalf("String() = %q", regs[0].String())
+	}
+}
+
+func TestCompareBenchResultsStageRegression(t *testing.T) {
+	base, cur := benchFixture(), benchFixture()
+	cur.Stages[StageFPGADecode] = Summary{Count: 64, Mean: 20, P95: 25}
+	regs, err := CompareBenchResults(base, cur, 2.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != StageFPGADecode+" p95" {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestCompareBenchResultsFloorAbsorbsNoise(t *testing.T) {
+	base, cur := benchFixture(), benchFixture()
+	// copy_sync p95 jumps 10x but stays under the 1ms floor × 2.
+	cur.Stages[StageCopySync] = Summary{Count: 8, Mean: 0.5, P95: 0.8}
+	regs, err := CompareBenchResults(base, cur, 2.0, 1.0)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("sub-floor jump flagged: %v (err %v)", regs, err)
+	}
+}
+
+func TestCompareBenchResultsMisuse(t *testing.T) {
+	base, cur := benchFixture(), benchFixture()
+	if _, err := CompareBenchResults(nil, cur, 2.0, 1.0); err == nil {
+		t.Fatal("nil base accepted")
+	}
+	if _, err := CompareBenchResults(base, cur, 1.0, 1.0); err == nil {
+		t.Fatal("threshold 1.0 accepted")
+	}
+	cur.Config.Batch = 16
+	if _, err := CompareBenchResults(base, cur, 2.0, 1.0); err == nil {
+		t.Fatal("mismatched configs compared")
+	}
+}

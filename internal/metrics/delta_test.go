@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSnapshotDelta(t *testing.T) {
+	t0 := time.Now()
+	prev := &PipelineSnapshot{
+		TakenAt:        t0,
+		UptimeSeconds:  10,
+		Counters:       map[string]int64{"images_decoded_total": 100, "decode_errors_total": 1},
+		SpansCompleted: 10,
+		Events:         []Event{{Name: "old", At: t0.Add(-time.Second)}},
+	}
+	cur := &PipelineSnapshot{
+		TakenAt:        t0.Add(5 * time.Second),
+		UptimeSeconds:  15,
+		Counters:       map[string]int64{"images_decoded_total": 600, "decode_errors_total": 1, "new_counter": 3},
+		SpansCompleted: 70,
+		Events: []Event{
+			{Name: "old", At: t0.Add(-time.Second)},
+			{Name: "degraded", At: t0.Add(2 * time.Second)},
+		},
+	}
+	d := cur.Delta(prev)
+	if d.Seconds != 5 {
+		t.Fatalf("Seconds = %v, want 5", d.Seconds)
+	}
+	if d.Counters["images_decoded_total"] != 500 || d.Counters["new_counter"] != 3 {
+		t.Fatalf("counters = %v", d.Counters)
+	}
+	if d.Rate("images_decoded_total") != 100 {
+		t.Fatalf("rate = %v, want 100", d.Rate("images_decoded_total"))
+	}
+	if d.SpansCompleted != 60 {
+		t.Fatalf("SpansCompleted = %d, want 60", d.SpansCompleted)
+	}
+	if len(d.Events) != 1 || d.Events[0].Name != "degraded" {
+		t.Fatalf("interval events = %v (want only the one after prev)", d.Events)
+	}
+}
+
+func TestSnapshotDeltaNilPrev(t *testing.T) {
+	cur := &PipelineSnapshot{
+		UptimeSeconds:  4,
+		Counters:       map[string]int64{"images_decoded_total": 200},
+		SpansCompleted: 25,
+		Events:         []Event{{Name: "e", At: time.Now()}},
+	}
+	d := cur.Delta(nil)
+	if d.Seconds != 4 || d.Counters["images_decoded_total"] != 200 || d.SpansCompleted != 25 {
+		t.Fatalf("whole-uptime delta = %+v", d)
+	}
+	if d.Rate("images_decoded_total") != 50 {
+		t.Fatalf("rate = %v, want 50", d.Rate("images_decoded_total"))
+	}
+	if len(d.Events) != 1 {
+		t.Fatalf("events = %v", d.Events)
+	}
+	var nilSnap *PipelineSnapshot
+	if nilSnap.Delta(nil) != nil {
+		t.Fatal("nil snapshot Delta != nil")
+	}
+	var nilDelta *SnapshotDelta
+	if nilDelta.Rate("x") != 0 {
+		t.Fatal("nil delta Rate != 0")
+	}
+}

@@ -1,0 +1,295 @@
+// The bottleneck doctor codifies docs/METRICS.md's worked example —
+// "where is the pipeline limited?" answered from one or two
+// PipelineSnapshots. It reads the queue-depth signatures of Algorithm
+// 1's back-pressure chain (Free queue → FPGAReader → Full queue →
+// Dispatcher → Trans queues → engines), the per-stage p95s, Little's-law
+// utilisation estimates and the fault counters, and emits ranked,
+// paper-grounded findings ending in the §4-style verdict: which backend
+// stage limits throughput.
+
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Verdict codes the doctor can return, ordered roughly along the
+// pipeline. Each is the stage that limits throughput in the §4 sense.
+const (
+	// VerdictDecoderBound means the FPGA decoder (or the CPU fallback
+	// path while degraded) is the limiting stage: everything downstream
+	// is starved. The paper's lever is plugging more boards (§5.3).
+	VerdictDecoderBound = "decoder-bound"
+	// VerdictPoolStarved means the Free_Batch_Queue is the limit: the
+	// reader blocks in get_item while downstream sits idle, so the
+	// HugePage pool is too shallow for the pipeline's depth.
+	VerdictPoolStarved = "free-queue-starved"
+	// VerdictDispatcherBound means the Dispatcher/copy path is the
+	// limit: batches pile up on the Full queue while engines starve —
+	// the §5.2 "copying small pieces" regime when PerItemCopy is on.
+	VerdictDispatcherBound = "dispatcher-bound"
+	// VerdictGPUBound means the compute engines are the limit: Trans
+	// Full queues run at capacity and the preprocessing side keeps up —
+	// the regime the paper calls reaching the performance boundary.
+	VerdictGPUBound = "gpu-bound"
+	// VerdictHealthy means no queue signature shows sustained pressure.
+	VerdictHealthy = "healthy"
+	// VerdictInconclusive means the signatures disagree or the snapshot
+	// lacks the probes to decide (e.g. no Trans queues registered).
+	VerdictInconclusive = "inconclusive"
+)
+
+// Finding is one ranked observation: a code (a Verdict* constant for
+// structural findings, or a health code like "degraded"), a confidence
+// in [0,1], the one-line claim, the numeric evidence behind it, and
+// what the paper says to do about it.
+type Finding struct {
+	Code       string   `json:"code"`
+	Confidence float64  `json:"confidence"`
+	Title      string   `json:"title"`
+	Evidence   []string `json:"evidence,omitempty"`
+	Advice     string   `json:"advice,omitempty"`
+}
+
+// Diagnosis is the doctor's report: the verdict, the ranked findings
+// it rests on, and the throughput the interval sustained (0 when not
+// derivable).
+type Diagnosis struct {
+	Verdict    string    `json:"verdict"`
+	Throughput float64   `json:"throughput_images_per_sec"`
+	Findings   []Finding `json:"findings"`
+}
+
+// fpgaCmdsRe counts decoder boards from their counter names.
+var fpgaCmdsRe = regexp.MustCompile(`^fpga\d+_cmds_total$`)
+
+// transFullRe matches the per-solver Trans Full queue probes.
+var transFullRe = regexp.MustCompile(`^trans\d+_full$`)
+
+// queue-fill thresholds of the signature rules: a queue under low is
+// "drained", over high is "backed up".
+const (
+	fillLow  = 0.25
+	fillHigh = 0.75
+)
+
+// Diagnose reads one snapshot (cur) — or the interval between two
+// (prev then cur, for rate-form evidence) — and returns the ranked
+// report. prev may be nil. A nil cur returns nil.
+func Diagnose(cur, prev *PipelineSnapshot) *Diagnosis {
+	if cur == nil {
+		return nil
+	}
+	d := &Diagnosis{}
+	delta := cur.Delta(prev)
+	d.Throughput = delta.Rate("images_decoded_total")
+
+	fullFill, fullKnown := queueFill(cur, "full_batch")
+	freeLen := cur.Queues["hugepage_free"].Len
+	_, freeKnown := cur.Queues["hugepage_free"]
+	transFill, transKnown := maxTransFill(cur)
+
+	decode := cur.Stages[StageFPGADecode]
+	if cur.Gauges["degraded"] >= 1 {
+		// While degraded the CPU fallback is the decode stage.
+		if fb, ok := cur.Stages[StageCPUFallback]; ok && fb.Count > 0 {
+			decode = fb
+		}
+	}
+	copySync := cur.Stages[StageCopySync]
+	getWait := cur.Stages[StageGetItemWait]
+	e2e := cur.Stages[StageBatchE2E]
+
+	boards := 0
+	for name := range cur.Counters {
+		if fpgaCmdsRe.MatchString(name) {
+			boards++
+		}
+	}
+	if boards == 0 {
+		boards = 1
+	}
+	// Little's law: images/s × mean decode seconds = decoders busy, in
+	// board-equivalents. Near (or above) the board count means the
+	// decode stage is saturated.
+	decodeBusy := d.Throughput * decode.Mean / 1000
+	decodeUtil := decodeBusy / float64(boards)
+
+	ev := func(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+	queueEv := []string{
+		ev("full_batch %d/%d (fill %.2f)", cur.Queues["full_batch"].Len, cur.Queues["full_batch"].Cap, fullFill),
+		ev("max trans<i>_full fill %.2f", transFill),
+		ev("hugepage_free len %d", freeLen),
+	}
+
+	// getWait is "significant" when the reader visibly spends its time
+	// blocked on buffers rather than on decode completions.
+	getWaitSignificant := getWait.Count > 0 &&
+		(getWait.P95 > decode.P95 || (e2e.P95 > 0 && getWait.P95 > 0.25*e2e.P95))
+
+	switch {
+	case transKnown && transFill >= fillHigh:
+		conf := 0.9
+		if fullKnown && fullFill >= 0.5 {
+			conf = 0.95
+		}
+		d.add(Finding{
+			Code: VerdictGPUBound, Confidence: conf,
+			Title: "compute engines limit throughput (Trans Full queues at capacity)",
+			Evidence: append(queueEv,
+				ev("infer_e2e p95 %.3fms, train_iter p95 %.3fms", cur.Stages[StageInferE2E].P95, cur.Stages[StageTrainIter].P95)),
+			Advice: "the pipeline feeds the GPUs faster than they compute — the paper's performance boundary; add GPUs/solvers or grow the model budget, preprocessing is not the problem",
+		})
+	case fullKnown && transKnown && fullFill >= fillHigh && transFill <= fillLow:
+		d.add(Finding{
+			Code: VerdictDispatcherBound, Confidence: 0.9,
+			Title: "dispatcher/copy path limits throughput (Full queue backed up, engines starved)",
+			Evidence: append(queueEv,
+				ev("copy_sync p95 %.3fms vs fpga_decode p95 %.3fms", copySync.P95, decode.P95)),
+			Advice: "batches wait behind host→device copies: keep large-block mode (DispatcherConfig.PerItemCopy=false, the ≈20% lever of §5.2) and check stream sync stalls",
+		})
+	case fullKnown && transKnown && fullFill <= fillLow && transFill <= fillLow && getWaitSignificant && freeKnown && freeLen == 0:
+		d.add(Finding{
+			Code: VerdictPoolStarved, Confidence: 0.85,
+			Title: "Free_Batch_Queue starvation limits throughput (reader blocked in get_item)",
+			Evidence: append(queueEv,
+				ev("get_item_wait p95 %.3fms vs fpga_decode p95 %.3fms", getWait.P95, decode.P95)),
+			Advice: "every HugePage buffer is in flight while downstream queues run empty: raise Config.PoolBatches so decode-ahead covers the batch round-trip (Algorithm 1 back-pressure)",
+		})
+	case fullKnown && transKnown && fullFill <= fillLow && transFill <= fillLow && decode.Count > 0:
+		conf := 0.8
+		if decodeUtil >= 0.5 {
+			conf = 0.9
+		}
+		d.add(Finding{
+			Code: VerdictDecoderBound, Confidence: conf,
+			Title: "decode stage limits throughput (downstream starved, decoder saturated)",
+			Evidence: append(queueEv,
+				ev("fpga_decode p95 %.3fms over %d board(s)", decode.P95, boards),
+				ev("Little's law: %.0f img/s × %.3fms mean ≈ %.2f boards busy (util %.2f)", d.Throughput, decode.Mean, decodeBusy, decodeUtil)),
+			Advice: "the decoder is the critical path — the regime where plugging more FPGA boards scales throughput (§5.3, Config.FPGADevices); while degraded, restore the FPGA path first",
+		})
+	case !fullKnown || !transKnown:
+		d.add(Finding{
+			Code: VerdictInconclusive, Confidence: 0.3,
+			Title:    "snapshot lacks the queue probes the signatures need",
+			Evidence: queueEv,
+			Advice:   "register the Booster and Dispatcher on one registry (Booster.Registry()) so full_batch and trans<i>_* probes land in the same snapshot",
+		})
+	default:
+		d.add(Finding{
+			Code: VerdictHealthy, Confidence: 0.6,
+			Title:    "no queue shows sustained pressure",
+			Evidence: queueEv,
+			Advice:   "the pipeline is balanced at this load; raise offered load to surface the next bottleneck",
+		})
+	}
+
+	d.healthFindings(cur, delta)
+	sort.SliceStable(d.Findings, func(i, j int) bool { return d.Findings[i].Confidence > d.Findings[j].Confidence })
+	d.Verdict = VerdictInconclusive
+	for _, f := range d.Findings {
+		if isStructural(f.Code) {
+			d.Verdict = f.Code
+			break
+		}
+	}
+	return d
+}
+
+// isStructural reports whether a finding code is a throughput verdict
+// rather than a health observation.
+func isStructural(code string) bool {
+	switch code {
+	case VerdictDecoderBound, VerdictPoolStarved, VerdictDispatcherBound,
+		VerdictGPUBound, VerdictHealthy, VerdictInconclusive:
+		return true
+	}
+	return false
+}
+
+// add appends a finding.
+func (d *Diagnosis) add(f Finding) { d.Findings = append(d.Findings, f) }
+
+// healthFindings appends fault-side observations: degraded mode,
+// decode errors, command timeouts and lost images. They rank alongside
+// the structural findings but never become the verdict.
+func (d *Diagnosis) healthFindings(cur *PipelineSnapshot, delta *SnapshotDelta) {
+	if cur.Gauges["degraded"] >= 1 {
+		d.add(Finding{
+			Code: "degraded", Confidence: 0.95,
+			Title: "pipeline is running in FPGA→CPU degraded mode",
+			Evidence: []string{
+				fmt.Sprintf("fallback_decodes_total %d, cmd_timeouts_total %d, decode_retries_total %d",
+					cur.Counters["fallback_decodes_total"], cur.Counters["cmd_timeouts_total"], cur.Counters["decode_retries_total"]),
+			},
+			Advice: "throughput is bounded by CPU decode (~300 img/s/core, §2): replace or restart the decoder boards, then clear degraded mode",
+		})
+	}
+	if n := cur.Counters["decode_errors_total"]; n > 0 {
+		d.add(Finding{
+			Code: "decode-errors", Confidence: 0.7,
+			Title:    fmt.Sprintf("%d image(s) lost to decode errors", n),
+			Evidence: []string{fmt.Sprintf("decode_errors_total %d, span_images_failed_total %d", n, cur.Counters["span_images_failed_total"])},
+			Advice:   "failed slots ship invalid=false and are skipped by engines; sustained errors deserve a fault-injection-style post-mortem (flight-recorder dump)",
+		})
+	}
+	if n := delta.Counters["cmd_timeouts_total"]; n > 0 {
+		d.add(Finding{
+			Code: "cmd-timeouts", Confidence: 0.65,
+			Title:    fmt.Sprintf("%d command timeout(s) in the interval", n),
+			Evidence: []string{fmt.Sprintf("cmd_timeouts_total +%d, late_finishes_total +%d", n, delta.Counters["late_finishes_total"])},
+			Advice:   "a wedged or slow board is shedding work through the revocation fence; check per-board fpga<i>_cmds/finishes/cancels for the culprit",
+		})
+	}
+}
+
+// Report renders the diagnosis as an aligned human-readable block —
+// the dlbench -doctor output.
+func (d *Diagnosis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verdict: %s", d.Verdict)
+	if d.Throughput > 0 {
+		fmt.Fprintf(&b, " (%.0f images/s)", d.Throughput)
+	}
+	b.WriteString("\n")
+	for i, f := range d.Findings {
+		fmt.Fprintf(&b, "\n%d. [%s] %s (confidence %.2f)\n", i+1, f.Code, f.Title, f.Confidence)
+		for _, e := range f.Evidence {
+			fmt.Fprintf(&b, "   - %s\n", e)
+		}
+		if f.Advice != "" {
+			fmt.Fprintf(&b, "   → %s\n", f.Advice)
+		}
+	}
+	return b.String()
+}
+
+// queueFill returns a queue's len/cap fill fraction and whether the
+// probe exists in the snapshot.
+func queueFill(s *PipelineSnapshot, name string) (float64, bool) {
+	q, ok := s.Queues[name]
+	if !ok || q.Cap <= 0 {
+		return 0, ok
+	}
+	return float64(q.Len) / float64(q.Cap), true
+}
+
+// maxTransFill returns the highest fill fraction across every
+// trans<i>_full probe and whether any exist.
+func maxTransFill(s *PipelineSnapshot) (float64, bool) {
+	max, found := 0.0, false
+	for name, q := range s.Queues {
+		if !transFullRe.MatchString(name) || q.Cap <= 0 {
+			continue
+		}
+		found = true
+		if f := float64(q.Len) / float64(q.Cap); f > max {
+			max = f
+		}
+	}
+	return max, found
+}

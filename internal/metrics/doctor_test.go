@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// doctorSnap builds a synthetic snapshot with the queue signature and
+// stage stats a scenario needs.
+func doctorSnap(mut func(*PipelineSnapshot)) *PipelineSnapshot {
+	s := &PipelineSnapshot{
+		TakenAt:       time.Now(),
+		UptimeSeconds: 10,
+		Counters: map[string]int64{
+			"images_decoded_total": 1000,
+			"fpga0_cmds_total":     1000,
+		},
+		Gauges: map[string]float64{"degraded": 0},
+		Stages: map[string]Summary{
+			StageFPGADecode: {Count: 1000, Mean: 2, P50: 2, P95: 3},
+			StageBatchE2E:   {Count: 125, Mean: 20, P95: 30},
+		},
+		Queues: map[string]QueueDepth{
+			"full_batch":    {Len: 2, Cap: 8},
+			"trans0_full":   {Len: 1, Cap: 2},
+			"hugepage_free": {Len: 4, Cap: 8},
+		},
+	}
+	mut(s)
+	return s
+}
+
+func TestDoctorDecoderBound(t *testing.T) {
+	s := doctorSnap(func(s *PipelineSnapshot) {
+		// Downstream drained, decoder saturated: 100 img/s × 10ms mean
+		// on one board = util 1.0.
+		s.Queues["full_batch"] = QueueDepth{Len: 0, Cap: 8}
+		s.Queues["trans0_full"] = QueueDepth{Len: 0, Cap: 2}
+		s.Stages[StageFPGADecode] = Summary{Count: 1000, Mean: 10, P50: 10, P95: 12}
+	})
+	d := Diagnose(s, nil)
+	if d.Verdict != VerdictDecoderBound {
+		t.Fatalf("verdict = %q, want %q\n%s", d.Verdict, VerdictDecoderBound, d.Report())
+	}
+	if d.Throughput != 100 {
+		t.Fatalf("throughput = %v, want 100", d.Throughput)
+	}
+	if !strings.Contains(d.Report(), "Little's law") {
+		t.Fatalf("report lacks the utilisation evidence:\n%s", d.Report())
+	}
+}
+
+func TestDoctorDispatcherBound(t *testing.T) {
+	s := doctorSnap(func(s *PipelineSnapshot) {
+		// Full queue backed up while engines starve.
+		s.Queues["full_batch"] = QueueDepth{Len: 8, Cap: 8}
+		s.Queues["trans0_full"] = QueueDepth{Len: 0, Cap: 2}
+		s.Stages[StageCopySync] = Summary{Count: 125, Mean: 15, P95: 20}
+	})
+	if d := Diagnose(s, nil); d.Verdict != VerdictDispatcherBound {
+		t.Fatalf("verdict = %q, want %q\n%s", d.Verdict, VerdictDispatcherBound, d.Report())
+	}
+}
+
+func TestDoctorGPUBound(t *testing.T) {
+	s := doctorSnap(func(s *PipelineSnapshot) {
+		s.Queues["full_batch"] = QueueDepth{Len: 6, Cap: 8}
+		s.Queues["trans0_full"] = QueueDepth{Len: 2, Cap: 2}
+	})
+	d := Diagnose(s, nil)
+	if d.Verdict != VerdictGPUBound {
+		t.Fatalf("verdict = %q, want %q\n%s", d.Verdict, VerdictGPUBound, d.Report())
+	}
+	if d.Findings[0].Confidence != 0.95 {
+		t.Fatalf("confidence = %v, want 0.95 (Full queue also ≥ half)", d.Findings[0].Confidence)
+	}
+}
+
+func TestDoctorPoolStarved(t *testing.T) {
+	s := doctorSnap(func(s *PipelineSnapshot) {
+		// Both queues drained, no free buffer, reader blocked in
+		// get_item longer than it decodes.
+		s.Queues["full_batch"] = QueueDepth{Len: 0, Cap: 8}
+		s.Queues["trans0_full"] = QueueDepth{Len: 0, Cap: 2}
+		s.Queues["hugepage_free"] = QueueDepth{Len: 0, Cap: 4}
+		s.Stages[StageGetItemWait] = Summary{Count: 100, Mean: 8, P95: 9}
+	})
+	if d := Diagnose(s, nil); d.Verdict != VerdictPoolStarved {
+		t.Fatalf("verdict = %q, want %q\n%s", d.Verdict, VerdictPoolStarved, d.Report())
+	}
+}
+
+func TestDoctorHealthy(t *testing.T) {
+	if d := Diagnose(doctorSnap(func(*PipelineSnapshot) {}), nil); d.Verdict != VerdictHealthy {
+		t.Fatalf("verdict = %q, want %q\n%s", d.Verdict, VerdictHealthy, d.Report())
+	}
+}
+
+func TestDoctorInconclusiveWithoutProbes(t *testing.T) {
+	s := doctorSnap(func(s *PipelineSnapshot) {
+		delete(s.Queues, "trans0_full")
+	})
+	if d := Diagnose(s, nil); d.Verdict != VerdictInconclusive {
+		t.Fatalf("verdict = %q, want %q\n%s", d.Verdict, VerdictInconclusive, d.Report())
+	}
+}
+
+func TestDoctorDegradedHealthFinding(t *testing.T) {
+	s := doctorSnap(func(s *PipelineSnapshot) {
+		// Degraded: the CPU fallback stage substitutes for decode, and a
+		// high-confidence "degraded" health finding ranks first without
+		// becoming the verdict.
+		s.Gauges["degraded"] = 1
+		s.Counters["fallback_decodes_total"] = 500
+		s.Queues["full_batch"] = QueueDepth{Len: 0, Cap: 8}
+		s.Queues["trans0_full"] = QueueDepth{Len: 0, Cap: 2}
+		s.Stages[StageCPUFallback] = Summary{Count: 500, Mean: 10, P95: 12}
+		delete(s.Stages, StageFPGADecode)
+	})
+	d := Diagnose(s, nil)
+	if d.Verdict != VerdictDecoderBound {
+		t.Fatalf("verdict = %q, want %q (CPU fallback is the decode stage)\n%s", d.Verdict, VerdictDecoderBound, d.Report())
+	}
+	if d.Findings[0].Code != "degraded" {
+		t.Fatalf("top finding = %q, want degraded\n%s", d.Findings[0].Code, d.Report())
+	}
+}
+
+func TestDoctorIntervalThroughput(t *testing.T) {
+	prev := doctorSnap(func(s *PipelineSnapshot) {
+		s.UptimeSeconds = 5
+		s.Counters["images_decoded_total"] = 400
+	})
+	cur := doctorSnap(func(s *PipelineSnapshot) {
+		s.UptimeSeconds = 10
+		s.Counters["images_decoded_total"] = 1000
+	})
+	d := Diagnose(cur, prev)
+	if d.Throughput != 120 {
+		t.Fatalf("interval throughput = %v, want (1000-400)/(10-5) = 120", d.Throughput)
+	}
+	if Diagnose(nil, nil) != nil {
+		t.Fatal("Diagnose(nil) != nil")
+	}
+}
+
+func TestDoctorCmdTimeoutFinding(t *testing.T) {
+	s := doctorSnap(func(s *PipelineSnapshot) {
+		s.Counters["cmd_timeouts_total"] = 7
+	})
+	d := Diagnose(s, nil)
+	var found bool
+	for _, f := range d.Findings {
+		if f.Code == "cmd-timeouts" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no cmd-timeouts finding in\n%s", d.Report())
+	}
+}

@@ -110,6 +110,7 @@ type Registry struct {
 	spans      []Span
 	spanNext   int
 	spanDone   int64
+	flight     *FlightRecorder
 }
 
 // NewRegistry returns an empty registry stamped with the current time
@@ -210,13 +211,39 @@ func (r *Registry) SetBusy(b *BusyTracker) {
 	r.mu.Unlock()
 }
 
+// AttachFlight connects a flight recorder: every Event and completed
+// span is forwarded into its rings from then on, so the recorder's
+// post-mortem dumps carry the same history the registry sees. A nil
+// recorder detaches.
+func (r *Registry) AttachFlight(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.flight = f
+	r.mu.Unlock()
+}
+
+// flightRec returns the attached flight recorder (nil-safe).
+func (r *Registry) flightRec() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flight
+}
+
 // Event records a state-change event (degraded-mode switches, device
-// replacements) into the registry's event log.
+// replacements) into the registry's event log and, when a flight
+// recorder is attached, into its note ring (where it may trigger a
+// post-mortem dump).
 func (r *Registry) Event(name, detail string) {
 	if r == nil {
 		return
 	}
 	r.events.Record(name, detail)
+	r.flightRec().Note(name, detail)
 }
 
 // Events returns a snapshot of the event log in record order.
@@ -266,7 +293,9 @@ func (r *Registry) CompleteSpan(sp Span) {
 		r.spanNext = (r.spanNext + 1) % spanKeep
 	}
 	r.spanDone++
+	f := r.flight
 	r.mu.Unlock()
+	f.Span(sp)
 }
 
 // SpansCompleted returns the number of spans ingested so far.
@@ -383,44 +412,70 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
+// promLabelEscaper applies the Prometheus text-format label-value
+// escaping rules: backslash, double-quote and line feed are the only
+// escapes the exposition format defines (Go's %q would also escape
+// tabs and non-ASCII, which strict parsers read literally).
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promLabel renders one label="value" pair with spec-correct escaping.
+func promLabel(name, value string) string {
+	return name + `="` + promLabelEscaper.Replace(value) + `"`
+}
+
+// promHeader renders the paired HELP/TYPE comment block for a metric —
+// the exposition format wants HELP and TYPE once per metric family,
+// before its first sample.
+func promHeader(b *strings.Builder, name, help, typ string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format, every series prefixed dlbooster_. Stage latencies become
+// format, every series prefixed dlbooster_ and every metric family led
+// by a HELP/TYPE pair. Stage latencies become
 // dlbooster_stage_latency_ms{stage=...,quantile=...} plus _count/_sum
 // series; queues become dlbooster_queue_depth / dlbooster_queue_capacity
 // with a queue label; events become dlbooster_events_total by name.
+// Label values use the exposition format's escaping (backslash, quote,
+// newline); prom_test.go validates the output against a minimal parser.
 func (s *PipelineSnapshot) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
-	b.WriteString("# TYPE dlbooster_uptime_seconds gauge\n")
+	promHeader(&b, "dlbooster_uptime_seconds", "seconds since the registry was created", "gauge")
 	fmt.Fprintf(&b, "dlbooster_uptime_seconds %g\n", s.UptimeSeconds)
 	for _, k := range sortedKeys(s.Counters) {
-		fmt.Fprintf(&b, "# TYPE dlbooster_%s counter\ndlbooster_%s %d\n", k, k, s.Counters[k])
+		promHeader(&b, "dlbooster_"+k, "cumulative count of "+k+" (see docs/METRICS.md)", "counter")
+		fmt.Fprintf(&b, "dlbooster_%s %d\n", k, s.Counters[k])
 	}
 	for _, k := range sortedKeys(s.Gauges) {
-		fmt.Fprintf(&b, "# TYPE dlbooster_%s gauge\ndlbooster_%s %g\n", k, k, s.Gauges[k])
+		promHeader(&b, "dlbooster_"+k, "point-in-time value of "+k+" (see docs/METRICS.md)", "gauge")
+		fmt.Fprintf(&b, "dlbooster_%s %g\n", k, s.Gauges[k])
 	}
 	if len(s.Queues) > 0 {
-		b.WriteString("# TYPE dlbooster_queue_depth gauge\n# TYPE dlbooster_queue_capacity gauge\n")
+		promHeader(&b, "dlbooster_queue_depth", "queue occupancy at snapshot time", "gauge")
 		for _, k := range sortedKeys(s.Queues) {
-			q := s.Queues[k]
-			fmt.Fprintf(&b, "dlbooster_queue_depth{queue=%q} %d\n", k, q.Len)
-			fmt.Fprintf(&b, "dlbooster_queue_capacity{queue=%q} %d\n", k, q.Cap)
+			fmt.Fprintf(&b, "dlbooster_queue_depth{%s} %d\n", promLabel("queue", k), s.Queues[k].Len)
+		}
+		promHeader(&b, "dlbooster_queue_capacity", "queue capacity at snapshot time", "gauge")
+		for _, k := range sortedKeys(s.Queues) {
+			fmt.Fprintf(&b, "dlbooster_queue_capacity{%s} %d\n", promLabel("queue", k), s.Queues[k].Cap)
 		}
 	}
 	if len(s.Stages) > 0 {
-		b.WriteString("# TYPE dlbooster_stage_latency_ms summary\n")
+		promHeader(&b, "dlbooster_stage_latency_ms", "per-stage latency distribution in milliseconds", "summary")
 		for _, k := range sortedKeys(s.Stages) {
 			sm := s.Stages[k]
-			fmt.Fprintf(&b, "dlbooster_stage_latency_ms{stage=%q,quantile=\"0.5\"} %g\n", k, sm.P50)
-			fmt.Fprintf(&b, "dlbooster_stage_latency_ms{stage=%q,quantile=\"0.95\"} %g\n", k, sm.P95)
-			fmt.Fprintf(&b, "dlbooster_stage_latency_ms{stage=%q,quantile=\"0.99\"} %g\n", k, sm.P99)
-			fmt.Fprintf(&b, "dlbooster_stage_latency_ms_count{stage=%q} %d\n", k, sm.Count)
-			fmt.Fprintf(&b, "dlbooster_stage_latency_ms_sum{stage=%q} %g\n", k, sm.Mean*float64(sm.Count))
+			st := promLabel("stage", k)
+			fmt.Fprintf(&b, "dlbooster_stage_latency_ms{%s,quantile=\"0.5\"} %g\n", st, sm.P50)
+			fmt.Fprintf(&b, "dlbooster_stage_latency_ms{%s,quantile=\"0.95\"} %g\n", st, sm.P95)
+			fmt.Fprintf(&b, "dlbooster_stage_latency_ms{%s,quantile=\"0.99\"} %g\n", st, sm.P99)
+			fmt.Fprintf(&b, "dlbooster_stage_latency_ms_count{%s} %d\n", st, sm.Count)
+			fmt.Fprintf(&b, "dlbooster_stage_latency_ms_sum{%s} %g\n", st, sm.Mean*float64(sm.Count))
 		}
 	}
 	if len(s.Cores) > 0 {
-		b.WriteString("# TYPE dlbooster_cores gauge\n")
+		promHeader(&b, "dlbooster_cores", "busy-cores estimate per component", "gauge")
 		for _, k := range sortedKeys(s.Cores) {
-			fmt.Fprintf(&b, "dlbooster_cores{component=%q} %g\n", k, s.Cores[k])
+			fmt.Fprintf(&b, "dlbooster_cores{%s} %g\n", promLabel("component", k), s.Cores[k])
 		}
 	}
 	if len(s.Events) > 0 {
@@ -428,12 +483,13 @@ func (s *PipelineSnapshot) WritePrometheus(w io.Writer) error {
 		for _, e := range s.Events {
 			counts[e.Name]++
 		}
-		b.WriteString("# TYPE dlbooster_events_total counter\n")
+		promHeader(&b, "dlbooster_events_total", "state-change events recorded, by name", "counter")
 		for _, k := range sortedKeys(counts) {
-			fmt.Fprintf(&b, "dlbooster_events_total{name=%q} %d\n", k, counts[k])
+			fmt.Fprintf(&b, "dlbooster_events_total{%s} %d\n", promLabel("name", k), counts[k])
 		}
 	}
-	fmt.Fprintf(&b, "# TYPE dlbooster_spans_completed_total counter\ndlbooster_spans_completed_total %d\n", s.SpansCompleted)
+	promHeader(&b, "dlbooster_spans_completed_total", "completed batch spans", "counter")
+	fmt.Fprintf(&b, "dlbooster_spans_completed_total %d\n", s.SpansCompleted)
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -1,0 +1,109 @@
+// Command benchdiff compares two benchmark result files produced by
+// `dlbench -json` and fails (exit 1) when the new run regressed past the
+// threshold — the gate CI runs against the checked-in BENCH_0.json
+// baseline, and the tool behind the repo's benchmark trajectory.
+//
+//	benchdiff BENCH_0.json BENCH_1.json
+//	benchdiff -threshold 2.0 -floor-ms 1.0 base.json new.json
+//
+// Throughput must stay above base/threshold; every stage p95 present in
+// both files must stay below max(base p95, floor-ms) × threshold. The
+// floor keeps sub-millisecond stages from flagging scheduler noise.
+// Mismatched configurations or schema versions are an error (exit 2) —
+// results are only ever compared like-for-like.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dlbooster/internal/metrics"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 2.0, "regression multiplier: new throughput ≥ base/threshold, new stage p95 ≤ max(base p95, floor-ms)×threshold")
+	floorMs := flag.Float64("floor-ms", 1.0, "stage p95 floor in milliseconds, below which a base p95 is treated as this value")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] [-floor-ms 1.0] base.json new.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *floorMs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(basePath, newPath string, threshold, floorMs float64) error {
+	base, err := metrics.ReadBenchResult(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := metrics.ReadBenchResult(newPath)
+	if err != nil {
+		return err
+	}
+	regs, err := metrics.CompareBenchResults(base, cur, threshold, floorMs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("benchdiff: %s (%s) vs %s (%s), threshold %.2fx\n",
+		basePath, short(base.GitSHA), newPath, short(cur.GitSHA), threshold)
+	fmt.Printf("  throughput: %.1f → %.1f images/s (%+.1f%%)\n",
+		base.Throughput, cur.Throughput, pct(base.Throughput, cur.Throughput))
+	for _, stage := range sortedStages(base, cur) {
+		bs, bok := base.Stages[stage]
+		cs, cok := cur.Stages[stage]
+		if !bok || !cok || bs.Count == 0 || cs.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-16s p95 %8.3fms → %8.3fms (%+.1f%%)\n", stage, bs.P95, cs.P95, pct(bs.P95, cs.P95))
+	}
+
+	if len(regs) == 0 {
+		fmt.Println("benchdiff: PASS")
+		return nil
+	}
+	fmt.Printf("benchdiff: FAIL — %d regression(s):\n", len(regs))
+	for _, r := range regs {
+		fmt.Printf("  %s\n", r)
+	}
+	os.Exit(1)
+	return nil
+}
+
+// sortedStages merges the stage names of both results, sorted.
+func sortedStages(a, b *metrics.BenchResult) []string {
+	seen := make(map[string]bool)
+	for s := range a.Stages {
+		seen[s] = true
+	}
+	for s := range b.Stages {
+		seen[s] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pct is the relative change from base to cur in percent.
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// short truncates a git SHA for display.
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
