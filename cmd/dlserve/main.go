@@ -10,16 +10,26 @@
 // Wire protocol, both directions big-endian:
 //
 //	request:  uint32 payloadLen | payload (one JPEG)
-//	response: uint32 seq | uint32 label | uint64 latencyNanos
+//	response: uint32 seq | uint32 status | uint32 label | uint64 latencyNanos
 //
-// The server fills strict batches; clients should send a multiple of the
-// server's batch size (the final partial batch is flushed only when a
-// connection count is a multiple, or at server shutdown).
+// Every request gets exactly one response. Status 0 (ok) carries a
+// prediction; status 1 (shed) means admission control refused the
+// request because the ingest queue stayed full past its grace period
+// (label and latency are zero); status 2 (bad frame) reports a
+// malformed request header — zero or oversized length — after which
+// the server closes the connection.
+//
+// Batching is dynamic: a partial batch is sealed once its oldest
+// request has waited -batch-timeout, so any request count gets its
+// predictions without waiting for a full batch or server shutdown.
+// Ingest is bounded by -queue; an overloaded server sheds with status
+// frames instead of queueing without bound.
 package main
 
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +40,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -47,12 +58,25 @@ import (
 
 const maxFrame = 32 << 20
 
+// respLen is the response frame size: seq, status, label, latencyNanos.
+const respLen = 20
+
+// Response status codes (the uint32 after seq in every response frame).
+const (
+	statusOK       = 0 // prediction follows in label/latency
+	statusShed     = 1 // admission control refused the request
+	statusBadFrame = 2 // malformed request header; connection closes
+)
+
 func main() {
 	listen := flag.String("listen", "", "serve on this address (server mode)")
 	connect := flag.String("connect", "", "send to this address (client mode)")
 	backendName := flag.String("backend", "dlbooster", "server backend: dlbooster or cpu")
 	batch := flag.Int("batch", 8, "server batch size")
+	batchTimeout := flag.Duration("batch-timeout", 5*time.Millisecond, "server: seal a partial batch once its oldest request has waited this long (0 = strict batches)")
+	queueCap := flag.Int("queue", 256, "server: ingest queue capacity; requests beyond it are shed with status frames")
 	n := flag.Int("n", 64, "client: number of images to send")
+	wait := flag.Duration("wait", 0, "client: give up on outstanding responses this long after the last send (0 = wait forever)")
 	size := flag.Int("size", 224, "server decoder output edge")
 	pace := flag.Bool("pace", false, "server: pace GPU compute at the calibrated GoogLeNet rate")
 	faultFPGA := flag.String("fault-fpga", "", "server: inject decoder faults, e.g. fail-rate=0.3,seed=7 or stuck-after=64 (keys: "+strings.Join(faults.SpecKeys(), " ")+")")
@@ -71,6 +95,7 @@ func main() {
 	case *listen != "":
 		err = serve(serveConfig{
 			addr: *listen, backend: *backendName, batch: *batch, size: *size,
+			batchTimeout: *batchTimeout, queueCap: *queueCap,
 			pace: *pace, faultFPGA: *faultFPGA,
 			res: core.Resilience{
 				MaxRetries:    *decodeRetries,
@@ -84,7 +109,7 @@ func main() {
 			flightDir:   *flightDir,
 		})
 	case *connect != "":
-		err = client(*connect, *n)
+		err = client(*connect, *n, *wait)
 	default:
 		err = fmt.Errorf("pass -listen (server) or -connect (client)")
 	}
@@ -117,18 +142,38 @@ func (c *conns) remove(id int) {
 
 // send writes one prediction, serialising writes per connection.
 func (c *conns) send(p engine.Prediction) {
+	c.write(p.ClientID, p.Seq, statusOK, p.Label, p.Latency)
+}
+
+// sendStatus writes a non-OK response frame (shed, bad frame) for one
+// request, so the client always hears back before anything closes.
+func (c *conns) sendStatus(id, seq int, status uint32) {
+	c.write(id, seq, status, 0, 0)
+}
+
+func (c *conns) write(id, seq int, status uint32, label int, latency time.Duration) {
 	c.mu.Lock()
-	nc := c.byID[p.ClientID]
+	defer c.mu.Unlock()
+	nc := c.byID[id]
 	if nc == nil {
-		c.mu.Unlock()
 		return
 	}
-	var buf [16]byte
-	binary.BigEndian.PutUint32(buf[0:], uint32(p.Seq))
-	binary.BigEndian.PutUint32(buf[4:], uint32(p.Label))
-	binary.BigEndian.PutUint64(buf[8:], uint64(p.Latency))
+	var buf [respLen]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(seq))
+	binary.BigEndian.PutUint32(buf[4:], status)
+	binary.BigEndian.PutUint32(buf[8:], uint32(label))
+	binary.BigEndian.PutUint64(buf[12:], uint64(latency))
 	_, _ = nc.Write(buf[:])
-	c.mu.Unlock()
+}
+
+// closeAll drops every live connection so handler goroutines blocked in
+// reads unwind at shutdown.
+func (c *conns) closeAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, nc := range c.byID {
+		_ = nc.Close()
+	}
 }
 
 // serveConfig carries the server-mode flags.
@@ -140,6 +185,11 @@ type serveConfig struct {
 	pace      bool
 	faultFPGA string
 	res       core.Resilience
+
+	// batchTimeout is the dynamic-batching deadline (0 = strict
+	// batches); queueCap bounds the ingest queue for admission control.
+	batchTimeout time.Duration
+	queueCap     int
 
 	// Telemetry: metricsAddr serves /metrics, /metrics.json and
 	// /trace.json over HTTP; snapEvery writes periodic JSON snapshots to
@@ -154,6 +204,9 @@ type serveConfig struct {
 }
 
 func serve(cfg serveConfig) error {
+	if cfg.queueCap < 1 {
+		return fmt.Errorf("-queue %d: ingest queue needs at least one slot", cfg.queueCap)
+	}
 	faultCfg, err := faults.ParseSpec(cfg.faultFPGA)
 	if err != nil {
 		return err
@@ -189,10 +242,11 @@ func serve(cfg serveConfig) error {
 	case "dlbooster":
 		b, err := backends.NewDLBooster(core.Config{
 			BatchSize: batch, OutW: size, OutH: size, Channels: 3, PoolBatches: 8,
-			FPGA:       fpga.Config{Inject: inject},
-			Resilience: cfg.res,
-			Metrics:    reg,
-			Flight:     flight,
+			FPGA:         fpga.Config{Inject: inject},
+			Resilience:   cfg.res,
+			BatchTimeout: cfg.batchTimeout,
+			Metrics:      reg,
+			Flight:       flight,
 		})
 		if err != nil {
 			return err
@@ -205,6 +259,7 @@ func serve(cfg serveConfig) error {
 		b, err := backends.NewCPU(backends.CPUConfig{
 			BatchSize: batch, OutW: size, OutH: size, Channels: 3,
 			PoolBatches: 8, Workers: 4,
+			BatchTimeout: cfg.batchTimeout,
 		})
 		if err != nil {
 			return err
@@ -261,26 +316,23 @@ func serve(cfg serveConfig) error {
 			defer stop()
 		}
 	}
-	if cfg.traceFile != "" || flight != nil {
-		// On SIGINT/SIGTERM, flush the timeline and the flight rings
-		// before exiting — the chaos-test (and operator) exit path.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			if cfg.traceFile != "" && reg != nil {
-				writeTraceFile(cfg.traceFile, reg)
-			}
-			if flight != nil {
-				if path, err := flight.Dump("shutdown"); err == nil {
-					fmt.Fprintf(os.Stderr, "dlserve: flight recorder dumped to %s\n", path)
-				}
-			}
-			os.Exit(0)
-		}()
+	items := queue.New[core.Item](cfg.queueCap)
+	grace := cfg.batchTimeout
+	if grace <= 0 {
+		grace = time.Millisecond
 	}
-
-	items := queue.New[core.Item](256)
+	ing := &ingest{items: items, grace: grace, flight: flight}
+	// Ingest probes land in the richest registry available, so the
+	// doctor's ingest-overloaded rule and the flight recorder see them
+	// even when no -metrics-addr registry exists.
+	ing.reg = reg
+	if ing.reg == nil {
+		if db, ok := backend.(*backends.DLBooster); ok {
+			ing.reg = db.Registry()
+		}
+	}
+	ing.reg.RegisterQueue("ingest_items", items.Len, items.Cap)
+	ing.reg.RegisterCounterFunc("serve_shed_total", ing.shed.Load)
 	go func() {
 		defer flight.DumpOnPanic()
 		if err := backend.RunEpoch(core.CollectorFromQueue(items)); err != nil {
@@ -303,7 +355,9 @@ func serve(cfg serveConfig) error {
 			fmt.Fprintf(os.Stderr, "dlserve: dispatcher: %v\n", err)
 		}
 	}()
+	engineDone := make(chan struct{})
 	go func() {
+		defer close(engineDone)
 		if _, err := inf.Run(); err != nil {
 			fmt.Fprintf(os.Stderr, "dlserve: engine: %v\n", err)
 		}
@@ -313,13 +367,45 @@ func serve(cfg serveConfig) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dlserve: %s backend, batch %d, listening on %s\n", backend.Name(), batch, ln.Addr())
+	// SIGINT/SIGTERM closes the listener; the accept loop then runs the
+	// drain path below — the operator (and chaos-test) exit path.
+	var closing atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		closing.Store(true)
+		_ = ln.Close()
+	}()
+	fmt.Printf("dlserve: %s backend, batch %d (timeout %v), queue %d, listening on %s\n",
+		backend.Name(), batch, cfg.batchTimeout, cfg.queueCap, ln.Addr())
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
+			// Drain: close the ingest queue first so every handler
+			// blocked in admit unblocks; the epoch goroutine then seals
+			// its last batch and closes the Full queue, and the engine
+			// finishes in-flight predictions before connections drop.
+			items.Close()
+			select {
+			case <-engineDone:
+			case <-time.After(3 * time.Second):
+			}
+			cs.closeAll()
+			if cfg.traceFile != "" && reg != nil {
+				writeTraceFile(cfg.traceFile, reg)
+			}
+			if flight != nil {
+				if path, derr := flight.Dump("shutdown"); derr == nil {
+					fmt.Fprintf(os.Stderr, "dlserve: flight recorder dumped to %s\n", path)
+				}
+			}
+			if closing.Load() {
+				return nil
+			}
 			return err
 		}
-		go handleConn(nc, cs, items)
+		go handleConn(nc, cs, ing)
 	}
 }
 
@@ -390,7 +476,56 @@ func writeTraceFile(path string, reg *metrics.Registry) {
 	fmt.Fprintf(os.Stderr, "dlserve: wrote trace timeline to %s\n", path)
 }
 
-func handleConn(nc net.Conn, cs *conns, items *queue.Queue[core.Item]) {
+// ingest is the admission-control front door shared by every
+// connection handler: a bounded item queue plus shed accounting. A
+// request that cannot enter the queue within one grace period is shed
+// — the client hears a status frame instead of the server queueing
+// without bound.
+type ingest struct {
+	items *queue.Queue[core.Item]
+	grace time.Duration
+	shed  atomic.Int64
+
+	reg          *metrics.Registry
+	flight       *metrics.FlightRecorder
+	overloadOnce sync.Once
+}
+
+// Admission outcomes of ingest.admit.
+const (
+	admitOK     = iota // queued for the pipeline
+	admitShed          // refused; send a shed status frame
+	admitClosed        // server shutting down; drop the connection
+)
+
+func (g *ingest) admit(item core.Item) int {
+	if ok, err := g.items.TryPush(item); err != nil {
+		return admitClosed
+	} else if ok {
+		return admitOK
+	}
+	// Full queue: one grace period of backpressure lets a momentary
+	// burst drain instead of bouncing straight to a shed.
+	ok, err := g.items.PushTimeout(item, g.grace)
+	if err != nil {
+		return admitClosed
+	}
+	if !ok {
+		g.shed.Add(1)
+		g.overloadOnce.Do(func() {
+			detail := fmt.Sprintf("ingest queue full (%d items); shedding with status frames", g.items.Cap())
+			if g.reg != nil {
+				g.reg.Event("ingest_overloaded", detail)
+			} else {
+				g.flight.Note("ingest_overloaded", detail)
+			}
+		})
+		return admitShed
+	}
+	return admitOK
+}
+
+func handleConn(nc net.Conn, cs *conns, ing *ingest) {
 	id := cs.add(nc)
 	defer func() {
 		cs.remove(id)
@@ -404,6 +539,10 @@ func handleConn(nc net.Conn, cs *conns, items *queue.Queue[core.Item]) {
 		}
 		length := binary.BigEndian.Uint32(hdr[:])
 		if length == 0 || length > maxFrame {
+			// Tell the client why before closing: a status frame beats
+			// a silent close when debugging a protocol mismatch.
+			fmt.Fprintf(os.Stderr, "dlserve: conn %d: bad frame length %d (max %d), closing\n", id, length, maxFrame)
+			cs.sendStatus(id, seq, statusBadFrame)
 			return
 		}
 		payload := make([]byte, length)
@@ -414,14 +553,25 @@ func handleConn(nc net.Conn, cs *conns, items *queue.Queue[core.Item]) {
 			Ref:  fpga.DataRef{Inline: payload},
 			Meta: core.ItemMeta{ClientID: id, Seq: seq, ReceivedAt: time.Now()},
 		}
-		seq++
-		if err := items.Push(item); err != nil {
+		switch ing.admit(item) {
+		case admitShed:
+			cs.sendStatus(id, seq, statusShed)
+		case admitClosed:
 			return
 		}
+		seq++
 	}
 }
 
-func client(addr string, n int) error {
+// clientStats is what the reader goroutine tallies from response
+// frames; the sender reads it only after joining the reader.
+type clientStats struct {
+	ok        int
+	shed      int
+	latencies []float64
+}
+
+func client(addr string, n int, wait time.Duration) error {
 	spec := dataset.ILSVRCLike(minInt(n, 64))
 	payloads := make([][]byte, spec.Count)
 	for i := range payloads {
@@ -437,41 +587,72 @@ func client(addr string, n int) error {
 	}
 	defer nc.Close()
 
+	var st clientStats
 	done := make(chan error, 1)
-	var latencies []float64
 	go func() {
-		var buf [16]byte
+		var buf [respLen]byte
 		for i := 0; i < n; i++ {
 			if _, err := io.ReadFull(nc, buf[:]); err != nil {
 				done <- err
 				return
 			}
-			latencies = append(latencies, float64(binary.BigEndian.Uint64(buf[8:]))/1e6)
+			switch status := binary.BigEndian.Uint32(buf[4:]); status {
+			case statusOK:
+				st.ok++
+				st.latencies = append(st.latencies, float64(binary.BigEndian.Uint64(buf[12:]))/1e6)
+			case statusShed:
+				st.shed++
+			case statusBadFrame:
+				done <- fmt.Errorf("server reported a malformed request frame (seq %d)", binary.BigEndian.Uint32(buf[0:]))
+				return
+			default:
+				done <- fmt.Errorf("unknown response status %d", status)
+				return
+			}
 		}
 		done <- nil
 	}()
 
 	start := time.Now()
+	var sendErr error
 	var hdr [4]byte
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && sendErr == nil; i++ {
 		p := payloads[i%len(payloads)]
 		binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
 		if _, err := nc.Write(hdr[:]); err != nil {
-			return err
-		}
-		if _, err := nc.Write(p); err != nil {
-			return err
+			sendErr = err
+		} else if _, err := nc.Write(p); err != nil {
+			sendErr = err
 		}
 	}
-	if err := <-done; err != nil {
-		return err
+	// Join the reader on every exit path — a mid-stream send error or a
+	// -wait bound sets a read deadline so it cannot be left behind, and
+	// the partial stats it gathered still get reported.
+	if sendErr != nil {
+		_ = nc.SetReadDeadline(time.Now())
+	} else if wait > 0 {
+		_ = nc.SetReadDeadline(time.Now().Add(wait))
 	}
+	readErr := <-done
 	elapsed := time.Since(start)
-	sort.Float64s(latencies)
-	fmt.Printf("sent %d images in %v (%.0f images/s)\n", n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
-	if len(latencies) > 0 {
-		fmt.Printf("server-side receipt→prediction latency: p50=%.2fms p95=%.2fms max=%.2fms\n",
-			latencies[len(latencies)/2], latencies[len(latencies)*95/100], latencies[len(latencies)-1])
+
+	fmt.Printf("sent %d images in %v (%.0f images/s): %d predictions, %d shed\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), st.ok, st.shed)
+	if len(st.latencies) > 0 {
+		sort.Float64s(st.latencies)
+		q := func(p int) float64 { return st.latencies[minInt(len(st.latencies)*p/100, len(st.latencies)-1)] }
+		fmt.Printf("server-side receipt→prediction latency: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			q(50), q(95), q(99), st.latencies[len(st.latencies)-1])
+	}
+	if sendErr != nil {
+		return fmt.Errorf("send: %w (%d of %d responses received)", sendErr, st.ok+st.shed, n)
+	}
+	if readErr != nil {
+		if wait > 0 && errors.Is(readErr, os.ErrDeadlineExceeded) {
+			fmt.Printf("gave up after %v with %d of %d responses outstanding\n", wait, n-st.ok-st.shed, n)
+			return nil
+		}
+		return readErr
 	}
 	return nil
 }

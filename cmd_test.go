@@ -10,6 +10,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -35,6 +37,92 @@ func buildCmds(t *testing.T) map[string]string {
 	}
 	bins["benchdiff"] = bin
 	return bins
+}
+
+// buildCmd compiles a single command, for tests that only need one
+// binary (the CI flaky-guard runs these under -race -count=3).
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// startServe launches a dlserve server and returns its binary path and
+// combined output buffer; the server is killed at test cleanup.
+func startServe(t *testing.T, bin string, args ...string) *bytes.Buffer {
+	t.Helper()
+	srv := exec.Command(bin, args...)
+	var srvOut bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Process.Kill()
+		_, _ = srv.Process.Wait()
+	})
+	return &srvOut
+}
+
+// runClient retries a dlserve client until the server is listening.
+func runClient(t *testing.T, bin string, srvOut *bytes.Buffer, args ...string) string {
+	t.Helper()
+	var out []byte
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		out, err = exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			return string(out)
+		}
+	}
+	t.Fatalf("client: %v\n%s\nserver:\n%s", err, out, srvOut.String())
+	return ""
+}
+
+// TestServePartialBatch is the ISSUE-4 acceptance scenario: 5 images
+// into a -batch 8 server must yield 5 predictions via the deadline
+// flush — no full batch ever forms and the server never shuts down.
+func TestServePartialBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec test in -short mode")
+	}
+	bin := buildCmd(t, "dlserve")
+	srvOut := startServe(t, bin,
+		"-listen", "127.0.0.1:39474", "-batch", "8", "-batch-timeout", "50ms", "-size", "64")
+	out := runClient(t, bin, srvOut, "-connect", "127.0.0.1:39474", "-n", "5")
+	if !strings.Contains(out, "5 predictions, 0 shed") {
+		t.Fatalf("client output:\n%s\nserver:\n%s", out, srvOut.String())
+	}
+	if !strings.Contains(out, "receipt→prediction latency") {
+		t.Fatalf("no latency stats:\n%s", out)
+	}
+}
+
+// TestServeOverload wedges the decoder so the pipeline absorbs almost
+// nothing: a tiny ingest queue must shed the flood with status frames
+// (bounded memory) instead of blocking ingest, and the client's -wait
+// bound must turn the never-arriving predictions into a clean exit.
+func TestServeOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec test in -short mode")
+	}
+	bin := buildCmd(t, "dlserve")
+	srvOut := startServe(t, bin,
+		"-listen", "127.0.0.1:39475", "-batch", "4", "-size", "64",
+		"-queue", "2", "-batch-timeout", "5ms", "-fault-fpga", "stuck-after=1")
+	out := runClient(t, bin, srvOut,
+		"-connect", "127.0.0.1:39475", "-n", "160", "-wait", "2s")
+	m := regexp.MustCompile(`(\d+) shed`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no shed count in client output:\n%s\nserver:\n%s", out, srvOut.String())
+	}
+	if shed, _ := strconv.Atoi(m[1]); shed == 0 {
+		t.Fatalf("overloaded server shed nothing:\n%s\nserver:\n%s", out, srvOut.String())
+	}
 }
 
 func TestCommands(t *testing.T) {

@@ -24,9 +24,11 @@ import (
 // run that produced throughput.
 type CPU struct {
 	*base
-	workers int
-	source  fpga.DataSource
-	busy    *metrics.BusyTracker
+	workers      int
+	source       fpga.DataSource
+	busy         *metrics.BusyTracker
+	batchTimeout time.Duration
+	partialFlush metrics.Counter
 
 	jobs     chan cpuJob
 	workerWG sync.WaitGroup
@@ -63,12 +65,21 @@ type CPUConfig struct {
 	// Busy receives per-worker decode busy time under the component
 	// name "preprocess" (optional).
 	Busy *metrics.BusyTracker
+	// BatchTimeout, when positive and the collector is a
+	// core.StreamingCollector, seals a partial batch once its oldest
+	// item has waited this long — the same deadline-flushed dynamic
+	// batching as core.Config.BatchTimeout, so the CPU serving baseline
+	// honours the bounded-latency contract too. 0 keeps strict batches.
+	BatchTimeout time.Duration
 }
 
 // NewCPU builds the baseline and starts its workers.
 func NewCPU(cfg CPUConfig) (*CPU, error) {
 	if cfg.Workers <= 0 {
 		return nil, errors.New("backends: cpu workers must be positive")
+	}
+	if cfg.BatchTimeout < 0 {
+		return nil, fmt.Errorf("backends: negative batch timeout %v", cfg.BatchTimeout)
 	}
 	b, err := newBase(baseConfig{
 		BatchSize: cfg.BatchSize, OutW: cfg.OutW, OutH: cfg.OutH,
@@ -79,11 +90,12 @@ func NewCPU(cfg CPUConfig) (*CPU, error) {
 		return nil, err
 	}
 	c := &CPU{
-		base:    b,
-		workers: cfg.Workers,
-		source:  cfg.Source,
-		busy:    cfg.Busy,
-		jobs:    make(chan cpuJob, cfg.Workers*2),
+		base:         b,
+		workers:      cfg.Workers,
+		source:       cfg.Source,
+		busy:         cfg.Busy,
+		batchTimeout: cfg.BatchTimeout,
+		jobs:         make(chan cpuJob, cfg.Workers*2),
 	}
 	c.start()
 	return c, nil
@@ -94,6 +106,10 @@ func (c *CPU) Name() string { return "cpu" }
 
 // Workers returns the decode thread count.
 func (c *CPU) Workers() int { return c.workers }
+
+// PartialFlushes returns the count of batches sealed by the
+// BatchTimeout deadline before filling.
+func (c *CPU) PartialFlushes() int64 { return c.partialFlush.Value() }
 
 func (c *CPU) start() {
 	c.started.Do(func() {
@@ -164,6 +180,7 @@ func (c *CPU) RunEpoch(col core.DataCollector) error {
 	var epochWG sync.WaitGroup
 	var cur *cpuBatch
 	var curJobs []cpuJob
+	var flushAt time.Time
 	flush := func() {
 		if cur == nil {
 			return
@@ -176,8 +193,31 @@ func (c *CPU) RunEpoch(col core.DataCollector) error {
 		}
 		cur, curJobs = nil, nil
 	}
+	// Deadline-flushed dynamic batching only engages with a streaming
+	// collector: a disk epoch never pauses, so the timeout is moot.
+	stream, _ := col.(core.StreamingCollector)
+	bt := c.batchTimeout
+collect:
 	for {
-		item, ok := col.Next()
+		var item core.Item
+		var ok bool
+		if cur != nil && bt > 0 && stream != nil {
+			for {
+				d := time.Until(flushAt)
+				if d <= 0 {
+					c.partialFlush.Add(1)
+					flush()
+					continue collect
+				}
+				var alive bool
+				item, ok, alive = stream.NextTimeout(d)
+				if ok || !alive {
+					break
+				}
+			}
+		} else {
+			item, ok = col.Next()
+		}
 		if !ok {
 			break
 		}
@@ -196,6 +236,9 @@ func (c *CPU) RunEpoch(col core.DataCollector) error {
 				done:  &epochWG,
 			}
 			epochWG.Add(1)
+			if bt > 0 {
+				flushAt = time.Now().Add(bt)
+			}
 		}
 		slot := cur.batch.Images
 		cur.batch.Images++

@@ -79,3 +79,21 @@ type DeviceBatch struct {
 
 // ImageBytes returns the per-slot stride.
 func (b *DeviceBatch) ImageBytes() int { return b.W * b.H * b.C }
+
+// ValidCount returns the number of slots carrying a successfully
+// decoded image. Engines pace modelled compute and the exact
+// infer/train image counters on this, so a short deadline-flushed
+// batch or one with failed slots never inflates the figures. Slots
+// beyond len(Valid) count as valid (a nil Valid means all good).
+func (b *DeviceBatch) ValidCount() int {
+	n := b.Images
+	for i, v := range b.Valid {
+		if i >= b.Images {
+			break
+		}
+		if !v {
+			n--
+		}
+	}
+	return n
+}

@@ -41,6 +41,15 @@ type Config struct {
 	// limit, and later epochs replay from memory. MNIST fits; ILSVRC
 	// does not (Figure 6 discussion).
 	CacheLimitBytes int64
+	// BatchTimeout enables deadline-flushed dynamic batching: a partial
+	// batch is sealed and dispatched once its oldest item has waited
+	// this long, instead of stalling until the batch fills or the
+	// stream ends — the bounded receipt-to-prediction promise of the
+	// online-inference workflow (Figure 8). It takes effect only with a
+	// StreamingCollector (network feeds, item queues); a closed-loop
+	// disk epoch never pauses, so the deadline is moot there. 0 (the
+	// default) keeps strict batches, the paper's closed-loop behaviour.
+	BatchTimeout time.Duration
 	// Resilience is the failure policy (retry, timeout, CPU fallback).
 	Resilience Resilience
 	// Metrics, when non-nil, enables full observability: per-batch trace
@@ -119,6 +128,9 @@ func (c *Config) normalize() error {
 	if c.OutW <= 0 || c.OutH <= 0 {
 		return fmt.Errorf("core: bad output geometry %dx%d", c.OutW, c.OutH)
 	}
+	if c.BatchTimeout < 0 {
+		return fmt.Errorf("core: negative batch timeout %v", c.BatchTimeout)
+	}
 	if c.Channels != 1 && c.Channels != 3 {
 		return fmt.Errorf("core: channels %d must be 1 or 3", c.Channels)
 	}
@@ -149,12 +161,13 @@ type Booster struct {
 	ch     *FPGAChannel
 	full   *queue.Queue[*Batch]
 
-	images    metrics.Counter
-	errors    metrics.Counter
-	collected metrics.Counter
-	published metrics.Counter
-	seq       int
-	cmdID     uint64
+	images       metrics.Counter
+	errors       metrics.Counter
+	collected    metrics.Counter
+	published    metrics.Counter
+	partialFlush metrics.Counter
+	seq          int
+	cmdID        uint64
 
 	// reg is never nil: the user's registry when Config.Metrics was set
 	// (traced = full span/latency instrumentation), otherwise an
@@ -258,6 +271,7 @@ func (b *Booster) instrument() {
 	r.RegisterCounterFunc("fallback_decodes_total", b.fallbacks.Value)
 	r.RegisterCounterFunc("late_finishes_total", b.lateFinishes.Value)
 	r.RegisterCounterFunc("batches_published_total", b.published.Value)
+	r.RegisterCounterFunc("serve_partial_flushes_total", b.partialFlush.Value)
 	r.RegisterCounterFunc("cache_replay_images_total", b.cacheReplayImages.Value)
 	r.RegisterCounterFunc("cache_replay_bytes_total", b.cacheReplayBytes.Value)
 	r.RegisterGauge("degraded", func() float64 {
@@ -327,6 +341,11 @@ func (b *Booster) FallbackDecodes() int64 { return b.fallbacks.Value() }
 // timeout sweep's revocation attempt: the command looked expired but
 // had already completed, so it was kept pending and settled normally.
 func (b *Booster) LateFinishes() int64 { return b.lateFinishes.Value() }
+
+// PartialFlushes returns the count of batches sealed by the
+// BatchTimeout deadline before filling — the dynamic-batching flushes
+// that keep online-serving latency bounded.
+func (b *Booster) PartialFlushes() int64 { return b.partialFlush.Value() }
 
 // Degraded reports whether the booster has switched decode work to the
 // CPU fallback path.
@@ -471,6 +490,12 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 	pending := make(map[uint64]pendingSlot)
 	var cur *building
 	stream, _ := col.(StreamingCollector)
+	// Dynamic batching: flushAt is the deadline by which the building
+	// batch must seal even if short — armed when its first item lands,
+	// disarmed at every seal. Only meaningful with BatchTimeout set and
+	// a streaming collector.
+	bt := b.cfg.BatchTimeout
+	var flushAt time.Time
 
 	// live tracks every buffer this epoch has taken from the pool but
 	// not yet published. On an abnormal exit (pool or decoder closed
@@ -497,6 +522,24 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			delete(live, bld)
 		}
 		return nil
+	}
+
+	// seal stops the building batch accepting items and publishes it as
+	// soon as its in-flight decodes settle. partial marks a
+	// deadline-flushed short batch (dynamic batching) as opposed to a
+	// full batch or the end-of-stream flush.
+	seal := func(partial bool) error {
+		cur.sealed = true
+		if partial {
+			b.partialFlush.Add(1)
+		}
+		if tr := cur.batch.Trace; tr != nil {
+			tr.Sealed = time.Now()
+		}
+		err := finishIfDone(cur)
+		cur = nil
+		flushAt = time.Time{}
+		return err
 	}
 
 	// settleFPGASuccess and settleFailure are the only two ways a
@@ -742,12 +785,31 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			// paper's closed-loop workload never pauses, but an online
 			// server's arrivals do).
 			for {
-				if len(pending) == 0 {
+				if cur != nil && bt > 0 && !time.Now().Before(flushAt) {
+					// Deadline flush: the oldest item of the building
+					// batch has waited out BatchTimeout. Seal and
+					// dispatch the partial batch instead of stalling
+					// until arrivals fill it — the bounded-latency
+					// contract of the online workflow (Figure 8).
+					if err := seal(true); err != nil {
+						return err
+					}
+				}
+				if len(pending) == 0 && (cur == nil || bt <= 0) {
 					item, ok = col.Next()
 					break
 				}
+				wait := 200 * time.Microsecond
+				if cur != nil && bt > 0 {
+					if d := time.Until(flushAt); d < wait {
+						wait = d
+					}
+					if wait <= 0 {
+						continue // flush deadline already due
+					}
+				}
 				var alive bool
-				item, ok, alive = stream.NextTimeout(200 * time.Microsecond)
+				item, ok, alive = stream.NextTimeout(wait)
 				if ok || !alive {
 					break
 				}
@@ -787,6 +849,10 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 				tr.BufAcquired = time.Now()
 			}
 			live[cur] = true
+			if bt > 0 {
+				// The first item of a batch arms its flush deadline.
+				flushAt = time.Now().Add(bt)
+			}
 		}
 		slot := cur.batch.Images
 		cur.batch.Images++
@@ -858,28 +924,19 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			return err
 		}
 		if cur.batch.Images == b.cfg.BatchSize {
-			cur.sealed = true
-			if tr := cur.batch.Trace; tr != nil {
-				tr.Sealed = time.Now()
-			}
-			// With every slot already settled (pure degraded mode) no
-			// FINISH will arrive to publish the batch — do it here.
-			if err := finishIfDone(cur); err != nil {
+			// A full batch seals here; with every slot already settled
+			// (pure degraded mode) no FINISH will arrive to publish the
+			// batch, so finishIfDone inside seal does it.
+			if err := seal(false); err != nil {
 				return err
 			}
-			cur = nil
 		}
 	}
 	// Flush: seal the partial batch and wait out all in-flight decodes.
 	if cur != nil {
-		cur.sealed = true
-		if tr := cur.batch.Trace; tr != nil {
-			tr.Sealed = time.Now()
-		}
-		if err := finishIfDone(cur); err != nil {
+		if err := seal(false); err != nil {
 			return err
 		}
-		cur = nil
 	}
 	for len(pending) > 0 {
 		if err := awaitOne(); err != nil {
@@ -923,6 +980,12 @@ func (b *Booster) finishBatch(batch *Batch) error {
 	if tr := batch.Trace; tr != nil {
 		tr.Published = batch.AssembledAt
 		tr.Images = batch.Images
+	}
+	if b.traced {
+		// Fill ratio (0..1], not milliseconds: 1.0 is a full batch, a
+		// low tail means deadline flushes are trading throughput for
+		// latency (see docs/METRICS.md).
+		b.reg.Observe(metrics.StageBatchFill, float64(batch.Images)/float64(b.cfg.BatchSize))
 	}
 	if b.cfg.CacheLimitBytes > 0 {
 		b.cacheBatch(batch)

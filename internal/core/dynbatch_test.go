@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dlbooster/internal/dataset"
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/metrics"
+)
+
+// TestPartialFlushDeadline drives the deadline-flushed dynamic batching
+// of Config.BatchTimeout: a partial batch must publish once its oldest
+// item has waited out the deadline — without the stream closing — and
+// the deadline must re-arm per batch, while a batch that fills before
+// the deadline never counts as a partial flush.
+func TestPartialFlushDeadline(t *testing.T) {
+	spec := dataset.MNISTLike(16)
+	b := newBooster(t, Config{
+		BatchSize: 8, OutW: 28, OutH: 28, Channels: 1,
+		PoolBatches: 4, BatchTimeout: 25 * time.Millisecond,
+		Metrics: metrics.NewRegistry(),
+	})
+	q := newItemQueue(32)
+	epochDone := make(chan error, 1)
+	go func() { epochDone <- b.RunEpoch(CollectorFromQueue(q)) }()
+
+	push := func(base, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := q.Push(Item{
+				Ref:  fpga.DataRef{Inline: mustJPEG(t, spec, base+i)},
+				Meta: ItemMeta{Seq: base + i, ReceivedAt: time.Now()},
+			}); err != nil {
+				t.Errorf("push: %v", err)
+			}
+		}
+	}
+	pop := func() *Batch {
+		t.Helper()
+		got := make(chan *Batch, 1)
+		go func() { batch, _ := b.Batches().Pop(); got <- batch }()
+		select {
+		case batch := <-got:
+			if batch == nil {
+				t.Fatal("full queue closed before the batch arrived")
+			}
+			return batch
+		case <-time.After(10 * time.Second):
+			t.Fatal("no batch published — the partial-batch stall is back")
+		}
+		return nil
+	}
+	recycle := func(batch *Batch) {
+		t.Helper()
+		if err := b.RecycleBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wave 1: 5 of 8 slots. The queue stays open, so only the deadline
+	// can publish this batch.
+	start := time.Now()
+	push(0, 5)
+	batch := pop()
+	waited := time.Since(start)
+	if batch.Images != 5 {
+		t.Fatalf("batch images = %d, want 5", batch.Images)
+	}
+	for i := 0; i < batch.Images; i++ {
+		if !batch.Valid[i] {
+			t.Fatalf("slot %d invalid in deadline-flushed batch", i)
+		}
+	}
+	recycle(batch)
+	if got := b.PartialFlushes(); got != 1 {
+		t.Fatalf("PartialFlushes = %d, want 1", got)
+	}
+	// Deadline 25ms + real decode; anything near a second means the
+	// flush came from somewhere else (e.g. stream close).
+	if waited > 5*time.Second {
+		t.Fatalf("partial batch took %v to publish", waited)
+	}
+
+	// Wave 2: the deadline re-arms for the next partial batch.
+	push(5, 3)
+	batch = pop()
+	if batch.Images != 3 {
+		t.Fatalf("second batch images = %d, want 3", batch.Images)
+	}
+	recycle(batch)
+	if got := b.PartialFlushes(); got != 2 {
+		t.Fatalf("PartialFlushes = %d, want 2", got)
+	}
+
+	// Wave 3: a full batch seals on size, not on the deadline.
+	push(8, 8)
+	batch = pop()
+	if batch.Images != 8 {
+		t.Fatalf("full batch images = %d, want 8", batch.Images)
+	}
+	recycle(batch)
+	if got := b.PartialFlushes(); got != 2 {
+		t.Fatalf("PartialFlushes = %d after a full batch, want 2", got)
+	}
+
+	q.Close()
+	if err := <-epochDone; err != nil {
+		t.Fatalf("epoch: %v", err)
+	}
+	if b.Images() != 16 {
+		t.Fatalf("Images = %d, want 16", b.Images())
+	}
+	snap := b.Snapshot()
+	if snap.Counters["serve_partial_flushes_total"] != 2 {
+		t.Fatalf("serve_partial_flushes_total = %d, want 2", snap.Counters["serve_partial_flushes_total"])
+	}
+	// Fill-ratio histogram: three batches at 5/8, 3/8 and 8/8 — a mean
+	// strictly inside (0, 1) and one observation per published batch.
+	fill := snap.Stages[metrics.StageBatchFill]
+	if fill.Count != 3 {
+		t.Fatalf("batch_fill count = %d, want 3", fill.Count)
+	}
+	if fill.Mean <= 0.3 || fill.Mean >= 1 {
+		t.Fatalf("batch_fill mean = %v, want (5/8+3/8+1)/3 = 2/3", fill.Mean)
+	}
+}
+
+// TestBatchTimeoutValidation pins the config contract: negative
+// deadlines are rejected, zero keeps strict batches.
+func TestBatchTimeoutValidation(t *testing.T) {
+	_, err := New(Config{BatchSize: 8, OutW: 28, OutH: 28, Channels: 1, BatchTimeout: -time.Millisecond})
+	if err == nil {
+		t.Fatal("negative batch timeout accepted")
+	}
+}

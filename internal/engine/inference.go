@@ -78,8 +78,13 @@ func (e *Inference) Run() (InferStats, error) {
 			break
 		}
 		imagesBefore, skippedBefore := st.Images, st.SkippedBad
+		// Pace on the slots actually carrying images: a deadline-flushed
+		// partial batch (core.Config.BatchTimeout) or one with failed
+		// slots costs the modelled compute of its valid prefix, not of
+		// the configured batch size.
+		valid := db.ValidCount()
 		if e.cfg.PaceCompute {
-			sleepSeconds(e.cfg.Profile.BatchSeconds(db.Images))
+			sleepSeconds(e.cfg.Profile.BatchSeconds(valid))
 		}
 		stride := db.ImageBytes()
 		data := db.Buf.Bytes()
@@ -114,7 +119,7 @@ func (e *Inference) Run() (InferStats, error) {
 			reg.Add("infer_skipped_total", st.SkippedBad-skippedBefore)
 		}
 		if e.cfg.Solver.Device != nil {
-			e.cfg.Solver.Device.RecordKernelBusy(time.Duration(e.cfg.Profile.BatchSeconds(db.Images) * float64(time.Second)))
+			e.cfg.Solver.Device.RecordKernelBusy(time.Duration(e.cfg.Profile.BatchSeconds(valid) * float64(time.Second)))
 		}
 		if err := e.cfg.Solver.Free.Push(db.Buf); err != nil {
 			return st, err

@@ -35,6 +35,11 @@ const (
 	// Full queues run at capacity and the preprocessing side keeps up —
 	// the regime the paper calls reaching the performance boundary.
 	VerdictGPUBound = "gpu-bound"
+	// VerdictIngestOverloaded means admission control is the story:
+	// the serving-side ingest queue is backed up or actively shedding
+	// requests (serve_shed_total climbing), so offered load exceeds
+	// what the pipeline admits — the online-inference overload regime.
+	VerdictIngestOverloaded = "ingest-overloaded"
 	// VerdictHealthy means no queue signature shows sustained pressure.
 	VerdictHealthy = "healthy"
 	// VerdictInconclusive means the signatures disagree or the snapshot
@@ -88,6 +93,8 @@ func Diagnose(cur, prev *PipelineSnapshot) *Diagnosis {
 	d.Throughput = delta.Rate("images_decoded_total")
 
 	fullFill, fullKnown := queueFill(cur, "full_batch")
+	ingestFill, ingestKnown := queueFill(cur, "ingest_items")
+	shedDelta := delta.Counters["serve_shed_total"]
 	freeLen := cur.Queues["hugepage_free"].Len
 	_, freeKnown := cur.Queues["hugepage_free"]
 	transFill, transKnown := maxTransFill(cur)
@@ -131,6 +138,24 @@ func Diagnose(cur, prev *PipelineSnapshot) *Diagnosis {
 		(getWait.P95 > decode.P95 || (e2e.P95 > 0 && getWait.P95 > 0.25*e2e.P95))
 
 	switch {
+	// Admission control outranks the internal signatures: when the
+	// serving ingest queue is shedding (or pinned at capacity), every
+	// downstream reading describes the admitted load, not the offered
+	// one — fix the overload first, then re-diagnose.
+	case ingestKnown && (shedDelta > 0 || ingestFill >= fillHigh):
+		conf := 0.85
+		if shedDelta > 0 {
+			conf = 0.95
+		}
+		d.add(Finding{
+			Code: VerdictIngestOverloaded, Confidence: conf,
+			Title: "ingest admission control limits accepted load (requests shed or queue at capacity)",
+			Evidence: append(queueEv,
+				ev("ingest_items %d/%d (fill %.2f)", cur.Queues["ingest_items"].Len, cur.Queues["ingest_items"].Cap, ingestFill),
+				ev("serve_shed_total +%d in interval (%d lifetime), serve_partial_flushes_total %d",
+					shedDelta, cur.Counters["serve_shed_total"], cur.Counters["serve_partial_flushes_total"])),
+			Advice: "offered load exceeds what the pipeline admits: clients see shed status frames (bounded memory, by design); scale the backend (more boards/solvers), raise -queue only if the backend has headroom, and read the rest of this report for which stage is saturated",
+		})
 	case transKnown && transFill >= fillHigh:
 		conf := 0.9
 		if fullKnown && fullFill >= 0.5 {
@@ -205,7 +230,7 @@ func Diagnose(cur, prev *PipelineSnapshot) *Diagnosis {
 func isStructural(code string) bool {
 	switch code {
 	case VerdictDecoderBound, VerdictPoolStarved, VerdictDispatcherBound,
-		VerdictGPUBound, VerdictHealthy, VerdictInconclusive:
+		VerdictGPUBound, VerdictIngestOverloaded, VerdictHealthy, VerdictInconclusive:
 		return true
 	}
 	return false

@@ -145,6 +145,43 @@ func TestDoctorIntervalThroughput(t *testing.T) {
 	}
 }
 
+func TestDoctorIngestOverloaded(t *testing.T) {
+	// Sheds in the interval win the verdict even when the internal
+	// queues would otherwise read healthy.
+	s := doctorSnap(func(s *PipelineSnapshot) {
+		s.Queues["ingest_items"] = QueueDepth{Len: 256, Cap: 256}
+		s.Counters["serve_shed_total"] = 42
+	})
+	d := Diagnose(s, nil)
+	if d.Verdict != VerdictIngestOverloaded {
+		t.Fatalf("verdict = %q, want %q\n%s", d.Verdict, VerdictIngestOverloaded, d.Report())
+	}
+	if d.Findings[0].Confidence != 0.95 {
+		t.Fatalf("confidence = %v, want 0.95 (active sheds)", d.Findings[0].Confidence)
+	}
+
+	// A backed-up ingest queue alone (no sheds yet) also flags, at
+	// lower confidence.
+	s = doctorSnap(func(s *PipelineSnapshot) {
+		s.Queues["ingest_items"] = QueueDepth{Len: 200, Cap: 256}
+	})
+	d = Diagnose(s, nil)
+	if d.Verdict != VerdictIngestOverloaded {
+		t.Fatalf("verdict = %q, want %q (queue at fill ≥ %.2f)\n%s", d.Verdict, VerdictIngestOverloaded, fillHigh, d.Report())
+	}
+	if d.Findings[0].Confidence != 0.85 {
+		t.Fatalf("confidence = %v, want 0.85 (no sheds)", d.Findings[0].Confidence)
+	}
+
+	// A drained ingest queue must not shadow the regular signatures.
+	s = doctorSnap(func(s *PipelineSnapshot) {
+		s.Queues["ingest_items"] = QueueDepth{Len: 3, Cap: 256}
+	})
+	if d := Diagnose(s, nil); d.Verdict != VerdictHealthy {
+		t.Fatalf("verdict = %q, want %q with idle ingest queue\n%s", d.Verdict, VerdictHealthy, d.Report())
+	}
+}
+
 func TestDoctorCmdTimeoutFinding(t *testing.T) {
 	s := doctorSnap(func(s *PipelineSnapshot) {
 		s.Counters["cmd_timeouts_total"] = 7

@@ -44,6 +44,11 @@ const (
 	// StageTrainIter is the duration of one training iteration across
 	// all solvers.
 	StageTrainIter = "train_iter"
+	// StageBatchFill is the fill ratio of every published batch — batch
+	// images over configured batch size, in 0..1 rather than
+	// milliseconds. A tail of low values means deadline flushes
+	// (Config.BatchTimeout) are trading throughput for bounded latency.
+	StageBatchFill = "batch_fill"
 )
 
 // Span is the per-batch trace: one timestamp per pipeline stage a batch

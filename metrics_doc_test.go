@@ -187,7 +187,7 @@ func TestEveryStageConstantDocumented(t *testing.T) {
 		metrics.StageFPGADecode, metrics.StageCPUFallback, metrics.StageGetItemWait,
 		metrics.StageAssemble, metrics.StageFullQueueWait, metrics.StageCopySync,
 		metrics.StageRecycle, metrics.StageBatchE2E, metrics.StageInferE2E,
-		metrics.StageTrainIter,
+		metrics.StageTrainIter, metrics.StageBatchFill,
 	} {
 		if !strings.Contains(doc, "`"+name+"`") {
 			t.Errorf("stage %q not documented", name)
