@@ -54,12 +54,13 @@ func main() {
 	benchJSON := flag.String("json", "", "run a traced end-to-end pipeline and write a schema-versioned benchmark result (BENCH_<n>.json) to this path")
 	metricsImages := flag.Int("metrics-images", 64, "with -metrics/-doctor/-json: images to push through the pipeline")
 	metricsBatch := flag.Int("metrics-batch", 8, "with -metrics/-doctor/-json: batch size")
+	noDecodeScale := flag.Bool("no-decode-scale", false, "with -metrics/-doctor/-json: disable the decode-to-scale fast path (full-resolution decode + resize)")
 	flag.Parse()
 
 	if *showMetrics || *doctor || *benchJSON != "" {
 		// One traced run feeds every instrumented view, so -metrics,
 		// -doctor and -json can be combined without re-running.
-		res, err := tracedRun(*metricsImages, *metricsBatch)
+		res, err := tracedRun(*metricsImages, *metricsBatch, *noDecodeScale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
 			os.Exit(1)

@@ -36,14 +36,15 @@ type tracedResult struct {
 // It is the real pipeline under a deterministic corpus, not the
 // virtual-time simulation the figures use, so its numbers are honest
 // wall-clock measurements.
-func tracedRun(images, batchSize int) (*tracedResult, error) {
+func tracedRun(images, batchSize int, noDecodeScale bool) (*tracedResult, error) {
 	const size = tracedRunSize
 	spec := dataset.ILSVRCLike(minInt(images, 64))
 	reg := metrics.NewRegistry()
 	booster, err := core.New(core.Config{
 		BatchSize: batchSize, OutW: size, OutH: size, Channels: 3,
-		PoolBatches: 4,
-		Metrics:     reg,
+		PoolBatches:         4,
+		Metrics:             reg,
+		DisableScaledDecode: noDecodeScale,
 	})
 	if err != nil {
 		return nil, err

@@ -36,6 +36,8 @@ type base struct {
 	closeOnce sync.Once
 }
 
+// cachedBatch is one immutable epoch-cache entry; replayed batches alias
+// its metas and valid slices (see ReplayCache).
 type cachedBatch struct {
 	data   []byte
 	metas  []core.ItemMeta
@@ -156,7 +158,10 @@ func (b *base) CacheComplete() bool {
 	return b.cacheLimit > 0 && !b.cacheOverflow && len(b.cache) > 0
 }
 
-// ReplayCache implements Backend.
+// ReplayCache implements Backend. Replayed batches share the cached
+// Metas and Valid slices (same aliasing contract as
+// core.Booster.ReplayCache): cache entries are immutable once written
+// and consumers treat published batches as read-only.
 func (b *base) ReplayCache() error {
 	b.cacheMu.Lock()
 	snapshot := b.cache
@@ -175,8 +180,8 @@ func (b *base) ReplayCache() error {
 			Buf:    buf,
 			Images: cb.images,
 			W:      b.outW, H: b.outH, C: b.channels,
-			Metas:       append([]core.ItemMeta(nil), cb.metas...),
-			Valid:       append([]bool(nil), cb.valid...),
+			Metas:       cb.metas,
+			Valid:       cb.valid,
 			Seq:         b.nextSeq(),
 			AssembledAt: time.Now(),
 		}

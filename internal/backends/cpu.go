@@ -24,11 +24,13 @@ import (
 // run that produced throughput.
 type CPU struct {
 	*base
-	workers      int
-	source       fpga.DataSource
-	busy         *metrics.BusyTracker
-	batchTimeout time.Duration
-	partialFlush metrics.Counter
+	workers       int
+	source        fpga.DataSource
+	busy          *metrics.BusyTracker
+	batchTimeout  time.Duration
+	partialFlush  metrics.Counter
+	disableScaled bool
+	scaled        metrics.Counter
 
 	jobs     chan cpuJob
 	workerWG sync.WaitGroup
@@ -71,6 +73,11 @@ type CPUConfig struct {
 	// batching as core.Config.BatchTimeout, so the CPU serving baseline
 	// honours the bounded-latency contract too. 0 keeps strict batches.
 	BatchTimeout time.Duration
+	// DisableScaledDecode turns off the decode-to-scale fast path and
+	// per-worker scratch reuse: every image then takes the legacy
+	// full-resolution decode + resize. The zero value keeps the fast
+	// path on.
+	DisableScaledDecode bool
 }
 
 // NewCPU builds the baseline and starts its workers.
@@ -90,12 +97,13 @@ func NewCPU(cfg CPUConfig) (*CPU, error) {
 		return nil, err
 	}
 	c := &CPU{
-		base:         b,
-		workers:      cfg.Workers,
-		source:       cfg.Source,
-		busy:         cfg.Busy,
-		batchTimeout: cfg.BatchTimeout,
-		jobs:         make(chan cpuJob, cfg.Workers*2),
+		base:          b,
+		workers:       cfg.Workers,
+		source:        cfg.Source,
+		busy:          cfg.Busy,
+		batchTimeout:  cfg.BatchTimeout,
+		disableScaled: cfg.DisableScaledDecode,
+		jobs:          make(chan cpuJob, cfg.Workers*2),
 	}
 	c.start()
 	return c, nil
@@ -111,14 +119,24 @@ func (c *CPU) Workers() int { return c.workers }
 // BatchTimeout deadline before filling.
 func (c *CPU) PartialFlushes() int64 { return c.partialFlush.Value() }
 
+// ScaledDecodes returns the count of images decoded below full scale by
+// the decode-to-scale fast path.
+func (c *CPU) ScaledDecodes() int64 { return c.scaled.Value() }
+
 func (c *CPU) start() {
 	c.started.Do(func() {
 		for i := 0; i < c.workers; i++ {
 			c.workerWG.Add(1)
 			go func() {
 				defer c.workerWG.Done()
+				// Each worker owns one Scratch: steady-state decoding
+				// then allocates nothing per image.
+				var sc *jpeg.Scratch
+				if !c.disableScaled {
+					sc = &jpeg.Scratch{}
+				}
 				for j := range c.jobs {
-					c.decodeOne(j)
+					c.decodeOne(j, sc)
 				}
 			}()
 		}
@@ -126,8 +144,10 @@ func (c *CPU) start() {
 }
 
 // decodeOne is the per-image work a baseline burns a core on: fetch,
-// entropy decode, iDCT, colour convert, resize — all on the CPU.
-func (c *CPU) decodeOne(j cpuJob) {
+// entropy decode, iDCT, colour convert, resize — all on the CPU. With a
+// scratch it runs the decode-to-scale fast path, reconstructing only the
+// resolution the batch slot needs and writing straight into it.
+func (c *CPU) decodeOne(j cpuJob, sc *jpeg.Scratch) {
 	start := time.Now()
 	ok := func() bool {
 		data := j.ref.Inline
@@ -140,6 +160,17 @@ func (c *CPU) decodeOne(j cpuJob) {
 			if err != nil {
 				return false
 			}
+		}
+		if sc != nil {
+			dst := pix.Image{W: c.outW, H: c.outH, C: c.channels, Pix: j.slot}
+			scale, err := jpeg.DecodeScaledInto(data, &dst, sc)
+			if err != nil {
+				return false
+			}
+			if scale < 8 {
+				c.scaled.Add(1)
+			}
+			return true
 		}
 		img, err := jpeg.Decode(data)
 		if err != nil {

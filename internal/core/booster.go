@@ -50,6 +50,13 @@ type Config struct {
 	// disk epoch never pauses, so the deadline is moot there. 0 (the
 	// default) keeps strict batches, the paper's closed-loop behaviour.
 	BatchTimeout time.Duration
+	// DisableScaledDecode turns off the decode-to-scale fast path on
+	// every decode consumer this Booster owns: the FPGA boards' iDCT
+	// stages and the degraded-mode CPU fallback all revert to
+	// full-resolution reconstruction followed by a full resize. The zero
+	// value keeps the fast path on (it is byte-compatible in spirit and
+	// parity-tested against the full pipeline; see internal/jpeg).
+	DisableScaledDecode bool
 	// Resilience is the failure policy (retry, timeout, CPU fallback).
 	Resilience Resilience
 	// Metrics, when non-nil, enables full observability: per-batch trace
@@ -149,6 +156,9 @@ func (c *Config) normalize() error {
 	if c.FPGADevices < 0 {
 		return fmt.Errorf("core: %d FPGA devices", c.FPGADevices)
 	}
+	if c.DisableScaledDecode {
+		c.FPGA.DisableScaledDecode = true
+	}
 	return nil
 }
 
@@ -181,6 +191,11 @@ type Booster struct {
 	flight  *metrics.FlightRecorder
 	spanned bool
 
+	// scaledCPU counts CPU-fallback decodes that took the
+	// decode-to-scale fast path below full resolution; the boards keep
+	// their own per-device counters.
+	scaledCPU metrics.Counter
+
 	// Failure-policy accounting (see Resilience).
 	retries      metrics.Counter
 	timeouts     metrics.Counter
@@ -202,6 +217,10 @@ type Booster struct {
 	closeOnce sync.Once
 }
 
+// cachedBatch is one immutable epoch-cache entry. Replayed batches alias
+// metas and valid directly (only the pixel data is copied into a fresh
+// pool buffer), so nothing may mutate these slices after caching — see
+// ReplayCache for the contract.
 type cachedBatch struct {
 	data   []byte
 	metas  []ItemMeta
@@ -274,6 +293,13 @@ func (b *Booster) instrument() {
 	r.RegisterCounterFunc("serve_partial_flushes_total", b.partialFlush.Value)
 	r.RegisterCounterFunc("cache_replay_images_total", b.cacheReplayImages.Value)
 	r.RegisterCounterFunc("cache_replay_bytes_total", b.cacheReplayBytes.Value)
+	r.RegisterCounterFunc("decode_scaled_total", func() int64 {
+		n := b.scaledCPU.Value()
+		for _, d := range b.devs {
+			n += d.ScaledDecodes()
+		}
+		return n
+	})
 	r.RegisterGauge("degraded", func() float64 {
 		if b.degraded.Load() {
 			return 1
@@ -409,7 +435,16 @@ func (b *Booster) cpuDecode(ref fpga.DataRef, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	img, err := b.mirror.Reconstruct(job)
+	var img *pix.Image
+	if sm, ok := b.mirror.(fpga.ScaledMirror); ok && !b.cfg.DisableScaledDecode {
+		var scale int
+		img, scale, err = sm.ReconstructScaled(job, b.cfg.OutW, b.cfg.OutH)
+		if err == nil && scale < 8 {
+			b.scaledCPU.Add(1)
+		}
+	} else {
+		img, err = b.mirror.Reconstruct(job)
+	}
 	if err != nil {
 		return err
 	}
@@ -1044,6 +1079,12 @@ var ErrCacheUnavailable = errors.New("core: epoch cache unavailable")
 // fast path of the hybrid service (§3.1). Batches still flow through
 // pool buffers and the Full queue so the downstream pipeline is
 // identical.
+//
+// Replayed batches share the cached Metas and Valid slices rather than
+// copying them per epoch: cache entries are immutable once written, and
+// every downstream consumer (Dispatcher, engines) treats a published
+// batch's Metas/Valid as read-only, so the aliasing is safe and saves
+// two allocations per batch per replayed epoch.
 func (b *Booster) ReplayCache() error {
 	b.cacheMu.Lock()
 	snapshot := b.cache
@@ -1063,8 +1104,8 @@ func (b *Booster) ReplayCache() error {
 			Buf:    buf,
 			Images: cb.images,
 			W:      b.cfg.OutW, H: b.cfg.OutH, C: b.cfg.Channels,
-			Metas:       append([]ItemMeta(nil), cb.metas...),
-			Valid:       append([]bool(nil), cb.valid...),
+			Metas:       cb.metas,
+			Valid:       cb.valid,
 			Seq:         b.seq,
 			AssembledAt: time.Now(),
 		}

@@ -86,6 +86,19 @@ type Mirror interface {
 	Reconstruct(job any) (*pix.Image, error)
 }
 
+// ScaledMirror is an optional capability of a Mirror: reconstruct the
+// job directly at a reduced scale sized for the command's resize target
+// (the libjpeg scale_denom trick applied inside the iDCT unit). The
+// returned scale is 8 for a full-resolution reconstruction —
+// byte-identical to Reconstruct — and 1, 2 or 4 when the fast path
+// engaged, in which case the device's resizer only runs the residual
+// ratio. Mirrors without natural scaling (raw passthrough, audio) simply
+// do not implement this.
+type ScaledMirror interface {
+	Mirror
+	ReconstructScaled(job any, outW, outH int) (img *pix.Image, scale int, err error)
+}
+
 // Config sets the device geometry. The CLB budget enforces the paper's
 // resource constraint: stage widths must fit the fabric, which is why
 // offloading is selective (§3.1) and the chosen widths are 4/2 (§4.1).
@@ -98,6 +111,13 @@ type Config struct {
 	// CLBBudget is the number of configurable logic blocks available;
 	// 0 means DefaultCLBBudget.
 	CLBBudget int
+
+	// DisableScaledDecode turns off the decode-to-scale fast path: the
+	// iDCT unit then always reconstructs at full resolution even when
+	// the mirror implements ScaledMirror. The zero value keeps the fast
+	// path on — a hardware decoder that knows the resizer target before
+	// reconstruction never computes pixels the resizer will discard.
+	DisableScaledDecode bool
 
 	// Inject hooks a fault injector into the command path (nil = no
 	// faults). Each command consumes one injector decision in the
@@ -220,6 +240,7 @@ type Device struct {
 	submitted atomic.Int64
 	finished  atomic.Int64
 	cancelled atomic.Int64
+	scaled    atomic.Int64 // commands reconstructed below full scale
 }
 
 type stageJob struct {
@@ -496,6 +517,10 @@ func (d *Device) Finished() int64 { return d.finished.Load() }
 // Cancelled returns the number of commands the host revoked in time.
 func (d *Device) Cancelled() int64 { return d.cancelled.Load() }
 
+// ScaledDecodes returns the number of commands the iDCT unit
+// reconstructed below full scale (the decode-to-scale fast path).
+func (d *Device) ScaledDecodes() int64 { return d.scaled.Load() }
+
 // Instrument registers the board's telemetry under the given prefix
 // (e.g. "fpga0"): command counters, per-stage busy seconds and job
 // counts (the load-balance view of §3.3), and a wedged gauge. All
@@ -508,6 +533,7 @@ func (d *Device) Instrument(r *metrics.Registry, prefix string) {
 	r.RegisterCounterFunc(prefix+"_cmds_total", d.submitted.Load)
 	r.RegisterCounterFunc(prefix+"_finishes_total", d.finished.Load)
 	r.RegisterCounterFunc(prefix+"_cancels_total", d.cancelled.Load)
+	r.RegisterCounterFunc(prefix+"_scaled_total", d.scaled.Load)
 	r.RegisterGauge(prefix+"_wedged", func() float64 {
 		if d.Wedged() {
 			return 1
@@ -610,7 +636,18 @@ func (d *Device) huffman(j stageJob) {
 
 func (d *Device) idct(j stageJob) {
 	start := time.Now()
-	img, err := d.currentMirror().Reconstruct(j.job)
+	var img *pix.Image
+	var err error
+	m := d.currentMirror()
+	if sm, ok := m.(ScaledMirror); ok && !d.cfg.DisableScaledDecode {
+		var scale int
+		img, scale, err = sm.ReconstructScaled(j.job, j.cmd.OutW, j.cmd.OutH)
+		if err == nil && scale < 8 {
+			d.scaled.Add(1)
+		}
+	} else {
+		img, err = m.Reconstruct(j.job)
+	}
 	d.statMu.Lock()
 	d.idctSt.Jobs++
 	d.idctSt.Busy += time.Since(start)

@@ -94,6 +94,18 @@ func (JPEGMirror) Reconstruct(job any) (*pix.Image, error) {
 	return planes.ToImage(), nil
 }
 
+// ReconstructScaled implements ScaledMirror: the iDCT & RGB unit sized
+// to the resize target. At scale 8 the output is byte-identical to
+// Reconstruct; below that, each 8×8 block reconstructs directly at the
+// reduced scale and the device's resizer runs only the residual ratio.
+func (JPEGMirror) ReconstructScaled(job any, outW, outH int) (*pix.Image, int, error) {
+	co, ok := job.(*jpeg.Coefficients)
+	if !ok {
+		return nil, 0, fmt.Errorf("fpga: jpeg mirror got %T", job)
+	}
+	return co.ReconstructScaled(outW, outH)
+}
+
 // RawMirror decodes the trivial framing used by tests and non-JPEG
 // workloads: a 9-byte header (width, height, channels as big-endian
 // uint24) followed by raw HWC samples. It stands in for the "different
@@ -151,6 +163,8 @@ func (RawMirror) Reconstruct(job any) (*pix.Image, error) {
 	}
 	return pix.FromBytes(j.w, j.h, j.c, j.data)
 }
+
+var _ ScaledMirror = JPEGMirror{}
 
 func init() {
 	RegisterMirror(JPEGMirror{})

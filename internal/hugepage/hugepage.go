@@ -136,6 +136,10 @@ type Pool struct {
 
 	mu  sync.Mutex
 	out []bool // out[i] reports buffer i currently checked out
+	// outCount mirrors the number of true entries in out, so the
+	// Outstanding gauge reads an atomic instead of scanning the slice
+	// under the lock on every snapshot.
+	outCount metrics.Counter
 }
 
 // NewPool builds an arena of size*count bytes, slices it, and populates
@@ -234,6 +238,7 @@ func (p *Pool) Put(b *Buffer) error {
 	}
 	p.out[b.index] = false
 	p.mu.Unlock()
+	p.outCount.Add(-1)
 	p.puts.Add(1)
 	return p.free.Push(b)
 }
@@ -267,17 +272,7 @@ func (p *Pool) Instrument(r *metrics.Registry, traceWaits bool) {
 // Outstanding returns the number of buffers currently checked out — the
 // leak/double-free balance the chaos tests assert over: after a clean
 // drain it must be zero, and it can never exceed Count.
-func (p *Pool) Outstanding() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	n := 0
-	for _, o := range p.out {
-		if o {
-			n++
-		}
-	}
-	return n
-}
+func (p *Pool) Outstanding() int { return int(p.outCount.Value()) }
 
 // Close shuts the free queue down, waking any goroutine blocked in Get.
 func (p *Pool) Close() { p.free.Close() }
@@ -286,4 +281,9 @@ func (p *Pool) setOut(i int, v bool) {
 	p.mu.Lock()
 	p.out[i] = v
 	p.mu.Unlock()
+	if v {
+		p.outCount.Add(1)
+	} else {
+		p.outCount.Add(-1)
+	}
 }

@@ -54,6 +54,14 @@ func ResizeInto(src, dst *pix.Image, ip Interpolation) error {
 	if src.C != dst.C {
 		return fmt.Errorf("imageproc: channel mismatch %d vs %d", src.C, dst.C)
 	}
+	if src.W == dst.W && src.H == dst.H {
+		// Identity geometry: both filters degenerate to a copy (the
+		// bilinear half-pixel-centre weights are exactly zero), so skip
+		// the per-pixel arithmetic. The decode-to-scale path hits this
+		// whenever the scaled reconstruction lands on the target size.
+		copy(dst.Pix, src.Pix)
+		return nil
+	}
 	switch ip {
 	case Nearest:
 		resizeNearest(src, dst)

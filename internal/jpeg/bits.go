@@ -36,8 +36,10 @@ type UnsupportedError string
 func (e UnsupportedError) Error() string { return "jpeg: unsupported feature: " + string(e) }
 
 // errShortData reports entropy-coded data ending before the scan was
-// complete.
-var errShortData = FormatError("short entropy-coded data")
+// complete. It is declared as a pre-boxed error (not a FormatError) so
+// the hot bit-reader paths that return it at end-of-stream do not
+// allocate an interface value per return.
+var errShortData error = FormatError("short entropy-coded data")
 
 // bitReader consumes entropy-coded scan bytes MSB first, removing the
 // 0x00 bytes stuffed after 0xFF and stopping cleanly at markers. The FPGA

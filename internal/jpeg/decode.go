@@ -51,13 +51,27 @@ type Header struct {
 	// use imageproc.ApplyOrientation.
 	Orientation int
 
-	quant  [4]*QuantTable
-	dcHuff [4]*huffDecoder
-	acHuff [4]*huffDecoder
+	// Tables are stored by value with presence flags so a reused Header
+	// (see Scratch) rebuilds them in place without allocating.
+	quant   [4]QuantTable
+	quantOK [4]bool
+	dcHuff  [4]huffDecoder
+	acHuff  [4]huffDecoder
+	dcOK    [4]bool
+	acOK    [4]bool
 
 	hMax, vMax   int
 	mcusX, mcusY int
 	scan         []byte // entropy-coded data following the SOS header
+}
+
+// reset clears the header for reuse while keeping the Components
+// allocation, so repeated parses into the same Header reach steady-state
+// zero allocations.
+func (h *Header) reset() {
+	comps := h.Components[:0]
+	*h = Header{}
+	h.Components = comps
 }
 
 // Coefficients holds the entropy-decoded, still-quantised DCT levels —
@@ -88,69 +102,81 @@ func u16(b []byte) int { return int(b[0])<<8 | int(b[1]) }
 // entropy-coded scan data. It validates against the supported feature set
 // (see the package comment).
 func Parse(data []byte) (*Header, error) {
-	if len(data) < 2 || data[0] != 0xFF || data[1] != mSOI {
-		return nil, FormatError("missing SOI marker")
-	}
 	h := &Header{}
+	err := h.parse(data)
+	if err != nil && err != ErrProgressive {
+		return nil, err
+	}
+	return h, err
+}
+
+// parse is the reusable form of Parse: it resets and refills h, keeping
+// h's allocations. On ErrProgressive the header is still valid (geometry
+// only); on any other error it must not be used.
+func (h *Header) parse(data []byte) error {
+	h.reset()
+	if len(data) < 2 || data[0] != 0xFF || data[1] != mSOI {
+		return FormatError("missing SOI marker")
+	}
 	var sawSOF bool
 	pos := 2
 	for {
 		// Find the next marker, tolerating fill bytes.
 		if pos >= len(data) {
-			return nil, FormatError("truncated stream before SOS")
+			return FormatError("truncated stream before SOS")
 		}
 		if data[pos] != 0xFF {
-			return nil, FormatError("expected marker")
+			return FormatError("expected marker")
 		}
 		for pos < len(data) && data[pos] == 0xFF {
 			pos++
 		}
 		if pos >= len(data) {
-			return nil, FormatError("truncated marker")
+			return FormatError("truncated marker")
 		}
 		marker := data[pos]
 		pos++
 		switch {
 		case marker == mEOI:
-			return nil, FormatError("EOI before SOS")
+			return FormatError("EOI before SOS")
 		case marker >= mRST0 && marker <= mRST7:
-			return nil, FormatError("restart marker outside scan")
+			return FormatError("restart marker outside scan")
 		case marker == mDAC:
-			return nil, UnsupportedError("arithmetic coding")
+			return UnsupportedError("arithmetic coding")
 		case marker >= 0xC3 && marker <= 0xCF && marker != mDHT && marker != mSOF2:
-			return nil, UnsupportedError("non-baseline SOF")
+			return UnsupportedError("non-baseline SOF")
 		}
 		// All remaining segments carry a two-byte length.
 		if pos+2 > len(data) {
-			return nil, FormatError("truncated segment length")
+			return FormatError("truncated segment length")
 		}
 		segLen := u16(data[pos:])
 		if segLen < 2 || pos+segLen > len(data) {
-			return nil, FormatError("bad segment length")
+			return FormatError("bad segment length")
 		}
 		seg := data[pos+2 : pos+segLen]
 		pos += segLen
 		switch marker {
 		case mSOF0, mSOF1, mSOF2:
 			if sawSOF {
-				return nil, FormatError("multiple SOF segments")
+				return FormatError("multiple SOF segments")
 			}
 			sawSOF = true
 			h.Progressive = marker == mSOF2
 			if err := h.parseSOF(seg); err != nil {
-				return nil, err
+				return err
 			}
 		case mDQT:
 			if err := h.parseDQT(seg); err != nil {
-				return nil, err
+				return err
 			}
 		case mDHT:
 			if err := h.parseDHT(seg); err != nil {
-				return nil, err
+				return err
 			}
 		case mDRI:
 			if len(seg) < 2 {
-				return nil, FormatError("short DRI")
+				return FormatError("short DRI")
 			}
 			h.RestartInterval = u16(seg)
 		case mAPP1:
@@ -159,18 +185,18 @@ func Parse(data []byte) (*Header, error) {
 			}
 		case mSOS:
 			if !sawSOF {
-				return nil, FormatError("SOS before SOF")
+				return FormatError("SOS before SOF")
 			}
 			if h.Progressive {
 				// The caller must use the multi-scan decoder; the
 				// header is still returned for DecodeConfig.
-				return h, ErrProgressive
+				return ErrProgressive
 			}
 			if err := h.parseSOS(seg); err != nil {
-				return nil, err
+				return err
 			}
 			h.scan = data[pos:]
-			return h, nil
+			return nil
 		default:
 			// APPn, COM and other informational segments are skipped.
 		}
@@ -199,7 +225,11 @@ func (h *Header) parseSOF(seg []byte) error {
 	if len(seg) < 6+3*n {
 		return FormatError("short SOF component list")
 	}
-	h.Components = make([]Component, n)
+	if cap(h.Components) >= n {
+		h.Components = h.Components[:n]
+	} else {
+		h.Components = make([]Component, n)
+	}
 	h.hMax, h.vMax = 1, 1
 	for i := 0; i < n; i++ {
 		c := seg[6+3*i : 9+3*i]
@@ -267,8 +297,8 @@ func (h *Header) parseDQT(seg []byte) error {
 				return FormatError("zero quantiser")
 			}
 		}
-		qq := q
-		h.quant[tq] = &qq
+		h.quant[tq] = q
+		h.quantOK[tq] = true
 	}
 	return nil
 }
@@ -289,15 +319,19 @@ func (h *Header) parseDHT(seg []byte) error {
 		if len(seg) < 17+n {
 			return FormatError("short DHT values")
 		}
-		spec.Values = append([]byte(nil), seg[17:17+n]...)
-		dec, err := newHuffDecoder(&spec)
+		// The decoder copies the values into its inline table, so the
+		// spec can alias the segment bytes without a defensive copy.
+		spec.Values = seg[17 : 17+n]
+		var err error
+		if class == 0 {
+			err = h.dcHuff[id].init(&spec)
+			h.dcOK[id] = err == nil
+		} else {
+			err = h.acHuff[id].init(&spec)
+			h.acOK[id] = err == nil
+		}
 		if err != nil {
 			return err
-		}
-		if class == 0 {
-			h.dcHuff[id] = dec
-		} else {
-			h.acHuff[id] = dec
 		}
 		seg = seg[17+n:]
 	}
@@ -347,24 +381,37 @@ func (h *Header) parseSOS(seg []byte) error {
 // producing quantised coefficient blocks per component. This is stage 1
 // of the FPGA pipeline.
 func (h *Header) EntropyDecode() (*Coefficients, error) {
+	co := &Coefficients{}
+	if err := h.entropyDecodeInto(co); err != nil {
+		return nil, err
+	}
+	return co, nil
+}
+
+// entropyDecodeInto is the reusable form of EntropyDecode: co's grids are
+// grown on demand and reused across calls, so steady-state decoding does
+// not allocate.
+func (h *Header) entropyDecodeInto(co *Coefficients) error {
 	for _, c := range h.Components {
-		if h.quant[c.QuantID] == nil {
-			return nil, FormatError("missing quant table")
+		if !h.quantOK[c.QuantID] {
+			return FormatError("missing quant table")
 		}
-		if h.dcHuff[c.dcSel] == nil || h.acHuff[c.acSel] == nil {
-			return nil, FormatError("missing huffman table")
+		if !h.dcOK[c.dcSel] || !h.acOK[c.acSel] {
+			return FormatError("missing huffman table")
 		}
 	}
-	co := newCoefficients(h)
-	r := newBitReader(h.scan)
-	dcPred := make([]int32, len(h.Components))
+	co.init(h)
+	rd := bitReader{data: h.scan}
+	r := &rd
+	var dcPredArr [3]int32 // checkComponents caps components at 3
+	dcPred := dcPredArr[:len(h.Components)]
 	mcus := h.mcusX * h.mcusY
 	sinceRestart := 0
 	nextRST := byte(mRST0)
 	for m := 0; m < mcus; m++ {
 		if h.RestartInterval > 0 && sinceRestart == h.RestartInterval {
 			if err := h.expectRestart(r, nextRST); err != nil {
-				return nil, err
+				return err
 			}
 			nextRST = mRST0 + (nextRST-mRST0+1)%8
 			for i := range dcPred {
@@ -381,29 +428,51 @@ func (h *Header) EntropyDecode() (*Coefficients, error) {
 					by := my*c.V + v
 					blk := &co.comp[i][by*co.blocksX[i]+bx]
 					if err := h.decodeBlock(r, i, blk, &dcPred[i]); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
 		}
 		sinceRestart++
 	}
-	return co, nil
+	return nil
 }
 
 // newCoefficients allocates the padded per-component coefficient grids.
 func newCoefficients(h *Header) *Coefficients {
-	co := &Coefficients{hdr: h}
+	co := &Coefficients{}
+	co.init(h)
+	return co
+}
+
+// init sizes the padded per-component coefficient grids for h, reusing
+// existing capacity and zeroing reused blocks (the progressive decoder
+// accumulates into them across scans).
+func (co *Coefficients) init(h *Header) {
+	co.hdr = h
 	nc := len(h.Components)
-	co.comp = make([][]block, nc)
-	co.blocksX = make([]int, nc)
-	co.blocksY = make([]int, nc)
+	if cap(co.comp) >= nc {
+		co.comp = co.comp[:nc]
+		co.blocksX = co.blocksX[:nc]
+		co.blocksY = co.blocksY[:nc]
+	} else {
+		co.comp = make([][]block, nc)
+		co.blocksX = make([]int, nc)
+		co.blocksY = make([]int, nc)
+	}
 	for i, c := range h.Components {
 		co.blocksX[i] = h.mcusX * c.H
 		co.blocksY[i] = h.mcusY * c.V
-		co.comp[i] = make([]block, co.blocksX[i]*co.blocksY[i])
+		n := co.blocksX[i] * co.blocksY[i]
+		if cap(co.comp[i]) >= n {
+			co.comp[i] = co.comp[i][:n]
+			for j := range co.comp[i] {
+				co.comp[i][j] = block{}
+			}
+		} else {
+			co.comp[i] = make([]block, n)
+		}
 	}
-	return co
 }
 
 // expectRestart consumes the next restart marker, resynchronising the bit
@@ -423,8 +492,8 @@ func (h *Header) expectRestart(r *bitReader, want byte) error {
 // natural order.
 func (h *Header) decodeBlock(r *bitReader, comp int, blk *block, dcPred *int32) error {
 	c := &h.Components[comp]
-	dcTab := h.dcHuff[c.dcSel]
-	acTab := h.acHuff[c.acSel]
+	dcTab := &h.dcHuff[c.dcSel]
+	acTab := &h.acHuff[c.acSel]
 	*blk = block{}
 	// DC coefficient: category then difference bits.
 	t, err := dcTab.decode(r)
@@ -474,53 +543,115 @@ func (h *Header) decodeBlock(r *bitReader, comp int, blk *block, dcPred *int32) 
 // padded sample planes. This is stage 2 of the FPGA pipeline (the iDCT
 // unit).
 func (co *Coefficients) Reconstruct() (*Planes, error) {
+	p := &Planes{}
+	if err := co.reconstructInto(p, 8); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// reconstructInto runs the iDCT unit at scale s ∈ {1, 2, 4, 8}: every 8×8
+// coefficient block reconstructs to an s×s pixel tile (s == 8 is the
+// full-resolution transform, identical to Reconstruct). p's buffers are
+// grown on demand and reused across calls.
+func (co *Coefficients) reconstructInto(p *Planes, s int) error {
 	h := co.hdr
-	p := &Planes{hdr: h}
-	nc := len(h.Components)
-	p.data = make([][]byte, nc)
-	p.stride = make([]int, nc)
-	p.rows = make([]int, nc)
+	p.init(h)
 	for i := range h.Components {
-		q := h.quant[h.Components[i].QuantID]
-		if q == nil {
-			return nil, FormatError("missing quant table")
+		if !h.quantOK[h.Components[i].QuantID] {
+			return FormatError("missing quant table")
 		}
-		stride := co.blocksX[i] * 8
-		rows := co.blocksY[i] * 8
-		plane := make([]byte, stride*rows)
-		var deq block
-		var samples [64]byte
+		q := &h.quant[h.Components[i].QuantID]
+		stride := co.blocksX[i] * s
+		rows := co.blocksY[i] * s
+		plane := p.setPlane(i, stride, rows)
+		if s == 8 {
+			var deq block
+			var samples [64]byte
+			for by := 0; by < co.blocksY[i]; by++ {
+				for bx := 0; bx < co.blocksX[i]; bx++ {
+					blk := &co.comp[i][by*co.blocksX[i]+bx]
+					dequantize(blk, q, &deq)
+					idct(&deq, &samples)
+					for y := 0; y < 8; y++ {
+						copy(plane[(by*8+y)*stride+bx*8:], samples[y*8:y*8+8])
+					}
+				}
+			}
+			continue
+		}
+		var samples [16]byte // s ≤ 4, so a tile is at most 4×4
 		for by := 0; by < co.blocksY[i]; by++ {
 			for bx := 0; bx < co.blocksX[i]; bx++ {
 				blk := &co.comp[i][by*co.blocksX[i]+bx]
-				dequantize(blk, q, &deq)
-				idct(&deq, &samples)
-				for y := 0; y < 8; y++ {
-					copy(plane[(by*8+y)*stride+bx*8:], samples[y*8:y*8+8])
+				idctScaled(blk, q, s, &samples)
+				for y := 0; y < s; y++ {
+					copy(plane[(by*s+y)*stride+bx*s:], samples[y*s:y*s+s])
 				}
 			}
 		}
-		p.data[i] = plane
-		p.stride[i] = stride
-		p.rows[i] = rows
 	}
-	return p, nil
+	return nil
+}
+
+// init sizes the per-component bookkeeping slices, reusing capacity.
+func (p *Planes) init(h *Header) {
+	p.hdr = h
+	nc := len(h.Components)
+	if cap(p.data) >= nc {
+		p.data = p.data[:nc]
+		p.stride = p.stride[:nc]
+		p.rows = p.rows[:nc]
+	} else {
+		p.data = make([][]byte, nc)
+		p.stride = make([]int, nc)
+		p.rows = make([]int, nc)
+	}
+}
+
+// setPlane sizes component i's sample plane, reusing capacity, and
+// returns it. Every byte is overwritten by reconstruction, so reused
+// memory needs no zeroing.
+func (p *Planes) setPlane(i, stride, rows int) []byte {
+	n := stride * rows
+	if cap(p.data[i]) >= n {
+		p.data[i] = p.data[i][:n]
+	} else {
+		p.data[i] = make([]byte, n)
+	}
+	p.stride[i] = stride
+	p.rows[i] = rows
+	return p.data[i]
 }
 
 // ToImage upsamples the component planes to full resolution and converts
 // to interleaved RGB (or grayscale) — stage 3, feeding the resizer.
 func (p *Planes) ToImage() *pix.Image {
+	c := 3
+	if len(p.hdr.Components) == 1 {
+		c = 1
+	}
+	img := pix.New(p.hdr.Width, p.hdr.Height, c)
+	p.renderInto(img)
+	return img
+}
+
+// renderInto fuses upsampling and YCbCr→RGB conversion (or a grayscale
+// row copy) directly into dst, with no intermediate image. dst fixes the
+// output geometry: Width×Height for a full-scale reconstruction (where
+// this is exactly ToImage), or the scaled geometry for a scaled one. dst
+// must not exceed the reconstructed plane extent.
+func (p *Planes) renderInto(dst *pix.Image) {
 	h := p.hdr
 	if len(h.Components) == 1 {
-		img := pix.New(h.Width, h.Height, 1)
-		for y := 0; y < h.Height; y++ {
-			copy(img.Pix[y*h.Width:(y+1)*h.Width], p.data[0][y*p.stride[0]:y*p.stride[0]+h.Width])
+		for y := 0; y < dst.H; y++ {
+			copy(dst.Pix[y*dst.W:(y+1)*dst.W], p.data[0][y*p.stride[0]:y*p.stride[0]+dst.W])
 		}
-		return img
+		return
 	}
-	img := pix.New(h.Width, h.Height, 3)
 	// Per-component subsampling shifts: components with H (V) of 1 under
-	// hMax (vMax) of 2 halve the x (y) index.
+	// hMax (vMax) of 2 halve the x (y) index. The relative factors are
+	// scale-invariant, so the same shifts serve scaled planes.
 	var shx, shy [3]uint
 	for i, c := range h.Components {
 		if h.hMax/c.H == 2 {
@@ -530,13 +661,13 @@ func (p *Planes) ToImage() *pix.Image {
 			shy[i] = 1
 		}
 	}
-	out := img.Pix
-	for y := 0; y < h.Height; y++ {
+	out := dst.Pix
+	for y := 0; y < dst.H; y++ {
 		yRow := p.data[0][(y>>shy[0])*p.stride[0]:]
 		cbRow := p.data[1][(y>>shy[1])*p.stride[1]:]
 		crRow := p.data[2][(y>>shy[2])*p.stride[2]:]
-		o := y * h.Width * 3
-		for x := 0; x < h.Width; x++ {
+		o := y * dst.W * 3
+		for x := 0; x < dst.W; x++ {
 			r, g, b := ycbcrToRGB(yRow[x>>shx[0]], cbRow[x>>shx[1]], crRow[x>>shx[2]])
 			out[o] = r
 			out[o+1] = g
@@ -544,7 +675,6 @@ func (p *Planes) ToImage() *pix.Image {
 			o += 3
 		}
 	}
-	return img
 }
 
 // ErrProgressive is returned by Parse for SOF2 streams: the staged

@@ -49,7 +49,9 @@ func (s *HuffmanSpec) validate() error {
 const lutBits = 8
 
 // huffDecoder is the decoding form: a fast 8-bit lookahead table plus the
-// canonical min/max-code arrays for longer codes.
+// canonical min/max-code arrays for longer codes. The struct holds its
+// tables inline (no pointers) so a reused Header rebuilds them in place
+// without allocating.
 type huffDecoder struct {
 	// lut[peek] = (symbol << 8) | codeLength, or 0 when the prefix is
 	// longer than lutBits.
@@ -60,15 +62,26 @@ type huffDecoder struct {
 	minCode [17]int32
 	maxCode [17]int32
 	valPtr  [17]int32
-	values  []byte
+	values  [256]byte // a spec never defines more than 256 symbols
 }
 
 // newHuffDecoder derives the decoding tables from a validated spec.
 func newHuffDecoder(spec *HuffmanSpec) (*huffDecoder, error) {
-	if err := spec.validate(); err != nil {
+	d := &huffDecoder{}
+	if err := d.init(spec); err != nil {
 		return nil, err
 	}
-	d := &huffDecoder{values: spec.Values}
+	return d, nil
+}
+
+// init derives the decoding tables in place, overwriting any previous
+// table so a pooled decoder can be rebuilt without allocation.
+func (d *huffDecoder) init(spec *HuffmanSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	d.lut = [1 << lutBits]uint16{}
+	copy(d.values[:], spec.Values)
 	code := int32(0)
 	k := int32(0)
 	for l := 1; l <= 16; l++ {
@@ -95,7 +108,7 @@ func newHuffDecoder(spec *HuffmanSpec) (*huffDecoder, error) {
 		}
 		code <<= 1
 	}
-	return d, nil
+	return nil
 }
 
 // decode reads one Huffman-coded symbol from r.

@@ -126,7 +126,7 @@ func decodeProgressive(data []byte) (*pix.Image, error) {
 		return nil, FormatError("progressive stream without scans")
 	}
 	for _, c := range h.Components {
-		if h.quant[c.QuantID] == nil {
+		if !h.quantOK[c.QuantID] {
 			return nil, FormatError("missing quant table")
 		}
 	}
@@ -243,22 +243,16 @@ func (d *progDecoder) decodeScan(sc *progScan, raw []byte) error {
 	acTab := make([]*huffDecoder, len(sc.comps))
 	for i, c := range sc.comps {
 		if sc.ss == 0 && sc.ah == 0 {
-			dcTab[i] = d.h.dcHuff[c.dcSel]
-			if dcTab[i] == nil {
+			if !d.h.dcOK[c.dcSel] {
 				return FormatError("missing DC huffman table")
 			}
+			dcTab[i] = &d.h.dcHuff[c.dcSel]
 		}
-		if sc.ss > 0 && sc.ah == 0 {
-			acTab[i] = d.h.acHuff[c.acSel]
-			if acTab[i] == nil {
+		if sc.ss > 0 {
+			if !d.h.acOK[c.acSel] {
 				return FormatError("missing AC huffman table")
 			}
-		}
-		if sc.ss > 0 && sc.ah > 0 {
-			acTab[i] = d.h.acHuff[c.acSel]
-			if acTab[i] == nil {
-				return FormatError("missing AC huffman table")
-			}
+			acTab[i] = &d.h.acHuff[c.acSel]
 		}
 	}
 

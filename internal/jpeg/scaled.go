@@ -1,0 +1,231 @@
+package jpeg
+
+// Decode-to-scale fast path: the libjpeg scale_denom trick. A JPEG whose
+// decoded pixels are only ever downsampled to a small training/serving
+// resolution does not need a full 8×8 inverse transform per block — an
+// s-point iDCT of the s² lowest-frequency coefficients (s ∈ {1, 2, 4})
+// reconstructs each block directly at s×s, cutting iDCT and colour
+// conversion work by up to 64× before the residual bilinear pass. The
+// paper's decoder feeds a resizer for exactly this reason (§3.3): the
+// target resolution is known before reconstruction starts, so work that
+// cannot survive the resize is never done.
+
+import (
+	"math"
+	"sync"
+
+	"dlbooster/internal/imageproc"
+	"dlbooster/internal/pix"
+)
+
+// scaledBasis[si][u][x] = alpha(u)/2 · cos((2x+1)uπ/(2s)) for s = 1<<si.
+// Keeping the 8-point amplitude alpha(u)/2 (rather than the orthonormal
+// s-point √(2/s)) makes the s×s output equal the full DCT interpolation
+// point-sampled at the s×s tile centres, and keeps a DC-only block
+// bit-identical to the full path (c00/8 + 128).
+var scaledBasis = func() (b [3][4][4]float64) {
+	for si, s := range [3]int{1, 2, 4} {
+		for u := 0; u < s; u++ {
+			alpha := 1.0
+			if u == 0 {
+				alpha = 1 / math.Sqrt2
+			}
+			for x := 0; x < s; x++ {
+				b[si][u][x] = alpha / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/float64(2*s))
+			}
+		}
+	}
+	return b
+}()
+
+// idctScaled dequantises the s² low-frequency coefficients of blk and
+// inverse-transforms them into an s×s tile (row-major in out), for
+// s ∈ {1, 2, 4}. Higher-frequency coefficients are dropped — they cannot
+// survive the downsample the caller is about to perform anyway.
+func idctScaled(blk *block, q *QuantTable, s int, out *[16]byte) {
+	si := 0
+	switch s {
+	case 2:
+		si = 1
+	case 4:
+		si = 2
+	}
+	b := &scaledBasis[si]
+	var tmp [16]float64
+	// Columns: tmp[x*s+v] = Σ_u basis[u][x] · coef[u][v]
+	for v := 0; v < s; v++ {
+		for x := 0; x < s; x++ {
+			var sum float64
+			for u := 0; u < s; u++ {
+				sum += b[u][x] * float64(blk[u*8+v]*int32(q[u*8+v]))
+			}
+			tmp[x*s+v] = sum
+		}
+	}
+	// Rows: tile[x][y] = Σ_v basis[v][y] · tmp[x*s+v]
+	for x := 0; x < s; x++ {
+		for y := 0; y < s; y++ {
+			var sum float64
+			for v := 0; v < s; v++ {
+				sum += b[v][y] * tmp[x*s+v]
+			}
+			out[x*s+y] = clamp8(int32(math.Round(sum)) + 128)
+		}
+	}
+}
+
+// ScaleFor returns the smallest supported iDCT scale s ∈ {1, 2, 4, 8}
+// whose scaled output (see ScaledSize) still covers dstW×dstH, so the
+// residual bilinear pass only ever downsamples. 8 means full decode:
+// either the target is at least the source resolution, or no target is
+// known (dstW/dstH ≤ 0).
+func ScaleFor(w, h, dstW, dstH int) int {
+	if dstW <= 0 || dstH <= 0 {
+		return 8
+	}
+	for _, s := range [3]int{1, 2, 4} {
+		if ceilDiv(w*s, 8) >= dstW && ceilDiv(h*s, 8) >= dstH {
+			return s
+		}
+	}
+	return 8
+}
+
+// ScaledSize returns the output geometry of a w×h image reconstructed at
+// scale s.
+func ScaledSize(w, h, s int) (int, int) {
+	return ceilDiv(w*s, 8), ceilDiv(h*s, 8)
+}
+
+// Scratch holds every buffer a decode needs — parsed header (tables
+// inline), coefficient grids, sample planes and the scaled-RGB
+// intermediate — so a worker that reuses one performs zero steady-state
+// heap allocations per image. A Scratch is not safe for concurrent use;
+// give each worker its own, or pass nil to borrow one from an internal
+// pool.
+type Scratch struct {
+	hdr Header
+	co  Coefficients
+	pl  Planes
+	rgb pix.Image // scaled-dims intermediate when a residual resize is needed
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// image sizes the scratch RGB intermediate, reusing its buffer.
+func (s *Scratch) image(w, h, c int) *pix.Image {
+	n := w * h * c
+	if cap(s.rgb.Pix) >= n {
+		s.rgb.Pix = s.rgb.Pix[:n]
+	} else {
+		s.rgb.Pix = make([]byte, n)
+	}
+	s.rgb.W, s.rgb.H, s.rgb.C = w, h, c
+	return &s.rgb
+}
+
+// ErrChannelMismatch reports a stream whose component count does not
+// match the destination image's channel count.
+var ErrChannelMismatch = UnsupportedError("decoded channels do not match destination")
+
+// DecodeScaledInto decodes data at the smallest iDCT scale covering
+// dst's geometry, runs the residual bilinear resize, and writes the
+// result directly into dst (typically a batch-slot view) with no
+// intermediate full-resolution image. It returns the scale used: 8 is
+// the exact-parity full decode (byte-identical to Decode + ResizeInto),
+// taken when the target is not strictly smaller than the source or the
+// stream is progressive; 1, 2 or 4 is the fast path.
+//
+// sc may be nil (a pooled Scratch is borrowed) but a dedicated
+// per-worker Scratch makes steady-state decoding allocation-free.
+func DecodeScaledInto(data []byte, dst *pix.Image, sc *Scratch) (scale int, err error) {
+	if dst == nil || len(dst.Pix) != dst.W*dst.H*dst.C {
+		return 0, FormatError("destination image geometry does not match its buffer")
+	}
+	if sc == nil {
+		sc = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(sc)
+	}
+	h := &sc.hdr
+	if err := h.parse(data); err != nil {
+		if err == ErrProgressive {
+			// Multi-scan streams cannot run the staged pipeline; decode
+			// them fully in software and resize.
+			img, perr := decodeProgressive(data)
+			if perr != nil {
+				return 0, perr
+			}
+			if img.C != dst.C {
+				return 0, ErrChannelMismatch
+			}
+			return 8, imageproc.ResizeInto(img, dst, imageproc.Bilinear)
+		}
+		return 0, err
+	}
+	channels := 3
+	if len(h.Components) == 1 {
+		channels = 1
+	}
+	if channels != dst.C {
+		return 0, ErrChannelMismatch
+	}
+	scale = ScaleFor(h.Width, h.Height, dst.W, dst.H)
+	if err := h.entropyDecodeInto(&sc.co); err != nil {
+		return 0, err
+	}
+	if err := sc.co.reconstructInto(&sc.pl, scale); err != nil {
+		return 0, err
+	}
+	sw, sh := ScaledSize(h.Width, h.Height, scale)
+	if sw == dst.W && sh == dst.H {
+		// The scaled output already has the target geometry (a bilinear
+		// pass at identical dims is an exact copy), so render straight
+		// into the destination.
+		sc.pl.renderInto(dst)
+		return scale, nil
+	}
+	img := sc.image(sw, sh, channels)
+	sc.pl.renderInto(img)
+	return scale, imageproc.ResizeInto(img, dst, imageproc.Bilinear)
+}
+
+// DecodeScaled decodes data at the smallest iDCT scale covering
+// dstW×dstH and returns the still-unresized scaled image plus the scale
+// used; the caller runs the residual resize (the FPGA model's resizer
+// stage does exactly that).
+func DecodeScaled(data []byte, dstW, dstH int) (*pix.Image, int, error) {
+	h, err := Parse(data)
+	if err == ErrProgressive {
+		img, perr := decodeProgressive(data)
+		return img, 8, perr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	co, err := h.EntropyDecode()
+	if err != nil {
+		return nil, 0, err
+	}
+	return co.ReconstructScaled(dstW, dstH)
+}
+
+// ReconstructScaled runs the iDCT unit at the smallest scale covering
+// dstW×dstH and renders the scaled image with fused upsample + colour
+// conversion. At scale 8 the result is byte-identical to
+// Reconstruct + ToImage.
+func (co *Coefficients) ReconstructScaled(dstW, dstH int) (*pix.Image, int, error) {
+	h := co.hdr
+	s := ScaleFor(h.Width, h.Height, dstW, dstH)
+	var p Planes
+	if err := co.reconstructInto(&p, s); err != nil {
+		return nil, 0, err
+	}
+	sw, sh := ScaledSize(h.Width, h.Height, s)
+	c := 3
+	if len(h.Components) == 1 {
+		c = 1
+	}
+	img := pix.New(sw, sh, c)
+	p.renderInto(img)
+	return img, s, nil
+}

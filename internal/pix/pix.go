@@ -9,7 +9,10 @@
 // device memory untouched.
 package pix
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Image is a W×H raster with C interleaved 8-bit channels. C is 1 for
 // grayscale and 3 for RGB.
@@ -89,6 +92,20 @@ func (m *Image) MaxAbsDiff(o *Image) (int, error) {
 		}
 	}
 	return max, nil
+}
+
+// PSNR returns the peak signal-to-noise ratio between two images of
+// equal geometry in dB (math.Inf(1) for identical pixels) — the
+// comparison the lossy decode-to-scale tests use.
+func (m *Image) PSNR(o *Image) (float64, error) {
+	mse, err := m.MeanSquaredError(o)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
 }
 
 // MeanSquaredError returns the mean squared per-sample error between two

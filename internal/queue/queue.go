@@ -164,39 +164,71 @@ func (q *Queue[T]) Peek() (T, bool) {
 
 // PopTimeout behaves like Pop but gives up after d, returning ok=false.
 // err is ErrClosed only when the queue is closed and drained.
+//
+// sync.Cond has no timed wait, so the deadline is delivered by a timer
+// that raises a per-call flag under the lock and broadcasts: the waiter
+// sleeps on the condition variable like Pop does (no busy-polling, no
+// wakeups while nothing changes) and re-checks the flag alongside the
+// usual predicates.
 func (q *Queue[T]) PopTimeout(d time.Duration) (v T, ok bool, err error) {
-	deadline := time.Now().Add(d)
-	// sync.Cond has no timed wait; poll with a short sleep outside the
-	// lock. The queues in this package carry whole image batches, so a
-	// wait of tens of microseconds is far below any batch service time.
-	for {
-		v, ok, err = q.TryPop()
-		if ok || err != nil {
-			return v, ok, err
-		}
-		if !time.Now().Before(deadline) {
-			return v, false, nil
-		}
-		time.Sleep(50 * time.Microsecond)
+	if d <= 0 {
+		return q.TryPop()
 	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var timedOut bool
+	timer := time.AfterFunc(d, func() {
+		q.mu.Lock()
+		timedOut = true
+		q.mu.Unlock()
+		q.notEmpty.Broadcast()
+	})
+	defer timer.Stop()
+	for q.ring.Empty() && !q.closed && !timedOut {
+		q.notEmpty.Wait()
+	}
+	if !q.ring.Empty() {
+		v = q.ring.PopFront()
+		q.notFull.Signal()
+		return v, true, nil
+	}
+	if q.closed {
+		return v, false, ErrClosed
+	}
+	return v, false, nil
 }
 
 // PushTimeout behaves like Push but gives up after d, returning
 // ok=false with a nil error. err is ErrClosed when the queue closes
 // before space appears. The FPGAReader uses it to bound submission to a
-// wedged decoder whose command FIFO never drains.
+// wedged decoder whose command FIFO never drains. The deadline is
+// delivered the same way as PopTimeout's.
 func (q *Queue[T]) PushTimeout(v T, d time.Duration) (ok bool, err error) {
-	deadline := time.Now().Add(d)
-	for {
-		ok, err = q.TryPush(v)
-		if ok || err != nil {
-			return ok, err
-		}
-		if !time.Now().Before(deadline) {
-			return false, nil
-		}
-		time.Sleep(50 * time.Microsecond)
+	if d <= 0 {
+		return q.TryPush(v)
 	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var timedOut bool
+	timer := time.AfterFunc(d, func() {
+		q.mu.Lock()
+		timedOut = true
+		q.mu.Unlock()
+		q.notFull.Broadcast()
+	})
+	defer timer.Stop()
+	for q.ring.Full() && !q.closed && !timedOut {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false, ErrClosed
+	}
+	if !q.ring.Full() {
+		q.ring.PushBack(v)
+		q.notEmpty.Signal()
+		return true, nil
+	}
+	return false, nil
 }
 
 // Drain removes and returns every element currently queued, without
