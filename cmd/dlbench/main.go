@@ -55,12 +55,21 @@ func main() {
 	metricsImages := flag.Int("metrics-images", 64, "with -metrics/-doctor/-json: images to push through the pipeline")
 	metricsBatch := flag.Int("metrics-batch", 8, "with -metrics/-doctor/-json: batch size")
 	noDecodeScale := flag.Bool("no-decode-scale", false, "with -metrics/-doctor/-json: disable the decode-to-scale fast path (full-resolution decode + resize)")
+	shards := flag.Int("shards", 0, "with -metrics/-doctor/-json: run the traced pipeline as this many fleet shards, each engine paced at -shard-rate (0 = classic single pipeline)")
+	shardRate := flag.Float64("shard-rate", 40, "with -shards: modelled per-shard accelerator rate in images/s")
 	flag.Parse()
 
 	if *showMetrics || *doctor || *benchJSON != "" {
 		// One traced run feeds every instrumented view, so -metrics,
 		// -doctor and -json can be combined without re-running.
-		res, err := tracedRun(*metricsImages, *metricsBatch, *noDecodeScale)
+		var res *tracedResult
+		var fleetSnap *metrics.FleetSnapshot
+		var err error
+		if *shards > 0 {
+			res, fleetSnap, err = tracedShardsRun(*metricsImages, *metricsBatch, *shards, *shardRate, *noDecodeScale)
+		} else {
+			res, err = tracedRun(*metricsImages, *metricsBatch, *noDecodeScale)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
 			os.Exit(1)
@@ -69,7 +78,11 @@ func main() {
 			printMetrics(res)
 		}
 		if *doctor {
-			fmt.Print(metrics.Diagnose(res.snap, nil).Report())
+			if fleetSnap != nil {
+				fmt.Print(metrics.DiagnoseFleet(fleetSnap, nil).Report())
+			} else {
+				fmt.Print(metrics.Diagnose(res.snap, nil).Report())
+			}
 		}
 		if *benchJSON != "" {
 			br := benchResult(res)

@@ -129,9 +129,13 @@ func benchResult(res *tracedResult) *metrics.BenchResult {
 	if elapsed > 0 {
 		throughput = float64(res.images) / elapsed
 	}
+	name := "traced-e2e"
+	if res.config.Shards > 0 {
+		name = "traced-e2e-shards"
+	}
 	return &metrics.BenchResult{
 		SchemaVersion:  metrics.BenchSchemaVersion,
-		Name:           "traced-e2e",
+		Name:           name,
 		TakenAt:        time.Now().UTC(),
 		GitSHA:         gitSHA(),
 		GoVersion:      runtime.Version(),

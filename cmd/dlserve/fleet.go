@@ -1,0 +1,341 @@
+// The -shards serving path: N independent Booster shards — each with
+// its own decoder boards, HugePage arena, dispatcher, batch engine and
+// admission-controlled ingest queue — behind the internal/fleet router.
+// One shard's board failures degrade that shard alone; the stealer
+// drains its backlog into healthy shards, and every response frame
+// names the shard that served it so clients can attribute per-shard
+// sheds and latency. Telemetry rolls the per-shard snapshots into a
+// metrics.FleetSnapshot: /metrics.json carries shard snapshots plus
+// totals, /metrics the fleet-total Prometheus text, and /trace.json a
+// timeline with one process track per shard.
+
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/engine"
+	"dlbooster/internal/faults"
+	"dlbooster/internal/fleet"
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/gpu"
+	"dlbooster/internal/metrics"
+	"dlbooster/internal/perf"
+)
+
+// fleetAdmitter adapts the fleet router to handleConn's front-door
+// contract, keying consistent-hash placement by client id so one
+// client's frames keep shard affinity while the ring is stable.
+type fleetAdmitter struct {
+	f *fleet.Fleet
+}
+
+func (a *fleetAdmitter) admit(item core.Item) (int, int) {
+	shard, adm := a.f.Submit(item, uint64(item.Meta.ClientID))
+	switch adm {
+	case fleet.AdmitOK:
+		return shard, admitOK
+	case fleet.AdmitShed:
+		return shard, admitShed
+	default:
+		return 0, admitClosed
+	}
+}
+
+// shardEngine is one shard's compute tail: dispatcher plus inference
+// engine hanging off the shard Booster's batch queue.
+type shardEngine struct {
+	dev  *gpu.Device
+	inf  *engine.Inference
+	done chan struct{}
+}
+
+func serveFleet(cfg serveConfig) error {
+	if cfg.backend != "dlbooster" {
+		return fmt.Errorf("-shards %d needs the dlbooster backend; the %s backend has no shard pipeline", cfg.shards, cfg.backend)
+	}
+	var placement fleet.Placement
+	switch cfg.placement {
+	case "", "least-loaded":
+		placement = fleet.PlacementLeastLoaded
+	case "hash":
+		placement = fleet.PlacementHash
+	default:
+		return fmt.Errorf("-placement %q: want least-loaded or hash", cfg.placement)
+	}
+	faultCfg, err := faults.ParseSpec(cfg.faultFPGA)
+	if err != nil {
+		return err
+	}
+	var inject *faults.Injector
+	if faultCfg.Enabled() {
+		// Faults target shard 0 only: the point of injecting against a
+		// fleet is watching one shard degrade while the rest carry on.
+		inject = faults.New(faultCfg)
+	}
+	if cfg.snapFile != "" && cfg.snapEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "dlserve: warning: -snapshot-file %q has no effect without -snapshot-every\n", cfg.snapFile)
+	}
+	telemetry := cfg.metricsAddr != "" || cfg.snapEvery > 0 || cfg.traceFile != ""
+	var flight *metrics.FlightRecorder
+	if cfg.flightDir != "" {
+		flight = metrics.NewFlightRecorder(metrics.FlightConfig{DumpDir: cfg.flightDir})
+		inject.SetHook(func(kind string, op int64) {
+			if path := flight.Note("fault_"+kind, fmt.Sprintf("injected %s fault at decoder op %d", kind, op)); path != "" {
+				fmt.Fprintf(os.Stderr, "dlserve: flight recorder dumped to %s\n", path)
+			}
+		})
+	}
+
+	batch, size := cfg.batch, cfg.size
+	grace := cfg.batchTimeout
+	if grace <= 0 {
+		grace = time.Millisecond
+	}
+	fl, err := fleet.New(fleet.Config{
+		Shards:    cfg.shards,
+		Placement: placement,
+		QueueCap:  cfg.queueCap,
+		Grace:     grace,
+		NewBooster: func(shard int) (*core.Booster, error) {
+			var reg *metrics.Registry
+			if telemetry {
+				reg = metrics.NewRegistry()
+				if flight != nil {
+					reg.AttachFlight(flight)
+				}
+			}
+			bcfg := core.Config{
+				BatchSize: batch, OutW: size, OutH: size, Channels: 3, PoolBatches: 8,
+				Resilience:   cfg.res,
+				BatchTimeout: cfg.batchTimeout,
+				Metrics:      reg,
+				Flight:       flight,
+			}
+			if shard == 0 {
+				bcfg.FPGA = fpga.Config{Inject: inject}
+			}
+			return core.New(bcfg)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+
+	// Per-shard compute tail: its own simulated GPU, solver, dispatcher
+	// and inference engine, with Emit stamping the shard id into every
+	// response frame.
+	cs := &conns{byID: make(map[int]net.Conn)}
+	engines := make([]*shardEngine, 0, cfg.shards)
+	for _, s := range fl.Shards() {
+		s := s
+		dev, err := gpu.NewDevice(s.ID(), 1<<31)
+		if err != nil {
+			return err
+		}
+		solver, err := core.NewSolver(dev, 2, batch*size*size*3)
+		if err != nil {
+			dev.Close()
+			return err
+		}
+		b := s.Booster()
+		disp, err := core.NewDispatcher(b.Batches(), b.RecycleBatch, []*core.Solver{solver}, core.DispatcherConfig{Metrics: b.Registry()})
+		if err != nil {
+			dev.Close()
+			return err
+		}
+		inf, err := engine.NewInference(engine.InferenceConfig{
+			Profile: perf.GoogLeNet, Solver: solver, Classes: 1000,
+			PaceCompute: cfg.pace, Latency: &metrics.Histogram{},
+			Emit:    cs.emit(s.ID()),
+			Metrics: b.Registry(),
+		})
+		if err != nil {
+			dev.Close()
+			return err
+		}
+		se := &shardEngine{dev: dev, inf: inf, done: make(chan struct{})}
+		engines = append(engines, se)
+		defer dev.Close()
+		go func(id int) {
+			if err := disp.Run(); err != nil {
+				fmt.Fprintf(os.Stderr, "dlserve: shard %d dispatcher: %v\n", id, err)
+			}
+		}(s.ID())
+		go func(se *shardEngine, id int) {
+			defer close(se.done)
+			if _, err := se.inf.Run(); err != nil {
+				fmt.Fprintf(os.Stderr, "dlserve: shard %d engine: %v\n", id, err)
+			}
+		}(se, s.ID())
+	}
+
+	if cfg.metricsAddr != "" {
+		if err := serveFleetMetrics(cfg.metricsAddr, fl); err != nil {
+			return err
+		}
+	}
+	if cfg.snapEvery > 0 {
+		go fleetSnapshotLoop(fl, cfg.snapEvery, cfg.snapFile)
+	}
+	if flight != nil {
+		// Sample the richest registry of the faulted shard — the one
+		// whose degradation the recorder exists to explain.
+		stop := flight.SampleLoop(fl.Shards()[0].Booster().Registry(), time.Second)
+		defer stop()
+	}
+
+	fl.Start()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	var closing atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		closing.Store(true)
+		_ = ln.Close()
+	}()
+	fmt.Printf("dlserve: %s backend, %d shards (%s placement), batch %d (timeout %v), queue %d per shard, listening on %s\n",
+		cfg.backend, cfg.shards, placement, batch, cfg.batchTimeout, cfg.queueCap, ln.Addr())
+	adm := &fleetAdmitter{f: fl}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			// Drain: the fleet stops the stealer, closes every ingest
+			// queue and waits for the epochs; each shard's engine then
+			// finishes its in-flight predictions before connections drop.
+			if derr := fl.Drain(); derr != nil {
+				fmt.Fprintf(os.Stderr, "dlserve: drain: %v\n", derr)
+			}
+			waitEngines(engines, 3*time.Second)
+			cs.closeAll()
+			reportShards(fl)
+			if cfg.traceFile != "" && telemetry {
+				writeFleetTraceFile(cfg.traceFile, fl)
+			}
+			if flight != nil {
+				if path, derr := flight.Dump("shutdown"); derr == nil {
+					fmt.Fprintf(os.Stderr, "dlserve: flight recorder dumped to %s\n", path)
+				}
+			}
+			if closing.Load() {
+				return nil
+			}
+			return err
+		}
+		go handleConn(nc, cs, adm)
+	}
+}
+
+// waitEngines blocks until every shard engine finished or the timeout
+// passes — the bounded-drain promise of the single-pipeline path, per
+// shard.
+func waitEngines(engines []*shardEngine, timeout time.Duration) {
+	deadline := time.After(timeout)
+	for _, se := range engines {
+		select {
+		case <-se.done:
+		case <-deadline:
+			return
+		}
+	}
+}
+
+// reportShards prints each shard's event log and degradation summary —
+// the fleet's version of the classic path's post-epoch stderr report —
+// plus the fleet doctor's spread sentence.
+func reportShards(fl *fleet.Fleet) {
+	for _, s := range fl.Shards() {
+		b := s.Booster()
+		for _, e := range b.Events() {
+			fmt.Fprintf(os.Stderr, "dlserve: shard %d: %s: %s\n", s.ID(), e.Name, e.Detail)
+		}
+		if b.Degraded() {
+			fmt.Fprintf(os.Stderr, "dlserve: shard %d served %d images on the CPU fallback path (%d stolen away, %d retries, %d command timeouts)\n",
+				s.ID(), b.FallbackDecodes(), s.StolenOut(), b.Retries(), b.CmdTimeouts())
+		}
+	}
+	if st := fl.Steals(); st > 0 {
+		fmt.Fprintf(os.Stderr, "dlserve: work stealer moved %d queued requests off degraded shards\n", st)
+	}
+	fmt.Fprintf(os.Stderr, "dlserve: fleet doctor: %s\n", fl.Diagnose(nil).Summary)
+}
+
+// serveFleetMetrics exposes the fleet rollup over HTTP: /metrics is
+// the fleet-total Prometheus exposition, /metrics.json the full
+// FleetSnapshot (per-shard snapshots plus totals), /trace.json a
+// Chrome trace timeline with one process track per shard.
+func serveFleetMetrics(addr string, fl *fleet.Fleet) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = fl.Snapshot().Total.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := fl.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = fl.Snapshot().WriteChromeTrace(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dlserve: telemetry on http://%s/metrics\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+	return nil
+}
+
+// fleetSnapshotLoop is snapshotLoop for a fleet: each tick renders the
+// full rollup (per-shard snapshots plus totals) to JSON.
+func fleetSnapshotLoop(fl *fleet.Fleet, every time.Duration, path string) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		data, err := fl.Snapshot().JSON()
+		if err != nil {
+			continue
+		}
+		if path == "" {
+			fmt.Fprintf(os.Stderr, "%s\n", data)
+			continue
+		}
+		_ = metrics.WriteFileAtomic(path, append(data, '\n'))
+	}
+}
+
+// writeFleetTraceFile writes the per-shard Chrome trace timeline on
+// shutdown.
+func writeFleetTraceFile(path string, fl *fleet.Fleet) {
+	var buf bytes.Buffer
+	if err := fl.Snapshot().WriteChromeTrace(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "dlserve: trace export: %v\n", err)
+		return
+	}
+	if err := metrics.WriteFileAtomic(path, buf.Bytes()); err != nil {
+		fmt.Fprintf(os.Stderr, "dlserve: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dlserve: wrote trace timeline to %s\n", path)
+}

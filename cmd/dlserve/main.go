@@ -10,14 +10,23 @@
 // Wire protocol, both directions big-endian:
 //
 //	request:  uint32 payloadLen | payload (one JPEG)
-//	response: uint32 seq | uint32 status | uint32 label | uint64 latencyNanos
+//	response: uint32 seq | uint32 status | uint32 label | uint32 shard | uint64 latencyNanos
 //
 // Every request gets exactly one response. Status 0 (ok) carries a
 // prediction; status 1 (shed) means admission control refused the
 // request because the ingest queue stayed full past its grace period
 // (label and latency are zero); status 2 (bad frame) reports a
 // malformed request header — zero or oversized length — after which
-// the server closes the connection.
+// the server closes the connection. shard names the pipeline shard
+// that served (or shed) the request — always 0 on a single-shard
+// server — so a client can attribute sheds and latency per shard.
+//
+// With -shards N the server runs N independent Booster shards — each
+// with its own decoder boards, HugePage arena, batch engine and
+// admission control — behind the internal/fleet router: requests
+// place by least-loaded queue or consistent client hash, a shard
+// whose boards degrade to CPU is rung off the hash ring, and the work
+// stealer drains its backlog into healthy shards.
 //
 // Batching is dynamic: a partial batch is sealed once its oldest
 // request has waited -batch-timeout, so any request count gets its
@@ -58,8 +67,9 @@ import (
 
 const maxFrame = 32 << 20
 
-// respLen is the response frame size: seq, status, label, latencyNanos.
-const respLen = 20
+// respLen is the response frame size: seq, status, label, shard,
+// latencyNanos.
+const respLen = 24
 
 // Response status codes (the uint32 after seq in every response frame).
 const (
@@ -73,6 +83,8 @@ func main() {
 	connect := flag.String("connect", "", "send to this address (client mode)")
 	backendName := flag.String("backend", "dlbooster", "server backend: dlbooster or cpu")
 	batch := flag.Int("batch", 8, "server batch size")
+	shards := flag.Int("shards", 1, "server: number of independent pipeline shards (dlbooster backend only)")
+	placement := flag.String("placement", "least-loaded", "server: shard placement policy with -shards > 1: least-loaded or hash (consistent hash of the client id)")
 	batchTimeout := flag.Duration("batch-timeout", 5*time.Millisecond, "server: seal a partial batch once its oldest request has waited this long (0 = strict batches)")
 	queueCap := flag.Int("queue", 256, "server: ingest queue capacity; requests beyond it are shed with status frames")
 	n := flag.Int("n", 64, "client: number of images to send")
@@ -95,6 +107,7 @@ func main() {
 	case *listen != "":
 		err = serve(serveConfig{
 			addr: *listen, backend: *backendName, batch: *batch, size: *size,
+			shards: *shards, placement: *placement,
 			batchTimeout: *batchTimeout, queueCap: *queueCap,
 			pace: *pace, faultFPGA: *faultFPGA,
 			res: core.Resilience{
@@ -140,18 +153,21 @@ func (c *conns) remove(id int) {
 	delete(c.byID, id)
 }
 
-// send writes one prediction, serialising writes per connection.
-func (c *conns) send(p engine.Prediction) {
-	c.write(p.ClientID, p.Seq, statusOK, p.Label, p.Latency)
+// emit returns the prediction callback for one shard's engine: every
+// response frame names the shard that served it.
+func (c *conns) emit(shard int) func(engine.Prediction) {
+	return func(p engine.Prediction) {
+		c.write(p.ClientID, p.Seq, statusOK, p.Label, shard, p.Latency)
+	}
 }
 
 // sendStatus writes a non-OK response frame (shed, bad frame) for one
 // request, so the client always hears back before anything closes.
-func (c *conns) sendStatus(id, seq int, status uint32) {
-	c.write(id, seq, status, 0, 0)
+func (c *conns) sendStatus(id, seq int, status uint32, shard int) {
+	c.write(id, seq, status, 0, shard, 0)
 }
 
-func (c *conns) write(id, seq int, status uint32, label int, latency time.Duration) {
+func (c *conns) write(id, seq int, status uint32, label, shard int, latency time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	nc := c.byID[id]
@@ -162,7 +178,8 @@ func (c *conns) write(id, seq int, status uint32, label int, latency time.Durati
 	binary.BigEndian.PutUint32(buf[0:], uint32(seq))
 	binary.BigEndian.PutUint32(buf[4:], status)
 	binary.BigEndian.PutUint32(buf[8:], uint32(label))
-	binary.BigEndian.PutUint64(buf[12:], uint64(latency))
+	binary.BigEndian.PutUint32(buf[12:], uint32(shard))
+	binary.BigEndian.PutUint64(buf[16:], uint64(latency))
 	_, _ = nc.Write(buf[:])
 }
 
@@ -186,6 +203,12 @@ type serveConfig struct {
 	faultFPGA string
 	res       core.Resilience
 
+	// shards > 1 runs the fleet path (serveFleet): that many
+	// independent pipeline shards behind the placement policy, each
+	// with its own ingest queue of queueCap slots.
+	shards    int
+	placement string
+
 	// batchTimeout is the dynamic-batching deadline (0 = strict
 	// batches); queueCap bounds the ingest queue for admission control.
 	batchTimeout time.Duration
@@ -206,6 +229,12 @@ type serveConfig struct {
 func serve(cfg serveConfig) error {
 	if cfg.queueCap < 1 {
 		return fmt.Errorf("-queue %d: ingest queue needs at least one slot", cfg.queueCap)
+	}
+	if cfg.shards < 1 {
+		return fmt.Errorf("-shards %d: need at least one shard", cfg.shards)
+	}
+	if cfg.shards > 1 {
+		return serveFleet(cfg)
 	}
 	faultCfg, err := faults.ParseSpec(cfg.faultFPGA)
 	if err != nil {
@@ -288,7 +317,7 @@ func serve(cfg serveConfig) error {
 	inf, err := engine.NewInference(engine.InferenceConfig{
 		Profile: perf.GoogLeNet, Solver: solver, Classes: 1000,
 		PaceCompute: cfg.pace, Latency: lat,
-		Emit:    cs.send,
+		Emit:    cs.emit(0),
 		Metrics: reg,
 	})
 	if err != nil {
@@ -491,24 +520,32 @@ type ingest struct {
 	overloadOnce sync.Once
 }
 
-// Admission outcomes of ingest.admit.
+// Admission outcomes of admitter.admit.
 const (
 	admitOK     = iota // queued for the pipeline
 	admitShed          // refused; send a shed status frame
 	admitClosed        // server shutting down; drop the connection
 )
 
-func (g *ingest) admit(item core.Item) int {
+// admitter is the front door handleConn pushes requests into: the
+// single pipeline's ingest queue, or the fleet router when -shards > 1.
+// The returned shard names where the request landed (or was shed), so
+// the response frame can attribute it.
+type admitter interface {
+	admit(item core.Item) (shard, outcome int)
+}
+
+func (g *ingest) admit(item core.Item) (int, int) {
 	if ok, err := g.items.TryPush(item); err != nil {
-		return admitClosed
+		return 0, admitClosed
 	} else if ok {
-		return admitOK
+		return 0, admitOK
 	}
 	// Full queue: one grace period of backpressure lets a momentary
 	// burst drain instead of bouncing straight to a shed.
 	ok, err := g.items.PushTimeout(item, g.grace)
 	if err != nil {
-		return admitClosed
+		return 0, admitClosed
 	}
 	if !ok {
 		g.shed.Add(1)
@@ -520,12 +557,12 @@ func (g *ingest) admit(item core.Item) int {
 				g.flight.Note("ingest_overloaded", detail)
 			}
 		})
-		return admitShed
+		return 0, admitShed
 	}
-	return admitOK
+	return 0, admitOK
 }
 
-func handleConn(nc net.Conn, cs *conns, ing *ingest) {
+func handleConn(nc net.Conn, cs *conns, ing admitter) {
 	id := cs.add(nc)
 	defer func() {
 		cs.remove(id)
@@ -542,7 +579,7 @@ func handleConn(nc net.Conn, cs *conns, ing *ingest) {
 			// Tell the client why before closing: a status frame beats
 			// a silent close when debugging a protocol mismatch.
 			fmt.Fprintf(os.Stderr, "dlserve: conn %d: bad frame length %d (max %d), closing\n", id, length, maxFrame)
-			cs.sendStatus(id, seq, statusBadFrame)
+			cs.sendStatus(id, seq, statusBadFrame, 0)
 			return
 		}
 		payload := make([]byte, length)
@@ -553,9 +590,10 @@ func handleConn(nc net.Conn, cs *conns, ing *ingest) {
 			Ref:  fpga.DataRef{Inline: payload},
 			Meta: core.ItemMeta{ClientID: id, Seq: seq, ReceivedAt: time.Now()},
 		}
-		switch ing.admit(item) {
+		shard, outcome := ing.admit(item)
+		switch outcome {
 		case admitShed:
-			cs.sendStatus(id, seq, statusShed)
+			cs.sendStatus(id, seq, statusShed, shard)
 		case admitClosed:
 			return
 		}
@@ -564,11 +602,32 @@ func handleConn(nc net.Conn, cs *conns, ing *ingest) {
 }
 
 // clientStats is what the reader goroutine tallies from response
-// frames; the sender reads it only after joining the reader.
+// frames; the sender reads it only after joining the reader. Tallies
+// are kept per shard — a sharded server interleaves status streams
+// from every shard onto the one connection, and attributing a shed to
+// the wrong shard would misreport which shard is overloaded.
 type clientStats struct {
 	ok        int
 	shed      int
 	latencies []float64
+	shards    map[int]*shardTally
+}
+
+type shardTally struct {
+	ok, shed  int
+	latencies []float64
+}
+
+func (st *clientStats) tally(shard int) *shardTally {
+	if st.shards == nil {
+		st.shards = make(map[int]*shardTally)
+	}
+	t := st.shards[shard]
+	if t == nil {
+		t = &shardTally{}
+		st.shards[shard] = t
+	}
+	return t
 }
 
 func client(addr string, n int, wait time.Duration) error {
@@ -596,12 +655,18 @@ func client(addr string, n int, wait time.Duration) error {
 				done <- err
 				return
 			}
+			shard := int(binary.BigEndian.Uint32(buf[12:]))
 			switch status := binary.BigEndian.Uint32(buf[4:]); status {
 			case statusOK:
 				st.ok++
-				st.latencies = append(st.latencies, float64(binary.BigEndian.Uint64(buf[12:]))/1e6)
+				ms := float64(binary.BigEndian.Uint64(buf[16:])) / 1e6
+				st.latencies = append(st.latencies, ms)
+				sh := st.tally(shard)
+				sh.ok++
+				sh.latencies = append(sh.latencies, ms)
 			case statusShed:
 				st.shed++
+				st.tally(shard).shed++
 			case statusBadFrame:
 				done <- fmt.Errorf("server reported a malformed request frame (seq %d)", binary.BigEndian.Uint32(buf[0:]))
 				return
@@ -643,6 +708,28 @@ func client(addr string, n int, wait time.Duration) error {
 		q := func(p int) float64 { return st.latencies[minInt(len(st.latencies)*p/100, len(st.latencies)-1)] }
 		fmt.Printf("server-side receipt→prediction latency: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 			q(50), q(95), q(99), st.latencies[len(st.latencies)-1])
+	}
+	// Against a sharded server, break the report down per shard so an
+	// overloaded or degraded shard's sheds and latency stand out. A
+	// single-shard server answers everything from shard 0 and keeps
+	// the classic report.
+	ids := make([]int, 0, len(st.shards))
+	for id := range st.shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if len(ids) > 1 || (len(ids) == 1 && ids[0] != 0) {
+		for _, id := range ids {
+			sh := st.shards[id]
+			line := fmt.Sprintf("  shard %d: %d predictions, %d shed", id, sh.ok, sh.shed)
+			if len(sh.latencies) > 0 {
+				sort.Float64s(sh.latencies)
+				p50 := sh.latencies[minInt(len(sh.latencies)/2, len(sh.latencies)-1)]
+				p95 := sh.latencies[minInt(len(sh.latencies)*95/100, len(sh.latencies)-1)]
+				line += fmt.Sprintf(", p50=%.2fms p95=%.2fms", p50, p95)
+			}
+			fmt.Println(line)
+		}
 	}
 	if sendErr != nil {
 		return fmt.Errorf("send: %w (%d of %d responses received)", sendErr, st.ok+st.shed, n)

@@ -5,6 +5,7 @@ package dlbooster
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -122,6 +123,76 @@ func TestServeOverload(t *testing.T) {
 	}
 	if shed, _ := strconv.Atoi(m[1]); shed == 0 {
 		t.Fatalf("overloaded server shed nothing:\n%s\nserver:\n%s", out, srvOut.String())
+	}
+}
+
+// TestServeShards is the ISSUE-6 acceptance scenario: a closed-loop
+// client over a 2-shard server with a request count no batch divides
+// evenly must get every prediction back (deadline flush per shard), and
+// /metrics.json must serve the fleet rollup — per-shard snapshots plus
+// counter totals — with /trace.json carrying one process track per
+// shard.
+func TestServeShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec test in -short mode")
+	}
+	bin := buildCmd(t, "dlserve")
+	srvOut := startServe(t, bin,
+		"-listen", "127.0.0.1:39476", "-shards", "2", "-batch", "8",
+		"-batch-timeout", "50ms", "-size", "64",
+		"-metrics-addr", "127.0.0.1:39477")
+	out := runClient(t, bin, srvOut, "-connect", "127.0.0.1:39476", "-n", "13")
+	if !strings.Contains(out, "13 predictions, 0 shed") {
+		t.Fatalf("client output:\n%s\nserver:\n%s", out, srvOut.String())
+	}
+	if !strings.Contains(out, "receipt→prediction latency") {
+		t.Fatalf("no latency stats:\n%s", out)
+	}
+
+	// The fleet rollup: per-shard snapshots plus totals that conserve
+	// the counters.
+	resp, err := http.Get("http://127.0.0.1:39477/metrics.json")
+	if err != nil {
+		t.Fatalf("GET /metrics.json: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap struct {
+		Shards []struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"shards"`
+		Total struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"total"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics.json: %v\n%s", err, body)
+	}
+	if len(snap.Shards) != 2 {
+		t.Fatalf("fleet snapshot has %d shards:\n%s", len(snap.Shards), body)
+	}
+	if got := snap.Total.Counters["images_decoded_total"]; got != 13 {
+		t.Fatalf("fleet total images_decoded_total = %d, want 13\n%s", got, body)
+	}
+	var sum int64
+	for _, s := range snap.Shards {
+		sum += s.Counters["images_decoded_total"]
+	}
+	if sum != snap.Total.Counters["images_decoded_total"] {
+		t.Fatalf("rollup total %d != shard sum %d", snap.Total.Counters["images_decoded_total"], sum)
+	}
+
+	// Per-shard process tracks in the trace timeline.
+	resp, err = http.Get("http://127.0.0.1:39477/trace.json")
+	if err != nil {
+		t.Fatalf("GET /trace.json: %v", err)
+	}
+	trace, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, track := range []string{`"shard 0"`, `"shard 1"`} {
+		if !strings.Contains(string(trace), track) {
+			t.Fatalf("/trace.json missing %s track:\n%.400s", track, trace)
+		}
 	}
 }
 

@@ -1,0 +1,124 @@
+// FPGAChannel — the host bridger's binding to its decoder boards
+// (§3.4.1, Table 1), split out of booster.go alongside the epoch loop.
+
+package core
+
+import (
+	"sync"
+	"time"
+
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/queue"
+)
+
+// FPGAChannel binds the host bridger to its FPGA decoders — the
+// FPGAChannel abstraction of §3.4.1, exposing the submit_cmd/drain_out
+// API of Table 1. With more than one board, commands round-robin across
+// devices and their FINISH signals merge into one completion stream, so
+// the FPGAReader is indifferent to how many boards are plugged in.
+type FPGAChannel struct {
+	devs   []*fpga.Device
+	merged *queue.Queue[fpga.Completion]
+	fwd    sync.WaitGroup
+
+	mu sync.Mutex
+	rr int
+}
+
+func newFPGAChannel(devs []*fpga.Device) *FPGAChannel {
+	c := &FPGAChannel{
+		devs:   devs,
+		merged: queue.New[fpga.Completion](256 * len(devs)),
+	}
+	// One forwarder per board moves FINISH signals into the merged
+	// stream; when every board closes, the stream closes.
+	for _, d := range devs {
+		c.fwd.Add(1)
+		go func(d *fpga.Device) {
+			defer c.fwd.Done()
+			for {
+				comp, err := d.WaitCompletion()
+				if err != nil {
+					return
+				}
+				if err := c.merged.Push(comp); err != nil {
+					return
+				}
+			}
+		}(d)
+	}
+	go func() {
+		c.fwd.Wait()
+		c.merged.Close()
+	}()
+	return c
+}
+
+// SubmitCmd submits a decode command to the next board round-robin and
+// launches the decoding operation (Table 1: submit_cmd).
+func (c *FPGAChannel) SubmitCmd(cmd fpga.Cmd) error {
+	c.mu.Lock()
+	d := c.devs[c.rr%len(c.devs)]
+	c.rr++
+	c.mu.Unlock()
+	return d.Submit(cmd)
+}
+
+// SubmitCmdTimeout submits to the next board round-robin, bounded by t:
+// ok is false when the board's FIFO stayed full for the whole window —
+// the signature of a wedged board — letting the caller shed the command
+// instead of blocking the reader forever.
+func (c *FPGAChannel) SubmitCmdTimeout(cmd fpga.Cmd, t time.Duration) (bool, error) {
+	c.mu.Lock()
+	d := c.devs[c.rr%len(c.devs)]
+	c.rr++
+	c.mu.Unlock()
+	return d.SubmitTimeout(cmd, t)
+}
+
+// Cancel revokes a timed-out command on whichever board holds it (a
+// command lives on at most one board — a retry is only resubmitted
+// after the previous attempt's FINISH was consumed). True means the
+// revocation won: no DMA write for the command can land after Cancel
+// returns and no FINISH for it will ever surface, so its batch slot may
+// be rescued and its buffer recycled. False means the command already
+// finished and its FINISH must be drained normally.
+func (c *FPGAChannel) Cancel(id uint64) bool {
+	for _, d := range c.devs {
+		if d.Cancel(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitCompletionTimeout waits up to t for the next FINISH signal; ok is
+// false on timeout.
+func (c *FPGAChannel) WaitCompletionTimeout(t time.Duration) (fpga.Completion, bool, error) {
+	comp, ok, err := c.merged.PopTimeout(t)
+	if err != nil {
+		return fpga.Completion{}, false, fpga.ErrClosed
+	}
+	return comp, ok, nil
+}
+
+// DrainOut queries the decoders' processing signals asynchronously,
+// returning all completions so far (Table 1: drain_out).
+func (c *FPGAChannel) DrainOut() []fpga.Completion { return c.merged.Drain() }
+
+// WaitCompletion blocks for the next FINISH signal from any board.
+func (c *FPGAChannel) WaitCompletion() (fpga.Completion, error) {
+	comp, err := c.merged.Pop()
+	if err != nil {
+		return fpga.Completion{}, fpga.ErrClosed
+	}
+	return comp, nil
+}
+
+// close shuts every board down and waits for the merged stream to end.
+func (c *FPGAChannel) close() {
+	for _, d := range c.devs {
+		d.Close()
+	}
+	c.fwd.Wait()
+}

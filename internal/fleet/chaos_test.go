@@ -1,0 +1,226 @@
+package fleet
+
+// Chaos tests for the fleet: seeded fault injection kills the boards on
+// one shard mid-load, and the assertions are the zero-loss contract —
+// every accepted frame is published by exactly one shard (no loss, no
+// duplicates), sheds are counted, the degraded shard's backlog is
+// stolen into healthy shards, and no buffer leaks survive the drain.
+
+import (
+	"testing"
+	"time"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/faults"
+	"dlbooster/internal/fpga"
+)
+
+// degradeShard runs a throwaway epoch against a booster whose injector
+// fails every command, flipping it into degraded mode deterministically
+// (FallbackAfter 1 → first final failure degrades; the rescue decode
+// keeps the items).
+func degradeShard(t *testing.T, s *Shard) {
+	t.Helper()
+	items := fleetItems(t, 4)
+	done := make(chan error, 1)
+	go func() { done <- s.Booster().RunEpoch(core.CollectorFromItems(items)) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("degrade epoch: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("degrade epoch deadlocked")
+	}
+	s.Booster().CloseBatches()
+	for {
+		batch, err := s.Booster().Batches().Pop()
+		if err != nil {
+			break
+		}
+		if err := s.Booster().RecycleBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Booster().Degraded() {
+		t.Fatal("shard did not degrade under a 100% failure injector")
+	}
+}
+
+// TestStealerDrainsDegradedShard exercises the steal mechanism in
+// isolation, with no epochs racing it: a deterministically degraded
+// shard's queued backlog must move, in order and in full, to the
+// healthy shard, and must stay put when the healthy shard has no room.
+func TestStealerDrainsDegradedShard(t *testing.T) {
+	f := newFleet(t, Config{
+		Shards:   2,
+		QueueCap: 32,
+		NewBooster: func(shard int) (*core.Booster, error) {
+			cfg := shardConfig()
+			if shard == 0 {
+				cfg.FPGA = fpga.Config{Inject: faults.New(faults.Config{FailEvery: 1, Seed: 7})}
+				cfg.Resilience = core.Resilience{FallbackAfter: 1}
+			}
+			return core.New(cfg)
+		},
+	})
+	src, dst := f.Shards()[0], f.Shards()[1]
+	degradeShard(t, src)
+
+	const backlog = 10
+	for _, item := range fleetItems(t, backlog) {
+		if err := src.Queue().Push(item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if moved := f.stealOnce(); moved != backlog {
+		t.Fatalf("stole %d of %d queued items", moved, backlog)
+	}
+	if src.Queue().Len() != 0 || dst.Queue().Len() != backlog {
+		t.Fatalf("queues after steal: src %d, dst %d", src.Queue().Len(), dst.Queue().Len())
+	}
+	// Order is preserved: stealing pops and pushes FIFO.
+	for want := 0; want < backlog; want++ {
+		item, ok, err := dst.Queue().TryPop()
+		if err != nil || !ok || item.Meta.Seq != want {
+			t.Fatalf("stolen item %d: seq %d ok=%v err=%v", want, item.Meta.Seq, ok, err)
+		}
+	}
+	if src.StolenOut() != backlog || dst.StolenIn() != backlog || f.Steals() != backlog {
+		t.Fatalf("steal counters: out=%d in=%d total=%d, want %d each",
+			src.StolenOut(), dst.StolenIn(), f.Steals(), backlog)
+	}
+
+	// No healthy target with room → nothing moves, nothing is lost.
+	for _, item := range fleetItems(t, dst.Queue().Cap()) {
+		if ok, err := dst.Queue().TryPush(item); err != nil || !ok {
+			t.Fatalf("filling dst: ok=%v err=%v", ok, err)
+		}
+	}
+	for _, item := range fleetItems(t, 3) {
+		if err := src.Queue().Push(item); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if moved := f.stealOnce(); moved != 0 {
+		t.Fatalf("stole %d items with no healthy target", moved)
+	}
+	if src.Queue().Len() != 3 {
+		t.Fatalf("src backlog %d after refused steal, want 3 (zero loss)", src.Queue().Len())
+	}
+}
+
+// TestFleetChaosZeroLossSteal is the acceptance scenario: a seeded
+// injector wedges every board on shard 0 mid-load (commands stop
+// finishing after 2 ops). The shard's command timeouts expire, it
+// degrades to CPU decode, hash placement rings it off, and the stealer
+// drains its backlog into shard 1 — and through all of it every
+// accepted frame is published exactly once with a valid payload.
+func TestFleetChaosZeroLossSteal(t *testing.T) {
+	const n = 96
+	f := newFleet(t, Config{
+		Shards:        2,
+		Placement:     PlacementHash,
+		QueueCap:      32,
+		Grace:         500 * time.Microsecond,
+		StealInterval: 50 * time.Microsecond,
+		NewBooster: func(shard int) (*core.Booster, error) {
+			cfg := shardConfig()
+			if shard == 0 {
+				cfg.FPGA = fpga.Config{Inject: faults.New(faults.Config{StuckAfter: 2, Seed: 1})}
+				cfg.Resilience = core.Resilience{
+					CmdTimeout:    40 * time.Millisecond,
+					FallbackAfter: 2,
+				}
+			}
+			return core.New(cfg)
+		},
+	})
+	d, wg := consumeShards(t, f)
+	f.Start()
+
+	items := fleetItems(t, n)
+	admitted := map[int]bool{}
+	shed := 0
+	for i, item := range items {
+		shard, adm := f.Submit(item, uint64(i))
+		switch adm {
+		case AdmitOK:
+			admitted[item.Meta.Seq] = true
+		case AdmitShed:
+			shed++
+			if got := f.Shards()[shard].Shed(); got < 1 {
+				t.Fatalf("shard %d shed an item but counts %d", shard, got)
+			}
+		default:
+			t.Fatalf("item %d: admission %v before drain", i, adm)
+		}
+	}
+	if len(admitted)+shed != n {
+		t.Fatalf("admission accounting: %d admitted + %d shed != %d", len(admitted), shed, n)
+	}
+
+	// The wedged shard must degrade once its command timeouts expire;
+	// wait for the flip so the steal window provably opened before the
+	// drain begins.
+	deadline := time.Now().Add(10 * time.Second)
+	for !f.Shards()[0].Booster().Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("shard 0 never degraded under the stuck-board injector")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drainWatchdog(t, f)
+	wg.Wait()
+
+	// Zero loss, zero duplicates: every admitted frame published exactly
+	// once, every published slot valid (failed commands are rescued by
+	// the CPU fallback, not dropped).
+	if len(d.count) != len(admitted) {
+		t.Fatalf("published %d distinct frames, admitted %d", len(d.count), len(admitted))
+	}
+	for seq := range admitted {
+		switch c := d.count[seq]; {
+		case c == 0:
+			t.Fatalf("admitted frame %d was lost", seq)
+		case c > 1:
+			t.Fatalf("admitted frame %d published %d times", seq, c)
+		}
+		if !d.valid[seq] {
+			t.Fatalf("frame %d published with an invalid slot", seq)
+		}
+	}
+	var totalShed int64
+	for _, s := range f.Shards() {
+		totalShed += s.Shed()
+	}
+	if totalShed != int64(shed) {
+		t.Fatalf("shed counters %d, client saw %d", totalShed, shed)
+	}
+
+	// The steal path fired and drained the degraded shard.
+	if f.Steals() == 0 {
+		t.Fatal("no items were stolen off the degraded shard")
+	}
+	if out, in := f.Shards()[0].StolenOut(), f.Shards()[1].StolenIn(); out != in || out != f.Steals() {
+		t.Fatalf("steal counters disagree: out=%d in=%d total=%d", out, in, f.Steals())
+	}
+	if l := f.Shards()[0].Queue().Len(); l != 0 {
+		t.Fatalf("degraded shard still queues %d items after drain", l)
+	}
+	if !f.Shards()[0].Booster().Degraded() || f.Shards()[1].Booster().Degraded() {
+		t.Fatal("degradation did not stay confined to shard 0")
+	}
+
+	// The rollup tells the story: steals visible fleet-wide, and the
+	// degraded gauge counts exactly one shard.
+	snap := f.Snapshot()
+	if got := snap.Total.Counters["fleet_stolen_out_total"]; got != f.Steals() {
+		t.Fatalf("rollup stolen_out %d, fleet counted %d", got, f.Steals())
+	}
+	if got := snap.Total.Gauges["degraded"]; got != 1 {
+		t.Fatalf("rollup degraded gauge %v, want 1", got)
+	}
+	assertShardPoolsBalanced(t, f)
+}

@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/dataset"
+	"dlbooster/internal/fpga"
+)
+
+// shardConfig is the baseline per-shard pipeline every fleet test uses:
+// MNIST geometry, a small pool, and deadline flushing so partial final
+// batches publish instead of stalling the drain.
+func shardConfig() core.Config {
+	return core.Config{
+		BatchSize: 4, OutW: 28, OutH: 28, Channels: 1, PoolBatches: 3,
+		BatchTimeout: 2 * time.Millisecond,
+	}
+}
+
+func newFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func fleetItems(t *testing.T, n int) []core.Item {
+	t.Helper()
+	spec := dataset.MNISTLike(n)
+	items := make([]core.Item, n)
+	for i := range items {
+		data, err := spec.JPEG(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = core.Item{Ref: fpga.DataRef{Inline: data}, Meta: core.ItemMeta{Seq: i}}
+	}
+	return items
+}
+
+// delivery is what the per-shard consumers observed: how many times
+// each seq was published, on which shard, and whether its slot was
+// valid.
+type delivery struct {
+	mu     sync.Mutex
+	count  map[int]int
+	shard  map[int]int
+	valid  map[int]bool
+	images map[int]int // per-shard published image count
+}
+
+// consumeShards drains and recycles every shard's Batches queue until
+// the epochs close them; wait the returned WaitGroup after Drain.
+func consumeShards(t *testing.T, f *Fleet) (*delivery, *sync.WaitGroup) {
+	t.Helper()
+	d := &delivery{count: map[int]int{}, shard: map[int]int{}, valid: map[int]bool{}, images: map[int]int{}}
+	var wg sync.WaitGroup
+	for _, s := range f.Shards() {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			for {
+				batch, err := s.Booster().Batches().Pop()
+				if err != nil {
+					return
+				}
+				d.mu.Lock()
+				for i := 0; i < batch.Images; i++ {
+					seq := batch.Metas[i].Seq
+					d.count[seq]++
+					d.shard[seq] = s.ID()
+					d.valid[seq] = batch.Valid[i]
+					d.images[s.ID()]++
+				}
+				d.mu.Unlock()
+				if err := s.Booster().RecycleBatch(batch); err != nil {
+					t.Errorf("shard %d recycle: %v", s.ID(), err)
+				}
+			}
+		}(s)
+	}
+	return d, &wg
+}
+
+// drainWatchdog fails instead of hanging when a drain deadlocks.
+func drainWatchdog(t *testing.T, f *Fleet) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- f.Drain() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("fleet drain deadlocked")
+	}
+}
+
+func assertShardPoolsBalanced(t *testing.T, f *Fleet) {
+	t.Helper()
+	for _, s := range f.Shards() {
+		b := s.Booster()
+		if n := b.Pool().Outstanding(); n != 0 {
+			t.Fatalf("shard %d leaked %d buffers", s.ID(), n)
+		}
+		if free := b.Pool().FreeLen(); free != b.Pool().Count() {
+			t.Fatalf("shard %d free queue holds %d of %d buffers", s.ID(), free, b.Pool().Count())
+		}
+	}
+}
+
+func TestFleetLeastLoadedLifecycle(t *testing.T) {
+	const n = 24
+	f := newFleet(t, Config{
+		Shards:   2,
+		QueueCap: 64,
+		NewBooster: func(int) (*core.Booster, error) {
+			return core.New(shardConfig())
+		},
+	})
+	d, wg := consumeShards(t, f)
+	f.Start()
+	for i, item := range fleetItems(t, n) {
+		shard, adm := f.Submit(item, uint64(i))
+		if adm != AdmitOK {
+			t.Fatalf("item %d admission %v on shard %d with empty queues", i, adm, shard)
+		}
+	}
+	drainWatchdog(t, f)
+	wg.Wait()
+
+	if len(d.count) != n {
+		t.Fatalf("delivered %d distinct items, want %d", len(d.count), n)
+	}
+	for seq, c := range d.count {
+		if c != 1 {
+			t.Fatalf("item %d delivered %d times", seq, c)
+		}
+		if !d.valid[seq] {
+			t.Fatalf("item %d published invalid", seq)
+		}
+	}
+	for _, s := range f.Shards() {
+		if s.Shed() != 0 {
+			t.Fatalf("shard %d shed %d with capacity to spare", s.ID(), s.Shed())
+		}
+	}
+
+	snap := f.Snapshot()
+	if len(snap.Shards) != 2 {
+		t.Fatalf("rollup carries %d shard snapshots", len(snap.Shards))
+	}
+	if got := snap.Total.Counters["images_decoded_total"]; got != n {
+		t.Fatalf("fleet images_decoded_total = %d, want %d", got, n)
+	}
+	var want int64
+	for _, s := range snap.Shards {
+		want += s.Counters["images_decoded_total"]
+	}
+	if snap.Total.Counters["images_decoded_total"] != want {
+		t.Fatalf("rollup %d != shard sum %d", snap.Total.Counters["images_decoded_total"], want)
+	}
+	if q, ok := snap.Total.Queues["ingest_items"]; !ok || q.Cap != 128 {
+		t.Fatalf("ingest_items rollup = %+v (want cap 2*64)", q)
+	}
+	if _, ok := snap.Total.Counters["fleet_stolen_out_total"]; !ok {
+		t.Fatal("rollup missing fleet_stolen_out_total")
+	}
+
+	diag := f.Diagnose(nil)
+	if diag == nil || len(diag.Shards) != 2 || diag.Summary == "" {
+		t.Fatalf("diagnosis: %+v", diag)
+	}
+	assertShardPoolsBalanced(t, f)
+}
+
+// TestFleetHashAffinity: with hash placement, one key always lands on
+// one shard. The fleet is never started, so admitted items just sit in
+// the ingest queues where the test can see them.
+func TestFleetHashAffinity(t *testing.T) {
+	f := newFleet(t, Config{
+		Shards:    4,
+		Placement: PlacementHash,
+		QueueCap:  32,
+		NewBooster: func(int) (*core.Booster, error) {
+			return core.New(shardConfig())
+		},
+	})
+	items := fleetItems(t, 8)
+	first, adm := f.Submit(items[0], 12345)
+	if adm != AdmitOK {
+		t.Fatalf("admission %v", adm)
+	}
+	for _, item := range items[1:] {
+		shard, adm := f.Submit(item, 12345)
+		if adm != AdmitOK || shard != first {
+			t.Fatalf("key 12345 placed on shard %d (%v), affinity shard is %d", shard, adm, first)
+		}
+	}
+	if got := f.Shards()[first].Queue().Len(); got != len(items) {
+		t.Fatalf("affinity shard queue holds %d of %d", got, len(items))
+	}
+}
+
+func TestFleetSubmitAfterDrain(t *testing.T) {
+	f := newFleet(t, Config{
+		Shards: 2,
+		NewBooster: func(int) (*core.Booster, error) {
+			return core.New(shardConfig())
+		},
+	})
+	if err := f.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	item := fleetItems(t, 1)[0]
+	if shard, adm := f.Submit(item, 0); adm != AdmitClosed || shard != -1 {
+		t.Fatalf("post-drain submit: shard %d, admission %v", shard, adm)
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	mk := func(int) (*core.Booster, error) { return core.New(shardConfig()) }
+	if _, err := New(Config{Shards: 0, NewBooster: mk}); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := New(Config{Shards: 2}); err == nil {
+		t.Fatal("missing NewBooster accepted")
+	}
+	if _, err := New(Config{Shards: 2, Placement: "round-robin", NewBooster: mk}); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+	if _, err := New(Config{Shards: 2, QueueCap: -1, NewBooster: mk}); err == nil {
+		t.Fatal("negative queue capacity accepted")
+	}
+}
+
+// TestFleetAdmissionShedsWhenFull: with the fleet stopped and every
+// tiny queue full, Submit must shed within the grace period and count
+// it on the routed shard.
+func TestFleetAdmissionShedsWhenFull(t *testing.T) {
+	f := newFleet(t, Config{
+		Shards:   2,
+		QueueCap: 1,
+		Grace:    200 * time.Microsecond,
+		NewBooster: func(int) (*core.Booster, error) {
+			return core.New(shardConfig())
+		},
+	})
+	items := fleetItems(t, 3)
+	for i := 0; i < 2; i++ {
+		if _, adm := f.Submit(items[i], uint64(i)); adm != AdmitOK {
+			t.Fatalf("fill submit %d: %v", i, adm)
+		}
+	}
+	shard, adm := f.Submit(items[2], 2)
+	if adm != AdmitShed {
+		t.Fatalf("admission %v with both queues full", adm)
+	}
+	if got := f.Shards()[shard].Shed(); got != 1 {
+		t.Fatalf("shard %d shed counter = %d", shard, got)
+	}
+	snap := f.Snapshot()
+	if got := snap.Total.Counters["serve_shed_total"]; got != 1 {
+		t.Fatalf("fleet serve_shed_total = %d", got)
+	}
+}

@@ -1,0 +1,136 @@
+// The consistent-hash ring behind PlacementHash. Each shard owns a
+// fixed set of virtual nodes whose positions depend only on (shard,
+// replica) — never on ring membership — so removing a shard relocates
+// exactly the keys that shard owned and nothing else (the property the
+// fuzz test asserts), and adding it back restores the original
+// placement. Lookups binary-search the sorted point list; membership
+// changes rebuild it, which at serving scale (shards × replicas
+// points, changes only on degradation) costs nothing measurable.
+
+package fleet
+
+import (
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over shard ids [0, shards).
+// All methods are safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	shards   int
+	replicas int
+	live     map[int]bool
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring with every shard live and `replicas` virtual
+// nodes per shard.
+func NewRing(shards, replicas int) *Ring {
+	if shards < 1 {
+		panic("fleet: ring needs at least one shard")
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	r := &Ring{shards: shards, replicas: replicas, live: make(map[int]bool, shards)}
+	for i := 0; i < shards; i++ {
+		r.live[i] = true
+	}
+	r.rebuild()
+	return r
+}
+
+// splitmix64 is the point and key scrambler: cheap, stateless, and
+// well-distributed even for sequential inputs (Steele et al., the
+// generator behind Java's SplittableRandom).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// pointHash positions one virtual node. It depends only on the shard
+// and replica indices, which is what makes membership changes minimal:
+// surviving shards' points never move.
+func pointHash(shard, replica int) uint64 {
+	return splitmix64(splitmix64(uint64(shard)+1)<<32 ^ uint64(replica))
+}
+
+func (r *Ring) rebuild() {
+	pts := make([]ringPoint, 0, len(r.live)*r.replicas)
+	for shard := range r.live {
+		for rep := 0; rep < r.replicas; rep++ {
+			pts = append(pts, ringPoint{hash: pointHash(shard, rep), shard: shard})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].shard < pts[j].shard
+	})
+	r.points = pts
+}
+
+// Lookup places a key on its owning live shard. ok is false when no
+// shard is live.
+func (r *Ring) Lookup(key uint64) (shard int, ok bool) {
+	h := splitmix64(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].shard, true
+}
+
+// Remove takes a shard out of the ring (idempotent). Only keys the
+// departed shard owned relocate; everyone else's placement is
+// untouched.
+func (r *Ring) Remove(shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.live[shard] {
+		return
+	}
+	delete(r.live, shard)
+	r.rebuild()
+}
+
+// Add restores a shard to the ring (idempotent), reclaiming exactly
+// the keys its virtual nodes own.
+func (r *Ring) Add(shard int) {
+	if shard < 0 || shard >= r.shards {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.live[shard] {
+		return
+	}
+	r.live[shard] = true
+	r.rebuild()
+}
+
+// Live returns the live shard ids in ascending order.
+func (r *Ring) Live() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int, 0, len(r.live))
+	for id := range r.live {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

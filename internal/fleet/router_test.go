@@ -1,0 +1,116 @@
+package fleet
+
+// Ring tests: placement is always a live shard, removal relocates only
+// the departed shard's keys (the minimal-disruption property that
+// makes consistent hashing worth its name), and the distribution over
+// a fixed corpus stays within 2× of uniform.
+
+import (
+	"testing"
+)
+
+func TestRingDistributionWithinTwiceUniform(t *testing.T) {
+	const shards, keys = 8, 16384
+	r := NewRing(shards, 128)
+	counts := make([]int, shards)
+	for k := uint64(0); k < keys; k++ {
+		id, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed with all shards live")
+		}
+		counts[id]++
+	}
+	mean := float64(keys) / shards
+	for id, c := range counts {
+		if float64(c) > 2*mean || float64(c) < mean/2 {
+			t.Fatalf("shard %d got %d of %d keys (uniform %0.f): beyond 2x of uniform (%v)",
+				id, c, keys, mean, counts)
+		}
+	}
+}
+
+func TestRingRemoveRelocatesOnlyDepartedKeys(t *testing.T) {
+	const shards, keys = 8, 4096
+	r := NewRing(shards, 128)
+	before := make([]int, keys)
+	for k := range before {
+		before[k], _ = r.Lookup(uint64(k))
+	}
+	const removed = 3
+	r.Remove(removed)
+	relocated := 0
+	for k := range before {
+		after, ok := r.Lookup(uint64(k))
+		if !ok {
+			t.Fatal("lookup failed with 7 shards live")
+		}
+		if before[k] == removed {
+			relocated++
+			if after == removed {
+				t.Fatalf("key %d still placed on removed shard", k)
+			}
+		} else if after != before[k] {
+			t.Fatalf("key %d relocated %d→%d though shard %d departed", k, before[k], after, removed)
+		}
+	}
+	if relocated == 0 {
+		t.Fatal("removed shard owned no keys — corpus too small to test relocation")
+	}
+
+	// Adding the shard back restores the original placement exactly.
+	r.Add(removed)
+	for k := range before {
+		if after, _ := r.Lookup(uint64(k)); after != before[k] {
+			t.Fatalf("key %d placed on %d after re-add, originally %d", k, after, before[k])
+		}
+	}
+}
+
+func TestRingExhaustion(t *testing.T) {
+	r := NewRing(2, 16)
+	r.Remove(0)
+	r.Remove(1)
+	if _, ok := r.Lookup(42); ok {
+		t.Fatal("lookup succeeded on an empty ring")
+	}
+	if got := r.Live(); len(got) != 0 {
+		t.Fatalf("live = %v", got)
+	}
+	r.Add(1)
+	if id, ok := r.Lookup(42); !ok || id != 1 {
+		t.Fatalf("lookup after re-add: %d %v", id, ok)
+	}
+}
+
+// FuzzRingLookup fuzzes keys and live-shard mutations: placement must
+// always land on a live shard, and removing one shard must relocate
+// that shard's keys only.
+func FuzzRingLookup(f *testing.F) {
+	f.Add(uint64(0), uint8(2), uint8(0))
+	f.Add(uint64(12345), uint8(8), uint8(3))
+	f.Add(^uint64(0), uint8(5), uint8(4))
+	f.Add(uint64(7), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, key uint64, nshards, removed uint8) {
+		shards := 1 + int(nshards%8)
+		r := NewRing(shards, 32)
+		before, ok := r.Lookup(key)
+		if !ok || before < 0 || before >= shards {
+			t.Fatalf("placement %d (ok=%v) not a live shard of %d", before, ok, shards)
+		}
+		rm := int(removed) % shards
+		r.Remove(rm)
+		after, ok := r.Lookup(key)
+		if shards == 1 {
+			if ok {
+				t.Fatal("lookup succeeded with the only shard removed")
+			}
+			return
+		}
+		if !ok || after == rm {
+			t.Fatalf("placement %d (ok=%v) after removing %d", after, ok, rm)
+		}
+		if before != rm && after != before {
+			t.Fatalf("key relocated %d→%d though only shard %d departed", before, after, rm)
+		}
+	})
+}

@@ -25,6 +25,13 @@ type BenchConfig struct {
 	Batch  int `json:"batch"`
 	Size   int `json:"size"`
 	Boards int `json:"boards"`
+	// Shards is the Booster shard count of a `dlbench -shards` scaling
+	// run; zero (omitted from JSON) for the classic single-pipeline
+	// traced run, so pre-shard BENCH_<n>.json baselines still compare.
+	Shards int `json:"shards,omitempty"`
+	// ShardRate is the modelled per-shard engine capacity (images/s)
+	// the scaling run paced compute at; zero for unpaced runs.
+	ShardRate float64 `json:"shard_rate,omitempty"`
 }
 
 // BenchResult is one benchmark run, serialised as BENCH_<n>.json.
@@ -93,6 +100,42 @@ type BenchRegression struct {
 // String renders the regression for the benchdiff report.
 func (r BenchRegression) String() string {
 	return fmt.Sprintf("%s: base %.3f → new %.3f (limit %.3f)", r.Metric, r.Base, r.New, r.Limit)
+}
+
+// CompareBenchSpeedup is the shard-scaling gate: cur must achieve at
+// least ratio × base's throughput. The two results must be the same
+// scenario (same name, same config except the shard knobs) — comparing
+// a 2-shard run against the 1-shard run of the same corpus is the
+// intended use; comparing different scenarios is an error. Stage
+// latencies are not compared: shard scaling shifts where time is spent
+// by design, and the throughput ratio is the claim under test.
+func CompareBenchSpeedup(base, cur *BenchResult, ratio float64) (*BenchRegression, error) {
+	if base == nil || cur == nil {
+		return nil, fmt.Errorf("metrics: nil bench result")
+	}
+	if ratio <= 0 {
+		return nil, fmt.Errorf("metrics: speedup ratio %v must be positive", ratio)
+	}
+	if base.Name != cur.Name {
+		return nil, fmt.Errorf("metrics: scenario mismatch: %q vs %q", base.Name, cur.Name)
+	}
+	bc, cc := base.Config, cur.Config
+	bc.Shards, cc.Shards = 0, 0
+	bc.ShardRate, cc.ShardRate = 0, 0
+	if bc != cc {
+		return nil, fmt.Errorf("metrics: config mismatch beyond shard count: baseline %+v vs new %+v", base.Config, cur.Config)
+	}
+	if base.Throughput <= 0 {
+		return nil, fmt.Errorf("metrics: baseline throughput %v not positive", base.Throughput)
+	}
+	limit := base.Throughput * ratio
+	if cur.Throughput < limit {
+		return &BenchRegression{
+			Metric: fmt.Sprintf("throughput speedup (%d→%d shards)", base.Config.Shards, cur.Config.Shards),
+			Base:   base.Throughput, New: cur.Throughput, Limit: limit,
+		}, nil
+	}
+	return nil, nil
 }
 
 // CompareBenchResults checks a new result against a baseline with a

@@ -1,0 +1,235 @@
+// Fleet rollup: merging per-shard PipelineSnapshots into one
+// FleetSnapshot, and the fleet doctor that diagnoses each shard
+// individually before summarising the spread ("shard 3 is
+// decoder-bound, the rest are healthy"). Counters, queue depths and
+// gauges add across shards; stage summaries merge with exact counts
+// and weighted statistics; per-shard spans stay on their shard so the
+// trace export can give every shard its own process track.
+
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FleetSnapshot is the unified telemetry view of a sharded fleet: the
+// per-shard snapshots in shard order, plus their rollup. Shards holds
+// exactly what each shard's registry reported (nil entries for shards
+// without telemetry); Total is MergeSnapshots over the non-nil ones.
+type FleetSnapshot struct {
+	TakenAt time.Time           `json:"taken_at"`
+	Shards  []*PipelineSnapshot `json:"shards"`
+	Total   *PipelineSnapshot   `json:"total"`
+}
+
+// JSON renders the fleet snapshot as indented JSON — the
+// /metrics.json payload of a sharded dlserve.
+func (f *FleetSnapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// MergeSummaries combines two stage summaries. Count is exact (the sum
+// — the conservation property the fleet tests assert), Mean is the
+// count-weighted mean, Min/Max are true extremes, and the percentiles
+// and standard deviation are count-weighted estimates: without the raw
+// samples a merged p95 cannot be exact, so the rollup is honest about
+// being an approximation (docs/METRICS.md).
+func MergeSummaries(a, b Summary) Summary {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	n := a.Count + b.Count
+	wa, wb := float64(a.Count)/float64(n), float64(b.Count)/float64(n)
+	mean := wa*a.Mean + wb*b.Mean
+	// Pooled population variance from per-summary moments:
+	// E[x²] = stddev² + mean², merged var = E[x²]_merged − mean².
+	ex2 := wa*(a.StdDevPopulationEst*a.StdDevPopulationEst+a.Mean*a.Mean) +
+		wb*(b.StdDevPopulationEst*b.StdDevPopulationEst+b.Mean*b.Mean)
+	variance := ex2 - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:               n,
+		Mean:                mean,
+		P50:                 wa*a.P50 + wb*b.P50,
+		P95:                 wa*a.P95 + wb*b.P95,
+		P99:                 wa*a.P99 + wb*b.P99,
+		Min:                 math.Min(a.Min, b.Min),
+		Max:                 math.Max(a.Max, b.Max),
+		StdDevPopulationEst: math.Sqrt(variance),
+	}
+}
+
+// MergeSnapshots rolls per-shard snapshots up into a FleetSnapshot.
+// Counters sum (conservation: no image, retry or shed is counted twice
+// or dropped), queue depths sum len and cap, gauges sum (so the
+// `degraded` gauge of the rollup counts degraded shards), stage
+// summaries merge via MergeSummaries, and events interleave in time
+// order. Recent spans are not merged into Total — they stay on their
+// shard so the trace export can render one process track per shard.
+// Nil entries (shards without telemetry) are skipped.
+func MergeSnapshots(shards []*PipelineSnapshot) *FleetSnapshot {
+	f := &FleetSnapshot{
+		Shards: shards,
+		Total: &PipelineSnapshot{
+			Counters: make(map[string]int64),
+			Gauges:   make(map[string]float64),
+			Stages:   make(map[string]Summary),
+			Queues:   make(map[string]QueueDepth),
+		},
+	}
+	t := f.Total
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if s.TakenAt.After(f.TakenAt) {
+			f.TakenAt = s.TakenAt
+		}
+		if s.UptimeSeconds > t.UptimeSeconds {
+			t.UptimeSeconds = s.UptimeSeconds
+		}
+		for k, v := range s.Counters {
+			t.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			t.Gauges[k] += v
+		}
+		for k, v := range s.Stages {
+			t.Stages[k] = MergeSummaries(t.Stages[k], v)
+		}
+		for k, q := range s.Queues {
+			cur := t.Queues[k]
+			t.Queues[k] = QueueDepth{Len: cur.Len + q.Len, Cap: cur.Cap + q.Cap}
+		}
+		for k, v := range s.Cores {
+			if t.Cores == nil {
+				t.Cores = make(map[string]float64)
+			}
+			t.Cores[k] += v
+		}
+		t.Events = append(t.Events, s.Events...)
+		t.SpansCompleted += s.SpansCompleted
+	}
+	t.TakenAt = f.TakenAt
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].At.Before(t.Events[j].At) })
+	return f
+}
+
+// FleetDiagnosis is the fleet doctor's report: one Diagnosis per shard
+// (nil for shards without telemetry), the rollup diagnosis over the
+// merged Total, the fleet verdict (the rollup's), and the one-line
+// per-shard spread — "shard 3 is decoder-bound, the rest are healthy".
+type FleetDiagnosis struct {
+	Verdict string       `json:"verdict"`
+	Summary string       `json:"summary"`
+	Shards  []*Diagnosis `json:"shards"`
+	Fleet   *Diagnosis   `json:"fleet"`
+}
+
+// DiagnoseFleet diagnoses every shard independently, then the merged
+// rollup, so the report can say which shard is the outlier instead of
+// blurring N shards into one average. prev may be nil; when it has the
+// same shard count as cur, per-shard deltas use the matching shard.
+func DiagnoseFleet(cur, prev *FleetSnapshot) *FleetDiagnosis {
+	if cur == nil {
+		return nil
+	}
+	fd := &FleetDiagnosis{}
+	for i, s := range cur.Shards {
+		var p *PipelineSnapshot
+		if prev != nil && len(prev.Shards) == len(cur.Shards) {
+			p = prev.Shards[i]
+		}
+		fd.Shards = append(fd.Shards, Diagnose(s, p))
+	}
+	var prevTotal *PipelineSnapshot
+	if prev != nil {
+		prevTotal = prev.Total
+	}
+	fd.Fleet = Diagnose(cur.Total, prevTotal)
+	if fd.Fleet != nil {
+		fd.Verdict = fd.Fleet.Verdict
+	}
+	fd.Summary = verdictSpread(fd.Shards)
+	return fd
+}
+
+// verdictSpread renders the per-shard verdicts as one sentence,
+// naming outlier shards individually against the most common verdict.
+func verdictSpread(shards []*Diagnosis) string {
+	verdicts := make([]string, len(shards))
+	counts := make(map[string]int)
+	for i, d := range shards {
+		v := VerdictInconclusive
+		if d != nil {
+			v = d.Verdict
+		}
+		verdicts[i] = v
+		counts[v]++
+	}
+	if len(verdicts) == 0 {
+		return "no shards"
+	}
+	// The most common verdict, ties broken deterministically by name.
+	majority, best := "", 0
+	for _, v := range sortedKeys(counts) {
+		if counts[v] > best {
+			majority, best = v, counts[v]
+		}
+	}
+	if best == len(verdicts) {
+		if len(verdicts) == 1 {
+			return fmt.Sprintf("shard 0 is %s", majority)
+		}
+		return fmt.Sprintf("all %d shards are %s", len(verdicts), majority)
+	}
+	var outliers []string
+	for i, v := range verdicts {
+		if v != majority {
+			outliers = append(outliers, fmt.Sprintf("shard %d is %s", i, v))
+		}
+	}
+	if best <= 1 && len(outliers) >= len(verdicts)-1 {
+		// No real majority: name every shard.
+		all := make([]string, len(verdicts))
+		for i, v := range verdicts {
+			all[i] = fmt.Sprintf("shard %d is %s", i, v)
+		}
+		return strings.Join(all, ", ")
+	}
+	rest := "the rest are " + majority
+	if best == 1 {
+		rest = "the other is " + majority
+	}
+	return strings.Join(outliers, ", ") + ", " + rest
+}
+
+// Report renders the fleet diagnosis: the spread sentence, the rollup
+// report, then each shard's own report — the sharded dlbench -doctor
+// and dlserve shutdown output.
+func (fd *FleetDiagnosis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %s\n", fd.Summary)
+	if fd.Fleet != nil {
+		b.WriteString("\nrollup ")
+		b.WriteString(fd.Fleet.Report())
+	}
+	for i, d := range fd.Shards {
+		if d == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\nshard %d ", i)
+		b.WriteString(d.Report())
+	}
+	return b.String()
+}

@@ -71,23 +71,37 @@ var traceTracks = []struct {
 // the timeline starts near zero.
 func WriteChromeTrace(w io.Writer, spans []Span, events []Event, samples []MiniSnapshot) error {
 	t0 := earliestTimestamp(spans, events, samples)
-	evs := make([]traceEvent, 0, 8+6*len(spans)+len(events))
+	evs := appendProcessTrace(nil, tracePID, "dlbooster pipeline", spans, events, samples, t0)
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// appendProcessTrace appends one pipeline's timeline under the given
+// pid/process name: the metadata events naming the process and its
+// stage threads, the span slices, the instant event markers and the
+// queue-depth counter series. A sharded fleet calls it once per shard
+// with a distinct pid, so every shard reads as its own process track.
+func appendProcessTrace(evs []traceEvent, pid int, procName string, spans []Span, events []Event, samples []MiniSnapshot, t0 time.Time) []traceEvent {
 	evs = append(evs, traceEvent{
-		Name: "process_name", Ph: "M", PID: tracePID, TID: 0,
-		Args: map[string]any{"name": "dlbooster pipeline"},
+		Name: "process_name", Ph: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": procName},
+	})
+	evs = append(evs, traceEvent{
+		Name: "process_sort_index", Ph: "M", PID: pid, TID: 0,
+		Args: map[string]any{"sort_index": pid},
 	})
 	for _, tr := range traceTracks {
 		evs = append(evs, traceEvent{
-			Name: "thread_name", Ph: "M", PID: tracePID, TID: tr.tid,
+			Name: "thread_name", Ph: "M", PID: pid, TID: tr.tid,
 			Args: map[string]any{"name": tr.name},
 		})
 		evs = append(evs, traceEvent{
-			Name: "thread_sort_index", Ph: "M", PID: tracePID, TID: tr.tid,
+			Name: "thread_sort_index", Ph: "M", PID: pid, TID: tr.tid,
 			Args: map[string]any{"sort_index": tr.tid},
 		})
 	}
 	for _, sp := range spans {
-		evs = append(evs, spanEvents(sp, t0)...)
+		evs = append(evs, spanEvents(sp, t0, pid)...)
 	}
 	for _, e := range events {
 		if e.At.IsZero() {
@@ -95,7 +109,7 @@ func WriteChromeTrace(w io.Writer, spans []Span, events []Event, samples []MiniS
 		}
 		evs = append(evs, traceEvent{
 			Name: e.Name, Cat: "event", Ph: "i", TS: usSince(t0, e.At),
-			PID: tracePID, TID: traceTIDEvents, S: "g",
+			PID: pid, TID: traceTIDEvents, S: "g",
 			Args: map[string]any{"detail": e.Detail},
 		})
 	}
@@ -106,18 +120,17 @@ func WriteChromeTrace(w io.Writer, spans []Span, events []Event, samples []MiniS
 		ts := usSince(t0, m.TakenAt)
 		for _, q := range sortedKeys(m.Queues) {
 			evs = append(evs, traceEvent{
-				Name: "queue:" + q, Ph: "C", TS: ts, PID: tracePID, TID: 0,
+				Name: "queue:" + q, Ph: "C", TS: ts, PID: pid, TID: 0,
 				Args: map[string]any{"len": m.Queues[q].Len},
 			})
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+	return evs
 }
 
 // spanEvents expands one batch span into its per-stage slices, skipping
 // stages the batch never reached (zero timestamps).
-func spanEvents(sp Span, t0 time.Time) []traceEvent {
+func spanEvents(sp Span, t0 time.Time, pid int) []traceEvent {
 	name := fmt.Sprintf("batch %d", sp.Batch)
 	args := map[string]any{
 		"batch": sp.Batch, "images": sp.Images,
@@ -131,7 +144,7 @@ func spanEvents(sp Span, t0 time.Time) []traceEvent {
 		evs = append(evs, traceEvent{
 			Name: name, Cat: cat, Ph: "X",
 			TS: usSince(t0, from), Dur: float64(to.Sub(from)) / float64(time.Microsecond),
-			PID: tracePID, TID: tid, Args: args,
+			PID: pid, TID: tid, Args: args,
 		})
 	}
 	slice(traceTIDBatch, "batch_e2e", sp.Collected, sp.Recycled)
@@ -181,6 +194,38 @@ func (s *PipelineSnapshot) WriteChromeTrace(w io.Writer) error {
 		return WriteChromeTrace(w, nil, nil, nil)
 	}
 	return WriteChromeTrace(w, s.RecentSpans, s.Events, nil)
+}
+
+// WriteChromeTrace renders a sharded fleet's recent spans and events
+// as one Chrome trace_event timeline with one process per shard (pid =
+// shard index + 1, named "shard <i>"), so Perfetto shows each shard's
+// batch lifecycle on its own group of tracks — "shard 3's full-queue
+// waits balloon while the others idle" becomes visible at a glance.
+// Timestamps share one origin across shards, so cross-shard skew (a
+// degraded shard's batches stretching while a healthy one's stay
+// tight) reads directly off the timeline.
+func (f *FleetSnapshot) WriteChromeTrace(w io.Writer) error {
+	if f == nil {
+		return WriteChromeTrace(w, nil, nil, nil)
+	}
+	var t0 time.Time
+	for _, s := range f.Shards {
+		if s == nil {
+			continue
+		}
+		if st0 := earliestTimestamp(s.RecentSpans, s.Events, nil); !st0.IsZero() && (t0.IsZero() || st0.Before(t0)) {
+			t0 = st0
+		}
+	}
+	var evs []traceEvent
+	for i, s := range f.Shards {
+		if s == nil {
+			continue
+		}
+		evs = appendProcessTrace(evs, i+1, fmt.Sprintf("shard %d", i), s.RecentSpans, s.Events, nil, t0)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
 }
 
 // WriteChromeTrace renders a flight dump as a Chrome trace_event

@@ -5,12 +5,18 @@
 //
 //	benchdiff BENCH_0.json BENCH_1.json
 //	benchdiff -threshold 2.0 -floor-ms 1.0 base.json new.json
+//	benchdiff -speedup 1.7 shards1.json shards2.json
 //
 // Throughput must stay above base/threshold; every stage p95 present in
 // both files must stay below max(base p95, floor-ms) × threshold. The
 // floor keeps sub-millisecond stages from flagging scheduler noise.
 // Mismatched configurations or schema versions are an error (exit 2) —
 // results are only ever compared like-for-like.
+//
+// With -speedup R the comparison inverts into a scaling gate: the
+// second file must show at least R× the first file's throughput. The
+// configs must match except for the shard count and per-shard rate —
+// the gate CI runs over dlbench -shards 1 vs -shards 2.
 package main
 
 import (
@@ -25,15 +31,61 @@ import (
 func main() {
 	threshold := flag.Float64("threshold", 2.0, "regression multiplier: new throughput ≥ base/threshold, new stage p95 ≤ max(base p95, floor-ms)×threshold")
 	floorMs := flag.Float64("floor-ms", 1.0, "stage p95 floor in milliseconds, below which a base p95 is treated as this value")
+	speedup := flag.Float64("speedup", 0, "scaling gate: require the second file's throughput ≥ this multiple of the first's (configs may differ only in shard count and rate; 0 = regression mode)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] [-floor-ms 1.0] base.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] [-floor-ms 1.0] [-speedup 1.7] base.json new.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *floorMs); err != nil {
+	var err error
+	if *speedup > 0 {
+		err = runSpeedup(flag.Arg(0), flag.Arg(1), *speedup)
+	} else {
+		err = run(flag.Arg(0), flag.Arg(1), *threshold, *floorMs)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
+}
+
+// runSpeedup is the scaling gate: cur must reach ratio× base's
+// throughput, configs matching up to shard count and per-shard rate.
+func runSpeedup(basePath, curPath string, ratio float64) error {
+	base, err := metrics.ReadBenchResult(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := metrics.ReadBenchResult(curPath)
+	if err != nil {
+		return err
+	}
+	reg, err := metrics.CompareBenchSpeedup(base, cur, ratio)
+	if err != nil {
+		return err
+	}
+	got := 0.0
+	if base.Throughput > 0 {
+		got = cur.Throughput / base.Throughput
+	}
+	fmt.Printf("benchdiff: %s (%d shards) vs %s (%d shards), speedup gate %.2fx\n",
+		basePath, maxShards(base), curPath, maxShards(cur), ratio)
+	fmt.Printf("  throughput: %.1f → %.1f images/s (%.2fx)\n", base.Throughput, cur.Throughput, got)
+	if reg != nil {
+		fmt.Printf("benchdiff: FAIL — %s\n", reg)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: PASS")
+	return nil
+}
+
+// maxShards renders a result's shard count, treating the classic
+// single-pipeline config (Shards 0) as one shard.
+func maxShards(r *metrics.BenchResult) int {
+	if r.Config.Shards > 0 {
+		return r.Config.Shards
+	}
+	return 1
 }
 
 func run(basePath, newPath string, threshold, floorMs float64) error {
