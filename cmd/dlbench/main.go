@@ -57,6 +57,8 @@ func main() {
 	noDecodeScale := flag.Bool("no-decode-scale", false, "with -metrics/-doctor/-json: disable the decode-to-scale fast path (full-resolution decode + resize)")
 	shards := flag.Int("shards", 0, "with -metrics/-doctor/-json: run the traced pipeline as this many fleet shards, each engine paced at -shard-rate (0 = classic single pipeline)")
 	shardRate := flag.Float64("shard-rate", 40, "with -shards: modelled per-shard accelerator rate in images/s")
+	replayEpochs := flag.Int("replay-epochs", 0, "with -metrics/-doctor/-json: after the first decode epoch, serve this many epochs from the tiered ReplayCache and measure their throughput (0 = classic single-epoch run)")
+	cacheMode := flag.String("cache", "ram+nvme", "with -replay-epochs: cache configuration — cold (no cache), ram (RAM tier only) or ram+nvme (RAM tier with NVMe spill); the RAM tier is sized to half the decoded dataset")
 	flag.Parse()
 
 	if *showMetrics || *doctor || *benchJSON != "" {
@@ -65,9 +67,12 @@ func main() {
 		var res *tracedResult
 		var fleetSnap *metrics.FleetSnapshot
 		var err error
-		if *shards > 0 {
+		switch {
+		case *replayEpochs > 0:
+			res, err = tracedReplayRun(*metricsImages, *metricsBatch, *replayEpochs, *cacheMode, *noDecodeScale)
+		case *shards > 0:
 			res, fleetSnap, err = tracedShardsRun(*metricsImages, *metricsBatch, *shards, *shardRate, *noDecodeScale)
-		} else {
+		default:
 			res, err = tracedRun(*metricsImages, *metricsBatch, *noDecodeScale)
 		}
 		if err != nil {

@@ -101,6 +101,16 @@ func serveFleet(cfg serveConfig) error {
 	if grace <= 0 {
 		grace = time.Millisecond
 	}
+	// One shared tiered cache across the fleet: every shard captures
+	// into and replays from the same tiers, so a tensor decoded on any
+	// shard is readable by all of them.
+	var shared *core.TieredCache
+	if cacheCfg := cfg.cacheConfig(); cacheCfg.RAMBytes > 0 {
+		shared, err = fleet.SharedCacheFor(cacheCfg)
+		if err != nil {
+			return err
+		}
+	}
 	fl, err := fleet.New(fleet.Config{
 		Shards:    cfg.shards,
 		Placement: placement,
@@ -120,6 +130,7 @@ func serveFleet(cfg serveConfig) error {
 				BatchTimeout: cfg.batchTimeout,
 				Metrics:      reg,
 				Flight:       flight,
+				SharedCache:  shared,
 			}
 			if shard == 0 {
 				bcfg.FPGA = fpga.Config{Inject: inject}

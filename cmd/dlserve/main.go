@@ -61,6 +61,7 @@ import (
 	"dlbooster/internal/fpga"
 	"dlbooster/internal/gpu"
 	"dlbooster/internal/metrics"
+	"dlbooster/internal/nvme"
 	"dlbooster/internal/perf"
 	"dlbooster/internal/queue"
 )
@@ -100,6 +101,9 @@ func main() {
 	snapFile := flag.String("snapshot-file", "", "server: overwrite this file with each periodic snapshot (default: stderr)")
 	traceFile := flag.String("trace-file", "", "server: write a Chrome trace_event timeline (Perfetto-loadable) to this file on shutdown; also serves /trace.json when -metrics-addr is set")
 	flightDir := flag.String("flight-dir", "", "server: enable the flight recorder, dumping its rings into this directory on degradation, wedged-device faults, backend errors and shutdown")
+	cacheMB := flag.Int("cache-mb", 0, "server: RAM tier of the decoded-tensor ReplayCache in MiB (0 = no cache); with -shards > 1 the tiers are shared across shards")
+	cacheSpillMB := flag.Int("cache-spill-mb", 0, "server: NVMe spill tier of the ReplayCache in MiB (0 = RAM tier only)")
+	cacheCompress := flag.Bool("cache-compress", false, "server: flate-compress tensors spilled to the NVMe tier")
 	flag.Parse()
 
 	var err error
@@ -115,11 +119,14 @@ func main() {
 				CmdTimeout:    *cmdTimeout,
 				FallbackAfter: *fallbackAfter,
 			},
-			metricsAddr: *metricsAddr,
-			snapEvery:   *snapEvery,
-			snapFile:    *snapFile,
-			traceFile:   *traceFile,
-			flightDir:   *flightDir,
+			metricsAddr:   *metricsAddr,
+			snapEvery:     *snapEvery,
+			snapFile:      *snapFile,
+			traceFile:     *traceFile,
+			flightDir:     *flightDir,
+			cacheMB:       *cacheMB,
+			cacheSpillMB:  *cacheSpillMB,
+			cacheCompress: *cacheCompress,
 		})
 	case *connect != "":
 		err = client(*connect, *n, *wait)
@@ -224,6 +231,37 @@ type serveConfig struct {
 	snapFile    string
 	traceFile   string
 	flightDir   string
+
+	// cacheMB > 0 gives the pipeline a decoded-tensor ReplayCache: a
+	// RAM tier of that size, plus an NVMe spill tier of cacheSpillMB
+	// when set (optionally flate-compressed). Serving is a stream, not
+	// an epoch, so the cache is a capture surface here — its counters
+	// and doctor verdicts show up in the telemetry endpoints.
+	cacheMB       int
+	cacheSpillMB  int
+	cacheCompress bool
+}
+
+// cacheConfig translates the -cache-* flags into a core.CacheConfig,
+// backing the spill tier with its own paced simulated NVMe device.
+func (cfg serveConfig) cacheConfig() core.CacheConfig {
+	if cfg.cacheMB <= 0 {
+		return core.CacheConfig{}
+	}
+	cc := core.CacheConfig{
+		RAMBytes: int64(cfg.cacheMB) << 20,
+		Compress: cfg.cacheCompress,
+	}
+	if cfg.cacheSpillMB > 0 {
+		cc.Spill = nvme.New(nvme.Config{
+			ReadBandwidth:  perf.NVMeReadBandwidth,
+			ReadLatency:    time.Duration(perf.NVMeReadLatency * float64(time.Second)),
+			WriteBandwidth: perf.NVMeWriteBandwidth,
+			WriteLatency:   time.Duration(perf.NVMeWriteLatency * float64(time.Second)),
+		})
+		cc.SpillBytes = int64(cfg.cacheSpillMB) << 20
+	}
+	return cc
 }
 
 func serve(cfg serveConfig) error {
@@ -276,6 +314,7 @@ func serve(cfg serveConfig) error {
 			BatchTimeout: cfg.batchTimeout,
 			Metrics:      reg,
 			Flight:       flight,
+			Cache:        cfg.cacheConfig(),
 		})
 		if err != nil {
 			return err
@@ -289,6 +328,7 @@ func serve(cfg serveConfig) error {
 			BatchSize: batch, OutW: size, OutH: size, Channels: 3,
 			PoolBatches: 8, Workers: 4,
 			BatchTimeout: cfg.batchTimeout,
+			Cache:        cfg.cacheConfig(),
 		})
 		if err != nil {
 			return err

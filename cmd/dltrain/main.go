@@ -35,15 +35,18 @@ func main() {
 	workers := flag.Int("workers", perf.DefaultCPUDecodeThreads, "decode threads for -backend cpu")
 	outSize := flag.Int("size", 28, "decoder output edge (pixels)")
 	pace := flag.Bool("pace", false, "pace GPU compute with the calibrated LeNet-5 rate")
+	cacheMB := flag.Int("cache-mb", 0, "RAM tier of the decoded-tensor ReplayCache in MiB (0 = auto-size to the corpus)")
+	cacheSpillMB := flag.Int("cache-spill-mb", 0, "NVMe spill tier of the ReplayCache in MiB (0 = RAM tier only; overflow drops the cache)")
+	cacheCompress := flag.Bool("cache-compress", false, "flate-compress tensors spilled to the NVMe tier")
 	flag.Parse()
 
-	if err := run(*backendName, *images, *batch, *gpus, *epochs, *workers, *outSize, *pace); err != nil {
+	if err := run(*backendName, *images, *batch, *gpus, *epochs, *workers, *outSize, *pace, *cacheMB, *cacheSpillMB, *cacheCompress); err != nil {
 		fmt.Fprintf(os.Stderr, "dltrain: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(backendName string, images, batch, gpus, epochs, workers, outSize int, pace bool) error {
+func run(backendName string, images, batch, gpus, epochs, workers, outSize int, pace bool, cacheMB, cacheSpillMB int, cacheCompress bool) error {
 	spec := dataset.MNISTLike(images)
 	fmt.Printf("generating %d-image %s corpus onto simulated NVMe...\n", images, spec.Name)
 	disk := nvme.New(nvme.Config{ReadBandwidth: perf.NVMeReadBandwidth, ReadLatency: time.Duration(perf.NVMeReadLatency * float64(time.Second))})
@@ -53,12 +56,31 @@ func run(backendName string, images, batch, gpus, epochs, workers, outSize int, 
 
 	busy := metrics.NewBusyTracker()
 	var backend backends.Backend
-	cacheLimit := int64(images*outSize*outSize) + 1<<20
+	// The RAM tier auto-sizes to hold the whole decoded corpus unless
+	// -cache-mb pins it smaller; -cache-spill-mb then adds an NVMe spill
+	// tier (its own paced device, so spill traffic doesn't contend with
+	// the corpus disk's manifest) instead of dropping on overflow.
+	cacheCfg := core.CacheConfig{
+		RAMBytes: int64(images*outSize*outSize) + 1<<20,
+		Compress: cacheCompress,
+	}
+	if cacheMB > 0 {
+		cacheCfg.RAMBytes = int64(cacheMB) << 20
+	}
+	if cacheSpillMB > 0 {
+		cacheCfg.Spill = nvme.New(nvme.Config{
+			ReadBandwidth:  perf.NVMeReadBandwidth,
+			ReadLatency:    time.Duration(perf.NVMeReadLatency * float64(time.Second)),
+			WriteBandwidth: perf.NVMeWriteBandwidth,
+			WriteLatency:   time.Duration(perf.NVMeWriteLatency * float64(time.Second)),
+		})
+		cacheCfg.SpillBytes = int64(cacheSpillMB) << 20
+	}
 	switch backendName {
 	case "dlbooster":
 		b, err := backends.NewDLBooster(core.Config{
 			BatchSize: batch, OutW: outSize, OutH: outSize, Channels: 1,
-			PoolBatches: 8, Source: disk, CacheLimitBytes: cacheLimit,
+			PoolBatches: 8, Source: disk, Cache: cacheCfg,
 		})
 		if err != nil {
 			return err
@@ -68,7 +90,7 @@ func run(backendName string, images, batch, gpus, epochs, workers, outSize int, 
 		b, err := backends.NewCPU(backends.CPUConfig{
 			BatchSize: batch, OutW: outSize, OutH: outSize, Channels: 1,
 			PoolBatches: 8, Workers: workers, Source: disk, Busy: busy,
-			CacheLimitBytes: cacheLimit,
+			Cache: cacheCfg,
 		})
 		if err != nil {
 			return err
@@ -84,7 +106,7 @@ func run(backendName string, images, batch, gpus, epochs, workers, outSize int, 
 		fmt.Printf("offline conversion: %d records in %v\n", images, time.Since(convStart).Round(time.Millisecond))
 		b, err := backends.NewLMDB(backends.LMDBConfig{
 			BatchSize: batch, OutW: outSize, OutH: outSize, Channels: 1,
-			PoolBatches: 8, DB: db, Busy: busy, CacheLimitBytes: cacheLimit,
+			PoolBatches: 8, DB: db, Busy: busy, Cache: cacheCfg,
 		})
 		if err != nil {
 			return err
@@ -125,12 +147,14 @@ func run(backendName string, images, batch, gpus, epochs, workers, outSize int, 
 		defer backend.CloseBatches()
 		for e := 0; e < epochs; e++ {
 			start := time.Now()
-			if e > 0 && backend.CacheComplete() {
+			if e > 0 && backend.CacheComplete() && backend.CacheReplayable() {
 				if err := backend.ReplayCache(); err != nil {
 					errc <- err
 					return
 				}
-				fmt.Printf("epoch %d: served from memory cache in %v (hybrid mode)\n", e+1, time.Since(start).Round(time.Millisecond))
+				cs := backend.Cache().Stats()
+				fmt.Printf("epoch %d: served from the replay cache in %v (hybrid mode; %d RAM + %d spilled batches, %d re-decoded)\n",
+					e+1, time.Since(start).Round(time.Millisecond), cs.RAMResident, cs.SpillResident, cs.Dropped)
 				continue
 			}
 			col, err := core.LoadFromDisk(disk, func(name string, i int) int { return spec.Label(i) })

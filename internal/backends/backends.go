@@ -24,9 +24,17 @@ type Backend interface {
 	// RunEpoch processes one pass of the collector, blocking until all
 	// items are batched. A consumer must drain Batches concurrently.
 	RunEpoch(core.DataCollector) error
-	// CacheComplete reports whether ReplayCache can serve an epoch.
+	// Cache exposes the tiered replay cache for stats and sharing (nil
+	// when the backend was built without one).
+	Cache() *core.TieredCache
+	// CacheComplete reports whether the whole first epoch is resident
+	// across the cache tiers (a replay would re-decode nothing).
 	CacheComplete() bool
-	// ReplayCache serves one epoch from memory (hybrid mode, §3.1).
+	// CacheReplayable reports whether ReplayCache can serve an epoch at
+	// all, re-decoding evicted entries if it must.
+	CacheReplayable() bool
+	// ReplayCache serves one epoch from the tiered cache (hybrid mode,
+	// §3.1); errors wrap core.ErrCacheUnavailable with the cause.
 	ReplayCache() error
 	// CloseBatches ends the batch stream.
 	CloseBatches()

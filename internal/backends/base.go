@@ -4,17 +4,21 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dlbooster/internal/core"
+	"dlbooster/internal/fpga"
 	"dlbooster/internal/hugepage"
 	"dlbooster/internal/metrics"
 	"dlbooster/internal/queue"
 )
 
 // base carries the machinery every host-side backend shares: the batch
-// buffer pool, the Full queue, decode counters and the optional epoch
-// cache. Concrete backends embed it and supply their own RunEpoch.
+// buffer pool, the Full queue, decode counters and the optional tiered
+// epoch cache — the same core.TieredCache the Booster uses, so the CPU
+// baselines get RAM→NVMe spill and hybrid replay for free. Concrete
+// backends embed it and supply their own RunEpoch.
 type base struct {
 	batchSize            int
 	outW, outH, channels int
@@ -27,22 +31,16 @@ type base struct {
 	mu  sync.Mutex
 	seq int
 
-	cacheLimit    int64
-	cacheMu       sync.Mutex
-	cache         []cachedBatch
-	cacheBytes    int64
-	cacheOverflow bool
+	// cache is the tiered epoch cache (nil = caching disabled), possibly
+	// shared with other backends or Boosters. replaying suppresses
+	// re-capture while ReplayCache re-decodes evicted entries; runEpoch
+	// is the concrete backend's RunEpoch, wired by its constructor so
+	// the shared replay path can re-decode through it.
+	cache     *core.TieredCache
+	replaying atomic.Bool
+	runEpoch  func(core.DataCollector) error
 
 	closeOnce sync.Once
-}
-
-// cachedBatch is one immutable epoch-cache entry; replayed batches alias
-// its metas and valid slices (see ReplayCache).
-type cachedBatch struct {
-	data   []byte
-	metas  []core.ItemMeta
-	valid  []bool
-	images int
 }
 
 // baseConfig is the geometry shared by all backend constructors.
@@ -50,7 +48,13 @@ type baseConfig struct {
 	BatchSize            int
 	OutW, OutH, Channels int
 	PoolBatches          int
-	CacheLimitBytes      int64
+	// CacheLimitBytes is the legacy RAM-only knob; it becomes
+	// Cache.RAMBytes when Cache.RAMBytes is zero.
+	CacheLimitBytes int64
+	// Cache sizes the tiered epoch cache (see core.CacheConfig).
+	Cache core.CacheConfig
+	// SharedCache overrides Cache with an externally-owned tier pair.
+	SharedCache *core.TieredCache
 }
 
 func newBase(cfg baseConfig) (*base, error) {
@@ -70,12 +74,25 @@ func newBase(cfg baseConfig) (*base, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache := cfg.SharedCache
+	if cache == nil {
+		if cfg.Cache.RAMBytes == 0 && cfg.CacheLimitBytes > 0 {
+			cfg.Cache.RAMBytes = cfg.CacheLimitBytes
+		}
+		if cfg.Cache.RAMBytes > 0 {
+			cache, err = core.NewTieredCache(cfg.Cache)
+			if err != nil {
+				pool.Close()
+				return nil, err
+			}
+		}
+	}
 	return &base{
 		batchSize: cfg.BatchSize,
 		outW:      cfg.OutW, outH: cfg.OutH, channels: cfg.Channels,
-		pool:       pool,
-		full:       queue.New[*core.Batch](cfg.PoolBatches),
-		cacheLimit: cfg.CacheLimitBytes,
+		pool:  pool,
+		full:  queue.New[*core.Batch](cfg.PoolBatches),
+		cache: cache,
 	}, nil
 }
 
@@ -117,78 +134,74 @@ func (b *base) nextSeq() int {
 	return b.seq
 }
 
-// publish caches (if enabled) and pushes a finished batch.
-func (b *base) publish(batch *core.Batch) error {
+// publish caches (if enabled) and pushes a finished batch. refs are the
+// items' DataRefs and costNanos the measured build cost, both feeding
+// the cache's eviction policy; no-cache callers pass nil and 0.
+func (b *base) publish(batch *core.Batch, refs []fpga.DataRef, costNanos float64) error {
 	if batch.Images == 0 {
 		return b.pool.Put(batch.Buf)
 	}
 	batch.AssembledAt = time.Now()
-	if b.cacheLimit > 0 {
-		b.cacheBatch(batch)
+	if b.cache != nil && !b.replaying.Load() {
+		b.cache.Add(batch, refs, costNanos)
 	}
 	return b.full.Push(batch)
 }
 
-func (b *base) cacheBatch(batch *core.Batch) {
-	b.cacheMu.Lock()
-	defer b.cacheMu.Unlock()
-	if b.cacheOverflow {
-		return
-	}
-	n := int64(batch.Images * batch.ImageBytes())
-	if b.cacheBytes+n > b.cacheLimit {
-		b.cacheOverflow = true
-		b.cache = nil
-		b.cacheBytes = 0
-		return
-	}
-	b.cache = append(b.cache, cachedBatch{
-		data:   append([]byte(nil), batch.Bytes()...),
-		metas:  append([]core.ItemMeta(nil), batch.Metas...),
-		valid:  append([]bool(nil), batch.Valid...),
-		images: batch.Images,
-	})
-	b.cacheBytes += n
-}
+// Cache exposes the tiered epoch cache (nil when caching is disabled),
+// for sharing and tests.
+func (b *base) Cache() *core.TieredCache { return b.cache }
 
-// CacheComplete implements Backend.
+// CacheComplete implements Backend: the whole first epoch is still
+// resident across the cache tiers.
 func (b *base) CacheComplete() bool {
-	b.cacheMu.Lock()
-	defer b.cacheMu.Unlock()
-	return b.cacheLimit > 0 && !b.cacheOverflow && len(b.cache) > 0
+	return b.cache != nil && b.cache.Complete()
 }
 
-// ReplayCache implements Backend. Replayed batches share the cached
-// Metas and Valid slices (same aliasing contract as
-// core.Booster.ReplayCache): cache entries are immutable once written
-// and consumers treat published batches as read-only.
+// CacheReplayable implements Backend: ReplayCache can serve an epoch,
+// re-decoding evicted entries if it must.
+func (b *base) CacheReplayable() bool {
+	return b.cache != nil && b.cache.Available() == nil
+}
+
+// ReplayCache implements Backend: serve one epoch from the tiered
+// cache. Replayed batches share the cached Metas and Valid slices (same
+// aliasing contract as core.Booster.ReplayCache): cache entries are
+// immutable once written and consumers treat published batches as
+// read-only. Evicted entries are re-decoded through the backend's own
+// RunEpoch; errors wrap core.ErrCacheUnavailable with the cause.
 func (b *base) ReplayCache() error {
-	b.cacheMu.Lock()
-	snapshot := b.cache
-	ok := b.cacheLimit > 0 && !b.cacheOverflow && len(b.cache) > 0
-	b.cacheMu.Unlock()
-	if !ok {
-		return core.ErrCacheUnavailable
+	if b.cache == nil {
+		return core.ErrCacheDisabled
 	}
-	for _, cb := range snapshot {
-		buf, err := b.pool.Get()
-		if err != nil {
-			return fmt.Errorf("backends: pool closed: %w", err)
-		}
-		copy(buf.Bytes(), cb.data)
-		batch := &core.Batch{
-			Buf:    buf,
-			Images: cb.images,
-			W:      b.outW, H: b.outH, C: b.channels,
-			Metas:       cb.metas,
-			Valid:       cb.valid,
-			Seq:         b.nextSeq(),
-			AssembledAt: time.Now(),
-		}
-		b.images.Add(int64(cb.images))
-		if err := b.full.Push(batch); err != nil {
-			return err
+	sink := core.CacheReplaySink{
+		GetBuffer: func() (*hugepage.Buffer, error) {
+			buf, err := b.pool.Get()
+			if err != nil {
+				return nil, fmt.Errorf("backends: pool closed: %w", err)
+			}
+			return buf, nil
+		},
+		Publish: func(buf *hugepage.Buffer, images int, metas []core.ItemMeta, valid []bool, _ core.CacheTier) error {
+			batch := &core.Batch{
+				Buf:    buf,
+				Images: images,
+				W:      b.outW, H: b.outH, C: b.channels,
+				Metas:       metas,
+				Valid:       valid,
+				Seq:         b.nextSeq(),
+				AssembledAt: time.Now(),
+			}
+			b.images.Add(int64(images))
+			return b.full.Push(batch)
+		},
+	}
+	if b.runEpoch != nil {
+		sink.Redecode = func(items []core.Item) error {
+			b.replaying.Store(true)
+			defer b.replaying.Store(false)
+			return b.runEpoch(core.CollectorFromItems(items))
 		}
 	}
-	return nil
+	return b.cache.Replay(0, 1, sink)
 }

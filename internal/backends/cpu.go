@@ -44,12 +44,16 @@ type cpuJob struct {
 	index int
 }
 
-// cpuBatch tracks a batch buffer being filled by the workers.
+// cpuBatch tracks a batch buffer being filled by the workers. refs and
+// startedAt feed the tiered cache's admission (re-decodability and
+// measured cost); refs is only captured when caching is on.
 type cpuBatch struct {
-	batch   *core.Batch
-	pending atomic.Int32
-	owner   *CPU
-	done    *sync.WaitGroup // epoch-level join
+	batch     *core.Batch
+	pending   atomic.Int32
+	owner     *CPU
+	done      *sync.WaitGroup // epoch-level join
+	refs      []fpga.DataRef
+	startedAt time.Time
 }
 
 // CPUConfig configures the CPU baseline.
@@ -58,6 +62,12 @@ type CPUConfig struct {
 	OutW, OutH, Channels int
 	PoolBatches          int
 	CacheLimitBytes      int64
+	// Cache sizes the tiered epoch cache (RAM → NVMe spill); the legacy
+	// CacheLimitBytes knob maps onto Cache.RAMBytes when Cache is zero.
+	Cache core.CacheConfig
+	// SharedCache, when non-nil, captures into and replays from an
+	// externally-owned cache instead of building one from Cache.
+	SharedCache *core.TieredCache
 	// Workers is the number of decode threads; the paper's "default
 	// configuration" is perf.DefaultCPUDecodeThreads, and its
 	// max-performance sweeps raise it until the GPU is fed.
@@ -92,6 +102,7 @@ func NewCPU(cfg CPUConfig) (*CPU, error) {
 		BatchSize: cfg.BatchSize, OutW: cfg.OutW, OutH: cfg.OutH,
 		Channels: cfg.Channels, PoolBatches: cfg.PoolBatches,
 		CacheLimitBytes: cfg.CacheLimitBytes,
+		Cache:           cfg.Cache, SharedCache: cfg.SharedCache,
 	})
 	if err != nil {
 		return nil, err
@@ -105,6 +116,7 @@ func NewCPU(cfg CPUConfig) (*CPU, error) {
 		disableScaled: cfg.DisableScaledDecode,
 		jobs:          make(chan cpuJob, cfg.Workers*2),
 	}
+	c.runEpoch = c.RunEpoch
 	c.start()
 	return c, nil
 }
@@ -197,7 +209,8 @@ func (c *CPU) decodeOne(j cpuJob, sc *jpeg.Scratch) {
 	if j.batch.pending.Add(-1) == 0 {
 		// Publish failure means shutdown mid-epoch; the epoch join must
 		// still complete so RunEpoch can return.
-		_ = c.publish(j.batch.batch)
+		cost := float64(time.Since(j.batch.startedAt).Nanoseconds())
+		_ = c.publish(j.batch.batch, j.batch.refs, cost)
 		j.batch.done.Done()
 	}
 }
@@ -263,8 +276,9 @@ collect:
 					W:   c.outW, H: c.outH, C: c.channels,
 					Seq: c.nextSeq(),
 				},
-				owner: c,
-				done:  &epochWG,
+				owner:     c,
+				done:      &epochWG,
+				startedAt: time.Now(),
 			}
 			epochWG.Add(1)
 			if bt > 0 {
@@ -275,6 +289,9 @@ collect:
 		cur.batch.Images++
 		cur.batch.Metas = append(cur.batch.Metas, item.Meta)
 		cur.batch.Valid = append(cur.batch.Valid, false)
+		if c.cache != nil {
+			cur.refs = append(cur.refs, item.Ref)
+		}
 		stride := c.imageBytes()
 		curJobs = append(curJobs, cpuJob{
 			ref:   item.Ref,

@@ -7,6 +7,7 @@ import (
 
 	"dlbooster/internal/core"
 	"dlbooster/internal/dataset"
+	"dlbooster/internal/fpga"
 	"dlbooster/internal/lmdb"
 	"dlbooster/internal/metrics"
 )
@@ -29,6 +30,12 @@ type LMDBConfig struct {
 	OutW, OutH, Channels int
 	PoolBatches          int
 	CacheLimitBytes      int64
+	// Cache sizes the tiered epoch cache (RAM → NVMe spill); the legacy
+	// CacheLimitBytes knob maps onto Cache.RAMBytes when Cache is zero.
+	Cache core.CacheConfig
+	// SharedCache, when non-nil, captures into and replays from an
+	// externally-owned cache instead of building one from Cache.
+	SharedCache *core.TieredCache
 	// DB is the shared record store; collector item paths are its keys.
 	DB *lmdb.DB
 	// Busy receives read/deserialise busy time as "preprocess".
@@ -44,11 +51,14 @@ func NewLMDB(cfg LMDBConfig) (*LMDB, error) {
 		BatchSize: cfg.BatchSize, OutW: cfg.OutW, OutH: cfg.OutH,
 		Channels: cfg.Channels, PoolBatches: cfg.PoolBatches,
 		CacheLimitBytes: cfg.CacheLimitBytes,
+		Cache:           cfg.Cache, SharedCache: cfg.SharedCache,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &LMDB{base: b, db: cfg.DB, busy: cfg.Busy}, nil
+	l := &LMDB{base: b, db: cfg.DB, busy: cfg.Busy}
+	l.runEpoch = l.RunEpoch
+	return l, nil
 }
 
 // Name implements Backend.
@@ -64,6 +74,8 @@ func (l *LMDB) RunEpoch(col core.DataCollector) error {
 	}
 	stride := l.imageBytes()
 	var cur *core.Batch
+	var curRefs []fpga.DataRef
+	var curStart time.Time
 	for {
 		item, ok := col.Next()
 		if !ok {
@@ -75,10 +87,14 @@ func (l *LMDB) RunEpoch(col core.DataCollector) error {
 				return fmt.Errorf("backends: pool closed: %w", err)
 			}
 			cur = &core.Batch{Buf: buf, W: l.outW, H: l.outH, C: l.channels, Seq: l.nextSeq()}
+			curRefs, curStart = nil, time.Now()
 		}
 		slot := cur.Images
 		cur.Images++
 		cur.Metas = append(cur.Metas, item.Meta)
+		if l.cache != nil {
+			curRefs = append(curRefs, item.Ref)
+		}
 		start := time.Now()
 		valid := l.loadRecord(item.Ref.Path, cur.Buf.Bytes()[slot*stride:(slot+1)*stride], &cur.Metas[len(cur.Metas)-1])
 		if l.busy != nil {
@@ -91,14 +107,14 @@ func (l *LMDB) RunEpoch(col core.DataCollector) error {
 			l.errs.Add(1)
 		}
 		if cur.Images == l.batchSize {
-			if err := l.publish(cur); err != nil {
+			if err := l.publish(cur, curRefs, float64(time.Since(curStart).Nanoseconds())); err != nil {
 				return err
 			}
 			cur = nil
 		}
 	}
 	if cur != nil {
-		if err := l.publish(cur); err != nil {
+		if err := l.publish(cur, curRefs, float64(time.Since(curStart).Nanoseconds())); err != nil {
 			return err
 		}
 	}

@@ -41,6 +41,12 @@ type NvJPEGConfig struct {
 	OutW, OutH, Channels int
 	PoolBatches          int
 	CacheLimitBytes      int64
+	// Cache sizes the tiered epoch cache (RAM → NVMe spill); the legacy
+	// CacheLimitBytes knob maps onto Cache.RAMBytes when Cache is zero.
+	Cache core.CacheConfig
+	// SharedCache, when non-nil, captures into and replays from an
+	// externally-owned cache instead of building one from Cache.
+	SharedCache *core.TieredCache
 	// Device is the GPU that both decodes and (elsewhere) runs the
 	// model — sharing it is the point.
 	Device *gpu.Device
@@ -67,11 +73,13 @@ func NewNvJPEG(cfg NvJPEGConfig) (*NvJPEG, error) {
 		BatchSize: cfg.BatchSize, OutW: cfg.OutW, OutH: cfg.OutH,
 		Channels: cfg.Channels, PoolBatches: cfg.PoolBatches,
 		CacheLimitBytes: cfg.CacheLimitBytes,
+		Cache:           cfg.Cache, SharedCache: cfg.SharedCache,
 	})
 	if err != nil {
 		return nil, err
 	}
 	n := &NvJPEG{base: b, dev: cfg.Device, source: cfg.Source, busy: cfg.Busy}
+	n.runEpoch = n.RunEpoch
 	for i := 0; i < cfg.Lanes; i++ {
 		s, err := cfg.Device.NewStream()
 		if err != nil {
@@ -98,6 +106,10 @@ type nvBatch struct {
 	batch   *core.Batch
 	pending atomic.Int32
 	done    *sync.WaitGroup
+	// refs and startedAt feed the tiered cache's admission; refs is only
+	// captured when caching is on.
+	refs      []fpga.DataRef
+	startedAt time.Time
 }
 
 // RunEpoch implements Backend: per image, enqueue a decode "kernel" on a
@@ -147,8 +159,9 @@ func (n *NvJPEG) RunEpoch(col core.DataCollector) error {
 				return fmt.Errorf("backends: pool closed: %w", err)
 			}
 			cur = &nvBatch{
-				batch: &core.Batch{Buf: buf, W: n.outW, H: n.outH, C: n.channels, Seq: n.nextSeq()},
-				done:  &epochWG,
+				batch:     &core.Batch{Buf: buf, W: n.outW, H: n.outH, C: n.channels, Seq: n.nextSeq()},
+				done:      &epochWG,
+				startedAt: time.Now(),
 			}
 			epochWG.Add(1)
 		}
@@ -158,6 +171,9 @@ func (n *NvJPEG) RunEpoch(col core.DataCollector) error {
 		cur.batch.Valid = append(cur.batch.Valid, false)
 		slots = append(slots, cur.batch.Buf.Bytes()[slot*stride:(slot+1)*stride])
 		refs = append(refs, item.Ref)
+		if n.cache != nil {
+			cur.refs = append(cur.refs, item.Ref)
+		}
 		if cur.batch.Images == n.batchSize {
 			if err := flush(); err != nil {
 				return err
@@ -205,7 +221,8 @@ func (n *NvJPEG) decodeOnDevice(ref fpga.DataRef, slot []byte, b *nvBatch, idx i
 		n.errs.Add(1)
 	}
 	if b.pending.Add(-1) == 0 {
-		_ = n.publish(b.batch)
+		cost := float64(time.Since(b.startedAt).Nanoseconds())
+		_ = n.publish(b.batch, b.refs, cost)
 		b.done.Done()
 	}
 }

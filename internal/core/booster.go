@@ -36,11 +36,21 @@ type Config struct {
 	Mirror string
 	// Source resolves disk DataRefs (nil if inputs are inline/NIC).
 	Source fpga.DataSource
-	// CacheLimitBytes enables the hybrid first-epoch cache of §3.1 when
-	// positive: processed batches are retained in memory up to the
-	// limit, and later epochs replay from memory. MNIST fits; ILSVRC
-	// does not (Figure 6 discussion).
+	// CacheLimitBytes is the legacy RAM-only cache knob: when positive
+	// (and Cache.RAMBytes is zero) it becomes the RAM-tier budget of the
+	// tiered epoch cache, preserving the original §3.1 hybrid-service
+	// behaviour. New code should size Cache directly.
 	CacheLimitBytes int64
+	// Cache configures the tiered first-epoch cache of §3.1: decoded
+	// batches are retained in a RAM tier up to Cache.RAMBytes, demoted
+	// to the optional NVMe spill tier when RAM fills, and later epochs
+	// replay from the tiers (re-decoding only what was evicted). A zero
+	// RAMBytes (with CacheLimitBytes also zero) disables caching.
+	Cache CacheConfig
+	// SharedCache, when non-nil, makes this Booster capture into and
+	// replay from a cache owned elsewhere — how fleet shards share one
+	// tier pair (see fleet.ReplayShared). It overrides Cache.
+	SharedCache *TieredCache
 	// BatchTimeout enables deadline-flushed dynamic batching: a partial
 	// batch is sealed and dispatched once its oldest item has waited
 	// this long, instead of stalling until the batch fills or the
@@ -159,6 +169,9 @@ func (c *Config) normalize() error {
 	if c.DisableScaledDecode {
 		c.FPGA.DisableScaledDecode = true
 	}
+	if c.Cache.RAMBytes == 0 && c.CacheLimitBytes > 0 {
+		c.Cache.RAMBytes = c.CacheLimitBytes
+	}
 	return nil
 }
 
@@ -204,28 +217,27 @@ type Booster struct {
 	consecFails  atomic.Int64
 	degraded     atomic.Bool
 
-	cacheMu       sync.Mutex
-	cache         []cachedBatch
-	cacheBytes    int64
-	cacheOverflow bool
+	// cache is the tiered first-epoch cache (§3.1 hybrid service), nil
+	// when caching is disabled. It may be shared across Boosters (fleet
+	// shards) via Config.SharedCache. replaying suppresses capture while
+	// ReplayCacheShard re-decodes evicted entries — without it every
+	// replay would re-admit them as duplicate entries and later epochs
+	// would serve those items twice.
+	cache     *TieredCache
+	replaying atomic.Bool
 
 	// Cache-hit accounting (§3.1 hybrid service): images and bytes
-	// served from the in-memory epoch cache instead of the decoder.
-	cacheReplayImages metrics.Counter
-	cacheReplayBytes  metrics.Counter
+	// served from the cache tiers instead of the decoder, split by the
+	// tier that served them, plus the evicted images replay had to
+	// re-decode. Per-Booster even when the cache is shared, so a fleet
+	// rollup sums without double-counting.
+	cacheReplayImages   metrics.Counter
+	cacheReplayBytes    metrics.Counter
+	cacheRAMHitImages   metrics.Counter
+	cacheSpillHitImages metrics.Counter
+	cacheRedecodeImages metrics.Counter
 
 	closeOnce sync.Once
-}
-
-// cachedBatch is one immutable epoch-cache entry. Replayed batches alias
-// metas and valid directly (only the pixel data is copied into a fresh
-// pool buffer), so nothing may mutate these slices after caching — see
-// ReplayCache for the contract.
-type cachedBatch struct {
-	data   []byte
-	metas  []ItemMeta
-	valid  []bool
-	images int
 }
 
 // New builds the backend: HugePage pool, FPGA device with the requested
@@ -254,6 +266,17 @@ func New(cfg Config) (*Booster, error) {
 		}
 		devs[i] = dev
 	}
+	cache := cfg.SharedCache
+	if cache == nil && cfg.Cache.RAMBytes > 0 {
+		cache, err = NewTieredCache(cfg.Cache)
+		if err != nil {
+			for _, d := range devs {
+				d.Close()
+			}
+			pool.Close()
+			return nil, err
+		}
+	}
 	b := &Booster{
 		cfg:    cfg,
 		pool:   pool,
@@ -261,6 +284,7 @@ func New(cfg Config) (*Booster, error) {
 		mirror: mirror,
 		ch:     newFPGAChannel(devs),
 		full:   queue.New[*Batch](cfg.PoolBatches),
+		cache:  cache,
 		reg:    cfg.Metrics,
 		traced: cfg.Metrics != nil,
 		flight: cfg.Flight,
@@ -293,6 +317,15 @@ func (b *Booster) instrument() {
 	r.RegisterCounterFunc("serve_partial_flushes_total", b.partialFlush.Value)
 	r.RegisterCounterFunc("cache_replay_images_total", b.cacheReplayImages.Value)
 	r.RegisterCounterFunc("cache_replay_bytes_total", b.cacheReplayBytes.Value)
+	r.RegisterCounterFunc("cache_ram_hit_images_total", b.cacheRAMHitImages.Value)
+	r.RegisterCounterFunc("cache_spill_hit_images_total", b.cacheSpillHitImages.Value)
+	r.RegisterCounterFunc("cache_redecode_images_total", b.cacheRedecodeImages.Value)
+	r.RegisterCounterFunc("cache_demotions_total", func() int64 { return b.cacheStats().Demotions })
+	r.RegisterCounterFunc("cache_promotions_total", func() int64 { return b.cacheStats().Promotions })
+	r.RegisterCounterFunc("cache_evictions_total", func() int64 { return b.cacheStats().Evictions })
+	r.RegisterCounterFunc("cache_spill_writes_total", func() int64 { return b.cacheStats().SpillWrites })
+	r.RegisterCounterFunc("cache_spill_write_bytes_total", func() int64 { return b.cacheStats().SpillWriteBytes })
+	r.RegisterCounterFunc("cache_spill_read_bytes_total", func() int64 { return b.cacheStats().SpillReadBytes })
 	r.RegisterCounterFunc("decode_scaled_total", func() int64 {
 		n := b.scaledCPU.Value()
 		for _, d := range b.devs {
@@ -307,11 +340,8 @@ func (b *Booster) instrument() {
 		return 0
 	})
 	r.RegisterGauge("cache_batches", func() float64 { return float64(b.CachedBatches()) })
-	r.RegisterGauge("cache_bytes", func() float64 {
-		b.cacheMu.Lock()
-		defer b.cacheMu.Unlock()
-		return float64(b.cacheBytes)
-	})
+	r.RegisterGauge("cache_bytes", func() float64 { return float64(b.cacheStats().RAMBytes) })
+	r.RegisterGauge("cache_spill_bytes", func() float64 { return float64(b.cacheStats().SpillBytes) })
 	r.RegisterQueue("full_batch", b.full.Len, b.full.Cap)
 	r.RegisterQueue("fpga_completions", b.ch.merged.Len, b.ch.merged.Cap)
 	b.pool.Instrument(r, b.traced)
@@ -487,90 +517,111 @@ func (b *Booster) Close() {
 	})
 }
 
-func (b *Booster) cacheBatch(batch *Batch) {
-	b.cacheMu.Lock()
-	defer b.cacheMu.Unlock()
-	if b.cacheOverflow {
-		return
+// cacheStats snapshots the tiered cache (zero value when caching is
+// disabled), backing the cache gauges and counters.
+func (b *Booster) cacheStats() CacheStats {
+	if b.cache == nil {
+		return CacheStats{}
 	}
-	n := int64(batch.Images * batch.ImageBytes())
-	if b.cacheBytes+n > b.cfg.CacheLimitBytes {
-		// The dataset does not fit: drop the cache entirely, as keeping
-		// a partial epoch would serve skewed data (ILSVRC case).
-		b.cacheOverflow = true
-		b.cache = nil
-		b.cacheBytes = 0
-		return
-	}
-	cb := cachedBatch{
-		data:   append([]byte(nil), batch.Bytes()...),
-		metas:  append([]ItemMeta(nil), batch.Metas...),
-		valid:  append([]bool(nil), batch.Valid...),
-		images: batch.Images,
-	}
-	b.cache = append(b.cache, cb)
-	b.cacheBytes += n
+	return b.cache.Stats()
 }
 
-// CacheComplete reports whether a full epoch is cached and replayable.
+// Cache exposes the tiered epoch cache (nil when caching is disabled),
+// for sharing with other shards and for tests.
+func (b *Booster) Cache() *TieredCache { return b.cache }
+
+// CacheComplete reports whether the whole first epoch is still resident
+// across the cache tiers, i.e. a replay would touch the decoder zero
+// times.
 func (b *Booster) CacheComplete() bool {
-	b.cacheMu.Lock()
-	defer b.cacheMu.Unlock()
-	return b.cfg.CacheLimitBytes > 0 && !b.cacheOverflow && len(b.cache) > 0
+	return b.cache != nil && b.cache.Complete()
 }
 
-// CachedBatches returns the number of cached batches.
+// CacheReplayable reports whether ReplayCache can serve an epoch at
+// all — possibly re-decoding evicted batches through the decode path.
+// Weaker than CacheComplete: use it when a partially-cached epoch is
+// still worth replaying.
+func (b *Booster) CacheReplayable() bool {
+	return b.cache != nil && b.cache.Available() == nil
+}
+
+// CachedBatches returns the number of captured batches still resident
+// in some cache tier (evicted entries excluded).
 func (b *Booster) CachedBatches() int {
-	b.cacheMu.Lock()
-	defer b.cacheMu.Unlock()
-	return len(b.cache)
+	if b.cache == nil {
+		return 0
+	}
+	st := b.cache.Stats()
+	return st.RAMResident + st.SpillResident
 }
 
-// ErrCacheUnavailable is returned by ReplayCache when no complete epoch
-// is cached (caching disabled, first epoch not run, or dataset too big).
-var ErrCacheUnavailable = errors.New("core: epoch cache unavailable")
-
-// ReplayCache serves one epoch from the in-memory cache: the offline-like
-// fast path of the hybrid service (§3.1). Batches still flow through
-// pool buffers and the Full queue so the downstream pipeline is
-// identical.
+// ReplayCache serves one epoch from the tiered cache: the offline-like
+// fast path of the hybrid service (§3.1). RAM-tier batches are copied
+// into pool buffers, spill-tier batches are read back from the NVMe
+// store (paced by its bandwidth model), and evicted batches are
+// re-decoded from their retained DataRefs through the ordinary decode
+// path — every batch still flows through pool buffers and the Full
+// queue so the downstream pipeline is identical either way.
 //
 // Replayed batches share the cached Metas and Valid slices rather than
 // copying them per epoch: cache entries are immutable once written, and
 // every downstream consumer (Dispatcher, engines) treats a published
 // batch's Metas/Valid as read-only, so the aliasing is safe and saves
 // two allocations per batch per replayed epoch.
-func (b *Booster) ReplayCache() error {
-	b.cacheMu.Lock()
-	snapshot := b.cache
-	ok := b.cfg.CacheLimitBytes > 0 && !b.cacheOverflow && len(b.cache) > 0
-	b.cacheMu.Unlock()
-	if !ok {
-		return ErrCacheUnavailable
+//
+// When nothing can be served the error wraps ErrCacheUnavailable with
+// the cause — disabled, never filled, over the RAM limit with no spill
+// tier, or fully evicted (see docs/API.md).
+func (b *Booster) ReplayCache() error { return b.ReplayCacheShard(0, 1) }
+
+// ReplayCacheShard replays this Booster's 1/shards slice of the cached
+// epoch — entry indices congruent to shard modulo shards. The fleet
+// uses it to fan one shared cache out across shards (fleet.ReplayShared);
+// single-pipeline callers use ReplayCache.
+func (b *Booster) ReplayCacheShard(shard, shards int) error {
+	if b.cache == nil {
+		return ErrCacheDisabled
 	}
-	for _, cb := range snapshot {
-		buf, err := b.pool.Get()
-		if err != nil {
-			return fmt.Errorf("core: memory pool closed: %w", err)
-		}
-		copy(buf.Bytes(), cb.data)
-		b.seq++
-		batch := &Batch{
-			Buf:    buf,
-			Images: cb.images,
-			W:      b.cfg.OutW, H: b.cfg.OutH, C: b.cfg.Channels,
-			Metas:       cb.metas,
-			Valid:       cb.valid,
-			Seq:         b.seq,
-			AssembledAt: time.Now(),
-		}
-		b.images.Add(int64(cb.images))
-		b.cacheReplayImages.Add(int64(cb.images))
-		b.cacheReplayBytes.Add(int64(len(cb.data)))
-		if err := b.full.Push(batch); err != nil {
-			return err
-		}
-		b.published.Add(1)
+	sink := CacheReplaySink{
+		GetBuffer: func() (*hugepage.Buffer, error) {
+			buf, err := b.pool.Get()
+			if err != nil {
+				return nil, fmt.Errorf("core: memory pool closed: %w", err)
+			}
+			return buf, nil
+		},
+		Publish: func(buf *hugepage.Buffer, images int, metas []ItemMeta, valid []bool, tier CacheTier) error {
+			b.seq++
+			batch := &Batch{
+				Buf:    buf,
+				Images: images,
+				W:      b.cfg.OutW, H: b.cfg.OutH, C: b.cfg.Channels,
+				Metas:       metas,
+				Valid:       valid,
+				Seq:         b.seq,
+				AssembledAt: time.Now(),
+			}
+			b.images.Add(int64(images))
+			b.cacheReplayImages.Add(int64(images))
+			b.cacheReplayBytes.Add(int64(images * batch.ImageBytes()))
+			switch tier {
+			case TierRAM:
+				b.cacheRAMHitImages.Add(int64(images))
+			case TierSpill:
+				b.cacheSpillHitImages.Add(int64(images))
+			}
+			if err := b.full.Push(batch); err != nil {
+				return err
+			}
+			b.published.Add(1)
+			return nil
+		},
+		Redecode: func(items []Item) error {
+			b.cacheRedecodeImages.Add(int64(len(items)))
+			b.replaying.Store(true)
+			defer b.replaying.Store(false)
+			return b.RunEpoch(CollectorFromItems(items))
+		},
 	}
-	return nil
+	return b.cache.Replay(shard, shards, sink)
 }

@@ -1,0 +1,631 @@
+// The tiered decoded-tensor ReplayCache: the hybrid first-epoch cache
+// of §3.1 grown a storage tier. Epoch-1 batches are captured into a RAM
+// tier; when the RAM budget fills, a cost-aware policy demotes the
+// cheapest-to-recompute entries to an NVMe spill tier (internal/nvme,
+// paced by its bandwidth model), and when both tiers are exhausted the
+// cheapest entry overall is evicted outright — replay then re-decodes
+// just those items instead of abandoning the cache wholesale. The full
+// handbook (tier diagram, policy, spill record format, sizing model) is
+// docs/CACHE.md, pinned by cache_doc_test.go.
+
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/hugepage"
+	"dlbooster/internal/metrics"
+)
+
+// ErrCacheUnavailable is returned by ReplayCache when no epoch can be
+// served from the cache. It is always wrapped with the cause — match it
+// with errors.Is, read the cause from the message (or match one of the
+// Err* causes below directly); the contract is documented in
+// docs/API.md and docs/CACHE.md.
+var ErrCacheUnavailable = errors.New("core: epoch cache unavailable")
+
+// The four causes ReplayCache distinguishes. Each wraps
+// ErrCacheUnavailable, so existing errors.Is(err, ErrCacheUnavailable)
+// call sites keep working.
+var (
+	// ErrCacheDisabled: the Booster was built with no cache budget
+	// (Config.Cache.RAMBytes and the legacy CacheLimitBytes both zero).
+	ErrCacheDisabled = fmt.Errorf("%w: caching disabled (no RAM budget configured)", ErrCacheUnavailable)
+	// ErrCacheNeverFilled: caching is on but no first epoch has been
+	// captured yet — run RunEpoch once before replaying.
+	ErrCacheNeverFilled = fmt.Errorf("%w: first epoch not captured yet", ErrCacheUnavailable)
+	// ErrCacheOverRAMLimit: the decoded tensors outgrew the RAM tier and
+	// no spill tier was configured, so every entry was evicted — the
+	// ILSVRC case of the paper's Figure 6 discussion.
+	ErrCacheOverRAMLimit = fmt.Errorf("%w: decoded tensors outgrew the RAM tier and no spill tier is configured", ErrCacheUnavailable)
+	// ErrCacheEvicted: both tiers filled and every cached batch was
+	// evicted — the dataset outgrew RAM and NVMe budgets combined.
+	ErrCacheEvicted = fmt.Errorf("%w: every cached batch was evicted (RAM and spill tiers exhausted)", ErrCacheUnavailable)
+)
+
+// SpillStore is the storage tier the cache spills decoded batches to.
+// *nvme.Device implements it (WriteObject/Read/Delete), with writes and
+// reads paced by its bandwidth model; any durable object store with the
+// same three verbs works.
+type SpillStore interface {
+	// WriteObject stores one spill record under a cache-unique name.
+	WriteObject(name string, data []byte) error
+	// Read returns a stored record's bytes.
+	Read(name string) ([]byte, error)
+	// Delete removes a record, reclaiming its space.
+	Delete(name string) error
+}
+
+// CacheConfig sizes the tiered replay cache.
+type CacheConfig struct {
+	// RAMBytes is the RAM-tier budget for decoded pixel payloads; 0
+	// disables caching entirely.
+	RAMBytes int64
+	// Spill is the storage tier (nil = RAM-only, today's behaviour).
+	Spill SpillStore
+	// SpillBytes bounds the bytes of spill records on the store; 0 with
+	// a Spill set means unlimited.
+	SpillBytes int64
+	// Compress flate-compresses spill records (RAM-tier entries are
+	// never compressed — the replay hot path stays a straight copy).
+	Compress bool
+	// SpillPrefix namespaces this cache's object names on a shared
+	// store, so several caches (or shards) can spill to one device.
+	SpillPrefix string
+}
+
+// CacheTier identifies which tier served (or holds) a cached batch.
+type CacheTier int
+
+// The tiers a replayed batch can come from. TierNone marks an evicted
+// entry, which replay re-decodes from its retained DataRefs.
+const (
+	TierNone CacheTier = iota
+	TierRAM
+	TierSpill
+)
+
+// String names the tier for logs and reports.
+func (t CacheTier) String() string {
+	switch t {
+	case TierRAM:
+		return "ram"
+	case TierSpill:
+		return "spill"
+	}
+	return "none"
+}
+
+// Spill record format (docs/CACHE.md §Spill record format). One record
+// per batch: a fixed header followed by the pixel payload, optionally
+// flate-compressed. Metas, Valid and DataRefs never spill — they stay
+// in RAM so the aliasing contract and re-decode both survive eviction
+// of the pixels.
+const (
+	// SpillMagic opens every spill record.
+	SpillMagic = "DLSP"
+	// SpillFormatVersion is the record layout version; readers reject
+	// records from other versions.
+	SpillFormatVersion = 1
+	// SpillHeaderSize is the fixed header length in bytes:
+	// magic(4) version(1) flags(1) reserved(2) crc32(4) rawlen(8).
+	SpillHeaderSize = 20
+	// spillFlagCompressed marks a flate-compressed payload.
+	spillFlagCompressed = 1
+)
+
+// cacheEntry is one captured batch. The pixel payload lives in exactly
+// one tier (data in RAM, or spillName on the store, or neither =
+// evicted); metas, valid and refs are immutable once written — replayed
+// batches alias metas and valid directly (the PR 5 contract), and refs
+// re-decode the batch after eviction.
+type cacheEntry struct {
+	seq      int
+	images   int
+	bytes    int64 // uncompressed pixel payload length
+	metas    []ItemMeta
+	valid    []bool
+	refs     []fpga.DataRef
+	cost     float64 // decode nanos — what eviction would cost to redo
+	hits     int64   // replay serves, all tiers
+	data     []byte  // RAM tier (nil when demoted/evicted)
+	spill    string  // spill object name ("" when none)
+	spillLen int64   // stored record length (accounting)
+	dropped  bool    // evicted from both tiers
+}
+
+// score is the keep-priority: decode cost scaled by observed hotness.
+// Monotone in both, so a hotter-and-costlier entry always outranks a
+// colder-and-cheaper one — the invariant the eviction property test
+// asserts.
+func (e *cacheEntry) score() float64 { return e.cost * float64(1+e.hits) }
+
+// CacheAddStats reports what admitting one batch did to the tiers.
+type CacheAddStats struct {
+	// Demoted counts RAM entries pushed down to the spill tier.
+	Demoted int
+	// Evicted counts entries dropped from both tiers.
+	Evicted int
+	// SpillWriteBytes is the record bytes written while demoting.
+	SpillWriteBytes int64
+}
+
+// TieredCache is the two-tier decoded-tensor epoch cache: a RAM tier in
+// front of an optional NVMe spill tier, with cost-aware admission,
+// demotion and eviction. It is safe for concurrent use — several shards
+// may capture into and replay from one shared cache (see
+// fleet.ReplayShared); Add and promotion serialise on the cache lock
+// (spill writes included), replay reads of RAM entries copy outside it.
+type TieredCache struct {
+	cfg CacheConfig
+
+	mu         sync.Mutex
+	entries    []*cacheEntry
+	ramBytes   int64
+	spillBytes int64
+	nextSeq    int
+	captured   bool
+	// overRAM latches when a RAM-only cache overflows: with no spill
+	// tier, a partial epoch cache is dropped wholesale (the legacy
+	// ILSVRC behaviour — replaying a subset would serve skewed data,
+	// and there is no tier to hold the rest).
+	overRAM bool
+
+	demotions       metrics.Counter
+	promotions      metrics.Counter
+	evictions       metrics.Counter
+	spillWrites     metrics.Counter
+	spillWriteBytes metrics.Counter
+	spillReadBytes  metrics.Counter
+}
+
+// NewTieredCache validates the budgets and returns an empty cache.
+func NewTieredCache(cfg CacheConfig) (*TieredCache, error) {
+	if cfg.RAMBytes <= 0 {
+		return nil, errors.New("core: cache RAM budget must be positive")
+	}
+	if cfg.SpillBytes < 0 {
+		return nil, fmt.Errorf("core: negative spill budget %d", cfg.SpillBytes)
+	}
+	if cfg.Spill == nil && cfg.SpillBytes > 0 {
+		return nil, errors.New("core: spill budget set but no spill store")
+	}
+	if cfg.Spill != nil && cfg.SpillBytes == 0 {
+		cfg.SpillBytes = math.MaxInt64
+	}
+	return &TieredCache{cfg: cfg}, nil
+}
+
+// Add captures one published batch: pixels, metas, valid and refs are
+// copied (the batch buffer is about to be recycled), the entry is
+// admitted to the RAM tier, and the tiers are rebalanced under the
+// cost-aware policy — cheapest-coldest entries demote to spill first
+// and evict first when spill is full too. costNanos is the decode cost
+// the entry would take to recompute (≤0 falls back to a size proxy).
+func (c *TieredCache) Add(batch *Batch, refs []fpga.DataRef, costNanos float64) CacheAddStats {
+	if costNanos <= 0 {
+		costNanos = float64(batch.Images * batch.ImageBytes())
+	}
+	e := &cacheEntry{
+		images: batch.Images,
+		bytes:  int64(len(batch.Bytes())),
+		metas:  append([]ItemMeta(nil), batch.Metas...),
+		valid:  append([]bool(nil), batch.Valid...),
+		refs:   append([]fpga.DataRef(nil), refs...),
+		cost:   costNanos,
+		data:   append([]byte(nil), batch.Bytes()...),
+	}
+	var st CacheAddStats
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.captured = true
+	if c.overRAM {
+		return st // RAM-only cache already overflowed: nothing is kept
+	}
+	e.seq = c.nextSeq
+	c.nextSeq++
+	c.entries = append(c.entries, e)
+	c.ramBytes += e.bytes
+	c.rebalance(&st)
+	return st
+}
+
+// rebalance restores the tier budgets after an admission (or a
+// promotion), demoting and evicting in ascending score order. Caller
+// holds mu.
+func (c *TieredCache) rebalance(st *CacheAddStats) {
+	if c.cfg.Spill == nil && c.ramBytes > c.cfg.RAMBytes {
+		// No spill tier to demote into: drop the whole cache, keeping
+		// the legacy all-or-nothing RAM semantics (a partial epoch would
+		// replay skewed data).
+		for _, e := range c.entries {
+			if !e.dropped {
+				c.drop(e, st)
+			}
+		}
+		c.overRAM = true
+		return
+	}
+	for c.ramBytes > c.cfg.RAMBytes {
+		v := c.minScore(func(e *cacheEntry) bool { return e.data != nil })
+		if v == nil {
+			return // nothing resident (single batch larger than budget was just evicted)
+		}
+		if v.spill != "" {
+			// A promoted entry keeps its spill copy, so demoting it back
+			// is free: just release the RAM residency.
+			v.data = nil
+			c.ramBytes -= v.bytes
+			c.demotions.Add(1)
+			st.Demoted++
+			continue
+		}
+		rec := encodeSpillRecord(v.data, c.cfg.Compress)
+		// Make room on the spill tier by evicting strictly cheaper
+		// spilled entries; if the cheapest survivor still outranks v,
+		// v itself is the right thing to lose.
+		for c.spillBytes+int64(len(rec)) > c.cfg.SpillBytes {
+			w := c.minScore(func(e *cacheEntry) bool { return e.data == nil && e.spill != "" })
+			if w == nil || w.score() >= v.score() {
+				break
+			}
+			c.drop(w, st)
+		}
+		if c.spillBytes+int64(len(rec)) > c.cfg.SpillBytes {
+			c.drop(v, st)
+			continue
+		}
+		name := fmt.Sprintf("%sspill-%06d", c.cfg.SpillPrefix, v.seq)
+		if err := c.cfg.Spill.WriteObject(name, rec); err != nil {
+			// A failed spill write cannot hold the entry anywhere.
+			c.drop(v, st)
+			continue
+		}
+		v.spill, v.spillLen = name, int64(len(rec))
+		v.data = nil
+		c.ramBytes -= v.bytes
+		c.spillBytes += int64(len(rec))
+		c.demotions.Add(1)
+		c.spillWrites.Add(1)
+		c.spillWriteBytes.Add(int64(len(rec)))
+		st.Demoted++
+		st.SpillWriteBytes += int64(len(rec))
+	}
+}
+
+// minScore returns the lowest-score entry matching pred (ties break to
+// the older entry), nil when none match. Caller holds mu.
+func (c *TieredCache) minScore(pred func(*cacheEntry) bool) *cacheEntry {
+	var best *cacheEntry
+	for _, e := range c.entries {
+		if e.dropped || !pred(e) {
+			continue
+		}
+		if best == nil || e.score() < best.score() {
+			best = e
+		}
+	}
+	return best
+}
+
+// drop evicts an entry from both tiers. Its metas and refs stay, so
+// replay can re-decode the batch. Caller holds mu.
+func (c *TieredCache) drop(e *cacheEntry, st *CacheAddStats) {
+	if e.data != nil {
+		e.data = nil
+		c.ramBytes -= e.bytes
+	}
+	if e.spill != "" {
+		_ = c.cfg.Spill.Delete(e.spill) // best effort: budget accounting must proceed regardless
+		c.spillBytes -= e.spillLen
+		e.spill, e.spillLen = "", 0
+	}
+	e.dropped = true
+	c.evictions.Add(1)
+	if st != nil {
+		st.Evicted++
+	}
+}
+
+// fetch returns one entry's payload and the tier that served it.
+// TierNone with a nil error means the entry was evicted (re-decode it).
+// A spill hit may promote the entry back to RAM when its score has
+// grown past the cheapest RAM resident's.
+func (c *TieredCache) fetch(e *cacheEntry) ([]byte, CacheTier, error) {
+	c.mu.Lock()
+	if e.data != nil {
+		e.hits++
+		data := e.data // immutable payload: safe to read after unlock
+		c.mu.Unlock()
+		return data, TierRAM, nil
+	}
+	name := e.spill
+	c.mu.Unlock()
+	if name == "" {
+		return nil, TierNone, nil
+	}
+	rec, err := c.cfg.Spill.Read(name)
+	if err != nil {
+		return nil, TierNone, fmt.Errorf("core: spill read %s: %w", name, err)
+	}
+	c.spillReadBytes.Add(int64(len(rec)))
+	payload, err := decodeSpillRecord(rec, e.bytes)
+	if err != nil {
+		return nil, TierNone, fmt.Errorf("core: spill record %s: %w", name, err)
+	}
+	c.mu.Lock()
+	e.hits++
+	c.maybePromote(e, payload)
+	c.mu.Unlock()
+	return payload, TierSpill, nil
+}
+
+// maybePromote moves a spill-tier entry whose score now beats the
+// cheapest RAM residents back into RAM, demoting those residents — the
+// cross-epoch adaptivity that migrates hot, expensive batches up. The
+// promoted entry keeps its spill copy, so a later demotion is free.
+// Caller holds mu and hands over the just-read payload.
+func (c *TieredCache) maybePromote(e *cacheEntry, payload []byte) {
+	if e.data != nil || e.dropped || e.bytes > c.cfg.RAMBytes {
+		return
+	}
+	// Only promote when every RAM byte it displaces scores lower.
+	displaced := int64(0)
+	for _, r := range c.entries {
+		if r.data == nil || r.dropped {
+			continue
+		}
+		if r.score() >= e.score() {
+			continue
+		}
+		displaced += r.bytes
+	}
+	if c.ramBytes-displaced+e.bytes > c.cfg.RAMBytes {
+		return
+	}
+	e.data = payload
+	c.ramBytes += e.bytes
+	c.promotions.Add(1)
+	var st CacheAddStats
+	c.rebalance(&st)
+}
+
+// CacheReplaySink is what TieredCache.Replay needs from the consuming
+// pipeline: buffers, a publisher, and a re-decode path for evicted
+// entries. Booster and the backends each wire their own.
+type CacheReplaySink struct {
+	// GetBuffer checks one batch buffer out of the pipeline's pool.
+	GetBuffer func() (*hugepage.Buffer, error)
+	// Publish ships one replayed batch. The metas and valid slices are
+	// the cache's immutable copies — the batch must alias, not mutate,
+	// them (the PR 5 contract).
+	Publish func(buf *hugepage.Buffer, images int, metas []ItemMeta, valid []bool, tier CacheTier) error
+	// Redecode runs evicted items back through the pipeline's decode
+	// path, in epoch order. Nil makes an evicted entry a replay error.
+	Redecode func(items []Item) error
+}
+
+// Replay serves one epoch pass through the sink: cached entries from
+// their tiers (RAM copies, paced spill reads), evicted entries
+// re-decoded from their retained DataRefs, all in capture order. With
+// shards > 1 only entries where index%shards == shard are served — the
+// cross-shard split fleet.ReplayShared fans out, each shard reading the
+// shared tiers concurrently.
+func (c *TieredCache) Replay(shard, shards int, sink CacheReplaySink) error {
+	if shards <= 0 || shard < 0 || shard >= shards {
+		return fmt.Errorf("core: replay shard %d of %d", shard, shards)
+	}
+	if err := c.Available(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	entries := append([]*cacheEntry(nil), c.entries...)
+	c.mu.Unlock()
+	var redo []Item
+	flush := func() error {
+		if len(redo) == 0 {
+			return nil
+		}
+		items := redo
+		redo = nil
+		if sink.Redecode == nil {
+			return fmt.Errorf("core: %d evicted item(s) need re-decoding but the sink has no redecode path", len(items))
+		}
+		return sink.Redecode(items)
+	}
+	for i, e := range entries {
+		if i%shards != shard {
+			continue
+		}
+		payload, tier, err := c.fetch(e)
+		if err != nil {
+			return err
+		}
+		if tier == TierNone {
+			if len(e.refs) != e.images {
+				return fmt.Errorf("core: evicted batch %d is not re-decodable (no data refs captured)", e.seq)
+			}
+			for j := 0; j < e.images; j++ {
+				redo = append(redo, Item{Ref: e.refs[j], Meta: e.metas[j]})
+			}
+			continue
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		buf, err := sink.GetBuffer()
+		if err != nil {
+			return err
+		}
+		copy(buf.Bytes(), payload)
+		if err := sink.Publish(buf, e.images, e.metas, e.valid, tier); err != nil {
+			return err
+		}
+	}
+	return flush()
+}
+
+// Available reports whether Replay can serve an epoch, wrapping
+// ErrCacheUnavailable with the cause when it cannot: never filled, over
+// the RAM limit (no spill tier), or fully evicted.
+func (c *TieredCache) Available() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.captured || len(c.entries) == 0 {
+		return ErrCacheNeverFilled
+	}
+	for _, e := range c.entries {
+		if !e.dropped {
+			return nil
+		}
+	}
+	if c.cfg.Spill == nil {
+		return ErrCacheOverRAMLimit
+	}
+	return ErrCacheEvicted
+}
+
+// Complete reports whether the whole captured epoch is still resident
+// across the tiers — no entry has been evicted, so a replay touches the
+// decode path zero times.
+func (c *TieredCache) Complete() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.captured || len(c.entries) == 0 {
+		return false
+	}
+	for _, e := range c.entries {
+		if e.dropped {
+			return false
+		}
+	}
+	return true
+}
+
+// CacheStats is a point-in-time view of the tiers, for gauges and
+// reports.
+type CacheStats struct {
+	// Entries is every captured batch, including evicted ones.
+	Entries int
+	// RAMResident / SpillResident / Dropped partition Entries by where
+	// the pixel payload lives now.
+	RAMResident, SpillResident, Dropped int
+	// RAMBytes / SpillBytes are the tiers' current occupancy (spill in
+	// stored-record bytes, so compression shows up here).
+	RAMBytes, SpillBytes int64
+	// Demotions, Promotions, Evictions, SpillWrites, SpillWriteBytes,
+	// SpillReadBytes are the lifetime policy and IO counters.
+	Demotions, Promotions, Evictions             int64
+	SpillWrites, SpillWriteBytes, SpillReadBytes int64
+}
+
+// Stats snapshots the tier occupancy and policy counters.
+func (c *TieredCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{
+		Entries:         len(c.entries),
+		RAMBytes:        c.ramBytes,
+		SpillBytes:      c.spillBytes,
+		Demotions:       c.demotions.Value(),
+		Promotions:      c.promotions.Value(),
+		Evictions:       c.evictions.Value(),
+		SpillWrites:     c.spillWrites.Value(),
+		SpillWriteBytes: c.spillWriteBytes.Value(),
+		SpillReadBytes:  c.spillReadBytes.Value(),
+	}
+	for _, e := range c.entries {
+		switch {
+		case e.data != nil:
+			st.RAMResident++
+		case e.spill != "":
+			st.SpillResident++
+		default:
+			st.Dropped++
+		}
+	}
+	return st
+}
+
+// Len returns the number of captured batches (including evicted ones).
+func (c *TieredCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// encodeSpillRecord frames one payload: fixed header (magic, version,
+// flags, crc32 of the stored bytes, raw length) + the payload, flate-
+// compressed when that actually shrinks it.
+func encodeSpillRecord(payload []byte, compress bool) []byte {
+	stored := payload
+	flags := byte(0)
+	if compress {
+		if fl := flateCompress(payload); len(fl) < len(payload) {
+			stored, flags = fl, spillFlagCompressed
+		}
+	}
+	rec := make([]byte, SpillHeaderSize+len(stored))
+	copy(rec, SpillMagic)
+	rec[4] = SpillFormatVersion
+	rec[5] = flags
+	binary.LittleEndian.PutUint32(rec[8:], crc32.ChecksumIEEE(stored))
+	binary.LittleEndian.PutUint64(rec[12:], uint64(len(payload)))
+	copy(rec[SpillHeaderSize:], stored)
+	return rec
+}
+
+// decodeSpillRecord validates a record (magic, version, checksum) and
+// returns the raw payload, expected to be wantLen bytes.
+func decodeSpillRecord(rec []byte, wantLen int64) ([]byte, error) {
+	if len(rec) < SpillHeaderSize {
+		return nil, fmt.Errorf("record truncated at %d bytes", len(rec))
+	}
+	if string(rec[:4]) != SpillMagic {
+		return nil, errors.New("bad magic")
+	}
+	if rec[4] != SpillFormatVersion {
+		return nil, fmt.Errorf("format version %d, want %d", rec[4], SpillFormatVersion)
+	}
+	stored := rec[SpillHeaderSize:]
+	if got, want := crc32.ChecksumIEEE(stored), binary.LittleEndian.Uint32(rec[8:]); got != want {
+		return nil, fmt.Errorf("checksum mismatch: %08x != %08x (media corruption)", got, want)
+	}
+	rawLen := int64(binary.LittleEndian.Uint64(rec[12:]))
+	if rawLen != wantLen {
+		return nil, fmt.Errorf("payload length %d, want %d", rawLen, wantLen)
+	}
+	if rec[5]&spillFlagCompressed == 0 {
+		return append([]byte(nil), stored...), nil
+	}
+	out := make([]byte, rawLen)
+	fr := flate.NewReader(bytes.NewReader(stored))
+	if _, err := io.ReadFull(fr, out); err != nil {
+		return nil, fmt.Errorf("inflate: %w", err)
+	}
+	return out, nil
+}
+
+// flateCompress deflates payload at BestSpeed — the "light compression"
+// knob: cheap enough to sit on the spill write path, lossless so the
+// byte-parity tests hold.
+func flateCompress(payload []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return payload
+	}
+	if _, err := w.Write(payload); err != nil || w.Close() != nil {
+		return payload
+	}
+	return buf.Bytes()
+}

@@ -17,10 +17,16 @@ import (
 )
 
 // building tracks one batch buffer being filled by in-flight decodes.
+// When the epoch cache is on it also carries what admission needs:
+// the items' DataRefs (so an evicted entry stays re-decodable) and the
+// build start time (so the entry's decode cost — what eviction would
+// pay to recompute — is measured, not guessed).
 type building struct {
 	batch       *Batch
 	outstanding int
 	sealed      bool
+	refs        []fpga.DataRef
+	startedAt   time.Time
 }
 
 // pendingSlot maps an in-flight command to its batch slot, carrying
@@ -78,7 +84,7 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 	// the condition fires exactly once per batch.
 	finishIfDone := func(bld *building) error {
 		if bld.sealed && bld.outstanding == 0 {
-			if err := b.finishBatch(bld.batch); err != nil {
+			if err := b.finishBatch(bld); err != nil {
 				// Publish failed (queue closed mid-teardown): the buffer
 				// stays in live so the epoch cleanup recycles it.
 				return err
@@ -422,6 +428,9 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 		cur.batch.Images++
 		cur.batch.Metas = append(cur.batch.Metas, item.Meta)
 		cur.batch.Valid = append(cur.batch.Valid, false)
+		if b.cache != nil {
+			cur.refs = append(cur.refs, item.Ref)
+		}
 		b.cmdID++
 		// Algorithm 1 lines 11–12: encapsulate the physical address
 		// (base + offset of this datum in the batch) into the cmd.
@@ -530,11 +539,16 @@ func (b *Booster) newBuilding(buf *hugepage.Buffer) *building {
 	if b.spanned {
 		batch.Trace = &metrics.Span{Batch: b.seq}
 	}
-	return &building{batch: batch}
+	bld := &building{batch: batch}
+	if b.cache != nil {
+		bld.startedAt = time.Now()
+	}
+	return bld
 }
 
 // finishBatch timestamps, optionally caches, and publishes a batch.
-func (b *Booster) finishBatch(batch *Batch) error {
+func (b *Booster) finishBatch(bld *building) error {
+	batch := bld.batch
 	if batch.Images == 0 {
 		// An empty sealed batch (stream ended exactly at a boundary):
 		// return the buffer instead of publishing nothing.
@@ -551,8 +565,11 @@ func (b *Booster) finishBatch(batch *Batch) error {
 		// latency (see docs/METRICS.md).
 		b.reg.Observe(metrics.StageBatchFill, float64(batch.Images)/float64(b.cfg.BatchSize))
 	}
-	if b.cfg.CacheLimitBytes > 0 {
-		b.cacheBatch(batch)
+	if b.cache != nil && !b.replaying.Load() {
+		// Admit with the measured decode cost (build start → assembly),
+		// so the eviction policy knows what re-decoding would pay.
+		cost := float64(batch.AssembledAt.Sub(bld.startedAt).Nanoseconds())
+		b.cache.Add(batch, bld.refs, cost)
 	}
 	if err := b.full.Push(batch); err != nil {
 		return err

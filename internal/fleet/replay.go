@@ -1,0 +1,59 @@
+// Cross-shard epoch replay: a fleet whose shards were built with one
+// shared core.TieredCache (core.Config.SharedCache) can serve epochs
+// 2+ straight from the cache tiers, every shard reading the shared RAM
+// and NVMe tiers concurrently — the spill tier bought once, multiplied
+// across the fleet.
+
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dlbooster/internal/core"
+)
+
+// SharedCacheFor builds the tier pair a fleet's shards share: a plain
+// core.NewTieredCache wrapper that exists so callers wiring a fleet
+// read "one cache, N shards" at the construction site. Pass the result
+// as core.Config.SharedCache to every NewBooster the fleet factory
+// builds.
+func SharedCacheFor(cfg core.CacheConfig) (*core.TieredCache, error) {
+	return core.NewTieredCache(cfg)
+}
+
+// ReplayShared serves one epoch from the shards' shared tiered cache:
+// shard i replays the cache entries congruent to i modulo the shard
+// count, all shards reading the shared tiers concurrently (the cache is
+// concurrency-safe for replay; a spill-tier hit may promote on any
+// shard). Batches surface on each shard's own Batches() queue, which
+// the caller must be draining — exactly as during Start/Submit serving.
+//
+// Every shard must have been built over the same SharedCache; a fleet
+// of private caches gets an error, not a skewed epoch. Replay errors
+// wrap core.ErrCacheUnavailable with the cause (see docs/API.md).
+func (f *Fleet) ReplayShared() error {
+	cache := f.shards[0].b.Cache()
+	if cache == nil {
+		return core.ErrCacheDisabled
+	}
+	for _, s := range f.shards[1:] {
+		if s.b.Cache() != cache {
+			return fmt.Errorf("fleet: shard %d does not share shard 0's cache (build every Booster with the same core.Config.SharedCache)", s.id)
+		}
+	}
+	errs := make([]error, len(f.shards))
+	var wg sync.WaitGroup
+	for i, s := range f.shards {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			if err := s.b.ReplayCacheShard(i, len(f.shards)); err != nil {
+				errs[i] = fmt.Errorf("shard %d replay: %w", i, err)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

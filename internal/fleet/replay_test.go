@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/nvme"
+)
+
+// TestFleetSharedCacheConcurrentReplay is the cross-shard race test
+// (CI runs it under -race -count=3): shards built over one shared
+// tiered cache replay concurrently, each serving its congruence slice,
+// and every item of the captured epoch is delivered exactly once.
+func TestFleetSharedCacheConcurrentReplay(t *testing.T) {
+	const n = 24
+	// RAM holds 2 of the 6 batches, so the replay mixes RAM reads,
+	// concurrent spill reads and promotions across the shards.
+	shared, err := SharedCacheFor(core.CacheConfig{
+		RAMBytes: 2 * 4 * 28 * 28,
+		Spill:    nvme.New(nvme.Config{}),
+		Compress: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFleet(t, Config{
+		Shards: 3, QueueCap: 16,
+		NewBooster: func(shard int) (*core.Booster, error) {
+			cfg := shardConfig()
+			cfg.SharedCache = shared
+			return core.New(cfg)
+		},
+	})
+
+	d, wg := consumeShards(t, f)
+
+	// Epoch 1: shard 0 decodes and captures into the shared tiers.
+	items := fleetItems(t, n)
+	if err := f.Shards()[0].Booster().RunEpoch(core.CollectorFromItems(items)); err != nil {
+		t.Fatal(err)
+	}
+	st := shared.Stats()
+	if st.SpillResident == 0 {
+		t.Fatalf("nothing spilled, the test would not exercise shared spill reads: %+v", st)
+	}
+
+	// Epochs 2 and 3: all shards replay the shared cache concurrently.
+	for e := 0; e < 2; e++ {
+		if err := f.ReplayShared(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range f.Shards() {
+		s.Booster().CloseBatches()
+	}
+	wg.Wait()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.count) != n {
+		t.Fatalf("distinct items = %d, want %d", len(d.count), n)
+	}
+	shardsServing := map[int]bool{}
+	for seq, c := range d.count {
+		if c != 3 {
+			t.Fatalf("item %d delivered %d times, want 3 (decode + 2 replays)", seq, c)
+		}
+		shardsServing[d.shard[seq]] = true
+	}
+	if len(shardsServing) < 2 {
+		t.Fatalf("replay used %d shard(s), want the cache shared across several", len(shardsServing))
+	}
+}
+
+// TestFleetReplayRejectsPrivateCaches: a fleet whose shards hold
+// private caches must error out of ReplayShared instead of serving a
+// skewed epoch (each shard replaying only a slice of its own cache).
+func TestFleetReplayRejectsPrivateCaches(t *testing.T) {
+	f := newFleet(t, Config{
+		Shards: 2, QueueCap: 8,
+		NewBooster: func(shard int) (*core.Booster, error) {
+			cfg := shardConfig()
+			cfg.Cache = core.CacheConfig{RAMBytes: 1 << 20}
+			return core.New(cfg)
+		},
+	})
+	if err := f.ReplayShared(); err == nil {
+		t.Fatal("private per-shard caches accepted")
+	}
+}
+
+// TestFleetReplayWithoutCache: no cache at all is the distinguishable
+// ErrCacheDisabled, so callers can fall back to a decode epoch.
+func TestFleetReplayWithoutCache(t *testing.T) {
+	f := newFleet(t, Config{
+		Shards: 2, QueueCap: 8,
+		NewBooster: func(shard int) (*core.Booster, error) {
+			return core.New(shardConfig())
+		},
+	})
+	if err := f.ReplayShared(); !errors.Is(err, core.ErrCacheDisabled) {
+		t.Fatalf("ReplayShared = %v, want ErrCacheDisabled", err)
+	}
+}

@@ -32,6 +32,14 @@ type BenchConfig struct {
 	// ShardRate is the modelled per-shard engine capacity (images/s)
 	// the scaling run paced compute at; zero for unpaced runs.
 	ShardRate float64 `json:"shard_rate,omitempty"`
+	// CacheMode names the epoch-cache configuration of a replay run:
+	// "cold" (no cache), "ram" (RAM tier only) or "ram+nvme" (RAM tier
+	// with NVMe spill). Empty (omitted from JSON) for non-replay runs,
+	// so older baselines still compare.
+	CacheMode string `json:"cache_mode,omitempty"`
+	// ReplayEpochs is how many epochs past the first a replay run
+	// served from the cache; zero for non-replay runs.
+	ReplayEpochs int `json:"replay_epochs,omitempty"`
 }
 
 // BenchResult is one benchmark run, serialised as BENCH_<n>.json.
@@ -102,13 +110,15 @@ func (r BenchRegression) String() string {
 	return fmt.Sprintf("%s: base %.3f → new %.3f (limit %.3f)", r.Metric, r.Base, r.New, r.Limit)
 }
 
-// CompareBenchSpeedup is the shard-scaling gate: cur must achieve at
-// least ratio × base's throughput. The two results must be the same
-// scenario (same name, same config except the shard knobs) — comparing
-// a 2-shard run against the 1-shard run of the same corpus is the
-// intended use; comparing different scenarios is an error. Stage
-// latencies are not compared: shard scaling shifts where time is spent
-// by design, and the throughput ratio is the claim under test.
+// CompareBenchSpeedup is the scaling gate: cur must achieve at least
+// ratio × base's throughput. The two results must be the same scenario
+// (same name, same config except the knobs a scaling comparison varies:
+// shard count, per-shard rate and cache mode) — comparing a 2-shard run
+// against the 1-shard run of the same corpus, or a ram+nvme replay run
+// against the cold run, is the intended use; comparing different
+// scenarios is an error. Stage latencies are not compared: scaling and
+// caching shift where time is spent by design, and the throughput ratio
+// is the claim under test.
 func CompareBenchSpeedup(base, cur *BenchResult, ratio float64) (*BenchRegression, error) {
 	if base == nil || cur == nil {
 		return nil, fmt.Errorf("metrics: nil bench result")
@@ -122,8 +132,9 @@ func CompareBenchSpeedup(base, cur *BenchResult, ratio float64) (*BenchRegressio
 	bc, cc := base.Config, cur.Config
 	bc.Shards, cc.Shards = 0, 0
 	bc.ShardRate, cc.ShardRate = 0, 0
+	bc.CacheMode, cc.CacheMode = "", ""
 	if bc != cc {
-		return nil, fmt.Errorf("metrics: config mismatch beyond shard count: baseline %+v vs new %+v", base.Config, cur.Config)
+		return nil, fmt.Errorf("metrics: config mismatch beyond shard/cache knobs: baseline %+v vs new %+v", base.Config, cur.Config)
 	}
 	if base.Throughput <= 0 {
 		return nil, fmt.Errorf("metrics: baseline throughput %v not positive", base.Throughput)

@@ -270,6 +270,15 @@ func (d *Diagnosis) healthFindings(cur *PipelineSnapshot, delta *SnapshotDelta) 
 			Advice:   "a wedged or slow board is shedding work through the revocation fence; check per-board fpga<i>_cmds/finishes/cancels for the culprit",
 		})
 	}
+	if n := delta.Counters["cache_evictions_total"]; n > 0 {
+		d.add(Finding{
+			Code: "cache-thrashing", Confidence: 0.7,
+			Title: fmt.Sprintf("epoch cache is thrashing: %d entrie(s) evicted from both tiers in the interval", n),
+			Evidence: []string{fmt.Sprintf("cache_evictions_total +%d, cache_demotions_total +%d, cache_redecode_images_total +%d, cache_spill_bytes %.0f",
+				n, delta.Counters["cache_demotions_total"], delta.Counters["cache_redecode_images_total"], cur.Gauges["cache_spill_bytes"])},
+			Advice: "the decoded dataset outgrows RAM and spill budgets combined, so replays re-decode the evicted slice every epoch: grow the spill tier (Cache.SpillBytes), enable Cache.Compress, or accept the hybrid re-decode cost (docs/CACHE.md sizing example)",
+		})
+	}
 }
 
 // Report renders the diagnosis as an aligned human-readable block —

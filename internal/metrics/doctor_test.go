@@ -182,6 +182,42 @@ func TestDoctorIngestOverloaded(t *testing.T) {
 	}
 }
 
+func TestDoctorCacheThrashingFinding(t *testing.T) {
+	s := doctorSnap(func(s *PipelineSnapshot) {
+		s.Counters["cache_evictions_total"] = 9
+		s.Counters["cache_demotions_total"] = 40
+		s.Counters["cache_redecode_images_total"] = 288
+		s.Gauges["cache_spill_bytes"] = 1 << 26
+	})
+	d := Diagnose(s, nil)
+	var found *Finding
+	for i := range d.Findings {
+		if d.Findings[i].Code == "cache-thrashing" {
+			found = &d.Findings[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no cache-thrashing finding in\n%s", d.Report())
+	}
+	if !strings.Contains(strings.Join(found.Evidence, " "), "cache_evictions_total +9") {
+		t.Fatalf("evidence lacks the eviction delta: %v", found.Evidence)
+	}
+	// A health finding, never the verdict: the structural diagnosis is
+	// untouched by a thrashing cache.
+	if d.Verdict == "cache-thrashing" {
+		t.Fatalf("cache-thrashing became the verdict:\n%s", d.Report())
+	}
+	// No evictions in the interval → no finding.
+	quiet := Diagnose(doctorSnap(func(s *PipelineSnapshot) {
+		s.Counters["cache_demotions_total"] = 40
+	}), nil)
+	for _, f := range quiet.Findings {
+		if f.Code == "cache-thrashing" {
+			t.Fatalf("finding fired without evictions:\n%s", quiet.Report())
+		}
+	}
+}
+
 func TestDoctorCmdTimeoutFinding(t *testing.T) {
 	s := doctorSnap(func(s *PipelineSnapshot) {
 		s.Counters["cmd_timeouts_total"] = 7

@@ -39,11 +39,16 @@ type FileInfo struct {
 	Blocks     int64 // contiguous block count
 }
 
-// Config sets the timing model. Zero values disable pacing (tests) —
-// DefaultConfig enables the Optane-class model from internal/perf.
+// Config sets the timing model. Zero values disable pacing (tests);
+// the Optane-class constants live in internal/perf (NVMeRead*/NVMeWrite*).
 type Config struct {
 	ReadBandwidth float64       // bytes/s; 0 = unpaced
 	ReadLatency   time.Duration // per-request; 0 = none
+	// WriteBandwidth/WriteLatency pace Put the way the read knobs pace
+	// ReadAt — the cost model the tiered ReplayCache's spill writes ride
+	// (docs/CACHE.md sizing example). 0 = unpaced.
+	WriteBandwidth float64
+	WriteLatency   time.Duration
 	// Inject hooks a fault injector into the read path (nil = no
 	// faults): Fail (and Drop, which for a disk is the same thing)
 	// fails the read with ErrInjected, Corrupt flips bytes in the
@@ -61,11 +66,19 @@ type Device struct {
 	blocks   []byte
 	manifest map[string]FileInfo
 	order    []string // insertion order for deterministic iteration
+	free     []extent // deleted block ranges, reusable by Put
 
-	reads      int64
-	bytesRead  int64
-	busy       time.Duration
-	readFaults int64
+	reads        int64
+	bytesRead    int64
+	writes       int64
+	bytesWritten int64
+	busy         time.Duration
+	readFaults   int64
+}
+
+// extent is one contiguous run of free blocks left behind by Delete.
+type extent struct {
+	start, blocks int64
 }
 
 // New creates an empty device.
@@ -73,29 +86,94 @@ func New(cfg Config) *Device {
 	return &Device{cfg: cfg, manifest: make(map[string]FileInfo)}
 }
 
-// Put stores an object, appending it at the next block boundary, and
-// returns its manifest entry.
+// Put stores an object — into the first free extent that fits (block
+// ranges reclaimed by Delete), else appended at the next block boundary —
+// and returns its manifest entry. Writes are paced by the
+// WriteBandwidth/WriteLatency model the way reads are by ReadAt.
 func (d *Device) Put(name string, data []byte) (FileInfo, error) {
 	if name == "" {
 		return FileInfo{}, errors.New("nvme: empty object name")
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, dup := d.manifest[name]; dup {
+		d.mu.Unlock()
 		return FileInfo{}, fmt.Errorf("nvme: object %q already stored", name)
 	}
 	nblocks := int64((len(data) + BlockSize - 1) / BlockSize)
 	if nblocks == 0 {
 		nblocks = 1 // empty objects still own a block, like a real FS
 	}
-	start := int64(len(d.blocks) / BlockSize)
-	padded := make([]byte, nblocks*BlockSize)
-	copy(padded, data)
-	d.blocks = append(d.blocks, padded...)
+	start := d.allocBlocks(nblocks)
+	copy(d.blocks[start*BlockSize:(start+nblocks)*BlockSize], data)
 	fi := FileInfo{Name: name, Size: int64(len(data)), BlockStart: start, Blocks: nblocks}
 	d.manifest[name] = fi
 	d.order = append(d.order, name)
+	d.writes++
+	d.bytesWritten += int64(len(data))
+	pause := d.paceWrite(int64(len(data)))
+	d.busy += pause
+	d.mu.Unlock()
+	if pause > 0 {
+		time.Sleep(pause)
+	}
 	return fi, nil
+}
+
+// allocBlocks returns the start of an nblocks run: first-fit over the
+// free extents Delete left behind, else fresh blocks appended at the end
+// of the device. Caller holds mu. A reused extent is zeroed up to the
+// allocation so stale bytes of the deleted object never pad a shorter
+// successor.
+func (d *Device) allocBlocks(nblocks int64) int64 {
+	for i, e := range d.free {
+		if e.blocks < nblocks {
+			continue
+		}
+		start := e.start
+		if e.blocks == nblocks {
+			d.free = append(d.free[:i], d.free[i+1:]...)
+		} else {
+			d.free[i] = extent{start: e.start + nblocks, blocks: e.blocks - nblocks}
+		}
+		zero := d.blocks[start*BlockSize : (start+nblocks)*BlockSize]
+		for j := range zero {
+			zero[j] = 0
+		}
+		return start
+	}
+	start := int64(len(d.blocks) / BlockSize)
+	d.blocks = append(d.blocks, make([]byte, nblocks*BlockSize)...)
+	return start
+}
+
+// Delete removes an object from the manifest and returns its blocks to
+// the free list for Put to reuse — how the tiered ReplayCache's spill
+// tier reclaims space when a spilled batch is evicted. Deleting an
+// unknown object reports ErrNotFound.
+func (d *Device) Delete(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fi, ok := d.manifest[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(d.manifest, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.free = append(d.free, extent{start: fi.BlockStart, blocks: fi.Blocks})
+	return nil
+}
+
+// WriteObject stores an object, discarding the manifest entry — the
+// write half of the core.SpillStore contract the tiered ReplayCache
+// spills through (Read and Delete are the other two thirds).
+func (d *Device) WriteObject(name string, data []byte) error {
+	_, err := d.Put(name, data)
+	return err
 }
 
 // LoadDir stores every regular file under dir (recursively), keyed by
@@ -217,11 +295,43 @@ func (d *Device) pace(length int64) time.Duration {
 	return t
 }
 
+// paceWrite returns the simulated device time for a Put; caller holds mu.
+func (d *Device) paceWrite(length int64) time.Duration {
+	var t time.Duration
+	if d.cfg.WriteLatency > 0 {
+		t += d.cfg.WriteLatency
+	}
+	if d.cfg.WriteBandwidth > 0 {
+		t += time.Duration(float64(length) / d.cfg.WriteBandwidth * float64(time.Second))
+	}
+	return t
+}
+
 // Stats returns total reads, bytes read and accumulated device busy time.
 func (d *Device) Stats() (reads, bytesRead int64, busy time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.reads, d.bytesRead, d.busy
+}
+
+// WriteStats returns total Puts and bytes written, the spill-tier side
+// of the ledger Stats reports for reads.
+func (d *Device) WriteStats() (writes, bytesWritten int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes, d.bytesWritten
+}
+
+// FreeBlocks returns the number of blocks currently on the free list —
+// space Delete reclaimed that the next Puts will reuse.
+func (d *Device) FreeBlocks() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, e := range d.free {
+		n += e.blocks
+	}
+	return n
 }
 
 // ReadFaults returns the number of reads failed by injected faults.

@@ -291,6 +291,12 @@ const (
 	NVMeReadBandwidth = 2.5e9 // bytes/s
 	// NVMeReadLatency: per-request access latency.
 	NVMeReadLatency = 10e-6 // seconds
+	// NVMeWriteBandwidth: Optane 900p sequential write — what the
+	// tiered ReplayCache's spill demotions are paced at (the docs/CACHE.md
+	// sizing example divides the spilled epoch bytes by this).
+	NVMeWriteBandwidth = 2.0e9 // bytes/s
+	// NVMeWriteLatency: per-write access latency.
+	NVMeWriteLatency = 10e-6 // seconds
 	// NICBandwidthBits: "a 40Gbps NIC".
 	NICBandwidthBits = 40e9 // bits/s
 	// InferenceClients: "we set up 5 clients to send color images".
@@ -307,8 +313,8 @@ const (
 	FPGAWatts            = 25.0  // typical decode-board power draw
 	CPUWatts             = 130.0 // server-class CPU package power
 	GPUWatts             = 250.0 // training-class GPU board power
-	FPGAEquivalentCores  = 30  // "a well-optimized FPGA decoder can offer the same ... as 30 cores"
-	SavedCoreResaleHours = 1.5 // "$1.5/h" resale of freed cores per FPGA
+	FPGAEquivalentCores  = 30    // "a well-optimized FPGA decoder can offer the same ... as 30 cores"
+	SavedCoreResaleHours = 1.5   // "$1.5/h" resale of freed cores per FPGA
 )
 
 // --- Server inventory (§5.1) -------------------------------------------
