@@ -8,6 +8,7 @@
 //	dlbench -metrics        # traced end-to-end run + telemetry table
 //	dlbench -doctor         # traced run + ranked bottleneck diagnosis
 //	dlbench -json out.json  # traced run + schema-versioned bench result
+//	dlbench -slo tput=900 -json out.json  # traced run judged against an SLO
 package main
 
 import (
@@ -59,9 +60,19 @@ func main() {
 	shardRate := flag.Float64("shard-rate", 40, "with -shards: modelled per-shard accelerator rate in images/s")
 	replayEpochs := flag.Int("replay-epochs", 0, "with -metrics/-doctor/-json: after the first decode epoch, serve this many epochs from the tiered ReplayCache and measure their throughput (0 = classic single-epoch run)")
 	cacheMode := flag.String("cache", "ram+nvme", "with -replay-epochs: cache configuration — cold (no cache), ram (RAM tier only) or ram+nvme (RAM tier with NVMe spill); the RAM tier is sized to half the decoded dataset")
+	sloSpec := flag.String("slo", "", "with -metrics/-doctor/-json: sample telemetry during the traced run, judge it against this SLO spec (e.g. tput=900,p99ms=250,shed=0.001) and print the scorecard; with -json the scorecard is embedded in the result for the benchdiff -slo-gate")
 	flag.Parse()
 
 	if *showMetrics || *doctor || *benchJSON != "" {
+		// A bad SLO spec fails before the run, not after it.
+		var slo *metrics.SLO
+		if *sloSpec != "" {
+			var err error
+			if slo, err = metrics.ParseSLO(*sloSpec); err != nil {
+				fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
+				os.Exit(2)
+			}
+		}
 		// One traced run feeds every instrumented view, so -metrics,
 		// -doctor and -json can be combined without re-running.
 		var res *tracedResult
@@ -69,11 +80,11 @@ func main() {
 		var err error
 		switch {
 		case *replayEpochs > 0:
-			res, err = tracedReplayRun(*metricsImages, *metricsBatch, *replayEpochs, *cacheMode, *noDecodeScale)
+			res, err = tracedReplayRun(*metricsImages, *metricsBatch, *replayEpochs, *cacheMode, *noDecodeScale, slo != nil)
 		case *shards > 0:
-			res, fleetSnap, err = tracedShardsRun(*metricsImages, *metricsBatch, *shards, *shardRate, *noDecodeScale)
+			res, fleetSnap, err = tracedShardsRun(*metricsImages, *metricsBatch, *shards, *shardRate, *noDecodeScale, slo != nil)
 		default:
-			res, err = tracedRun(*metricsImages, *metricsBatch, *noDecodeScale)
+			res, err = tracedRun(*metricsImages, *metricsBatch, *noDecodeScale, slo != nil)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
@@ -89,8 +100,13 @@ func main() {
 				fmt.Print(metrics.Diagnose(res.snap, nil).Report())
 			}
 		}
+		card := slo.Evaluate(res.hist)
+		if slo != nil {
+			fmt.Print(card.Report())
+		}
 		if *benchJSON != "" {
 			br := benchResult(res)
+			br.SLO = card
 			if err := br.WriteFile(*benchJSON); err != nil {
 				fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
 				os.Exit(1)

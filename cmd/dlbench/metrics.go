@@ -31,6 +31,28 @@ type tracedResult struct {
 	batches int
 	elapsed time.Duration
 	config  metrics.BenchConfig
+	// hist is the sampled telemetry history of an -slo run (nil when no
+	// sampler was attached), the window the scorecard is judged against.
+	hist *metrics.History
+}
+
+// sloSampleEvery is the sampler interval of an -slo run: fine enough
+// that a sub-second traced run still yields a multi-sample window.
+const sloSampleEvery = 10 * time.Millisecond
+
+// attachSampler starts a telemetry sampler over the run's registry when
+// the run declared an SLO; the returned stop function joins the sampler
+// and hands back its history (nil stop/history when sampling is off).
+func attachSampler(reg *metrics.Registry, sample bool) (stop func() *metrics.History) {
+	if !sample {
+		return func() *metrics.History { return nil }
+	}
+	s := metrics.NewSampler(reg, metrics.SamplerConfig{Interval: sloSampleEvery})
+	s.Start()
+	return func() *metrics.History {
+		s.Stop()
+		return s.History()
+	}
 }
 
 // tracedRun drives one small instrumented end-to-end pipeline — corpus
@@ -38,10 +60,11 @@ type tracedResult struct {
 // It is the real pipeline under a deterministic corpus, not the
 // virtual-time simulation the figures use, so its numbers are honest
 // wall-clock measurements.
-func tracedRun(images, batchSize int, noDecodeScale bool) (*tracedResult, error) {
+func tracedRun(images, batchSize int, noDecodeScale, sample bool) (*tracedResult, error) {
 	const size = tracedRunSize
 	spec := dataset.ILSVRCLike(minInt(images, 64))
 	reg := metrics.NewRegistry()
+	stopSampler := attachSampler(reg, sample)
 	booster, err := core.New(core.Config{
 		BatchSize: batchSize, OutW: size, OutH: size, Channels: 3,
 		PoolBatches:         4,
@@ -113,6 +136,7 @@ func tracedRun(images, batchSize int, noDecodeScale bool) (*tracedResult, error)
 			Images: images, Batch: batchSize, Size: size,
 			Boards: 1,
 		},
+		hist: stopSampler(),
 	}, nil
 }
 
@@ -168,10 +192,11 @@ func benchResult(res *tracedResult) *metrics.BenchResult {
 // (cache_ram_hit_images_total, cache_spill_hit_images_total,
 // cache_redecode_images_total), so BENCH_4.json records throughput and
 // hit rate from the same run.
-func tracedReplayRun(images, batchSize, replayEpochs int, cacheMode string, noDecodeScale bool) (*tracedResult, error) {
+func tracedReplayRun(images, batchSize, replayEpochs int, cacheMode string, noDecodeScale, sample bool) (*tracedResult, error) {
 	const size = tracedRunSize
 	spec := dataset.ILSVRCLike(minInt(images, 64))
 	reg := metrics.NewRegistry()
+	stopSampler := attachSampler(reg, sample)
 	epochBytes := int64(images * size * size * 3)
 	cfg := core.Config{
 		BatchSize: batchSize, OutW: size, OutH: size, Channels: 3,
@@ -290,6 +315,7 @@ func tracedReplayRun(images, batchSize, replayEpochs int, cacheMode string, noDe
 			Boards:    1,
 			CacheMode: cacheMode, ReplayEpochs: replayEpochs,
 		},
+		hist: stopSampler(),
 	}, nil
 }
 

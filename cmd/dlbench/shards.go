@@ -31,7 +31,7 @@ import (
 // at `rate` images/s. Returns the usual tracedResult (snap is the
 // fleet total) plus the full rollup for the fleet doctor and trace
 // views.
-func tracedShardsRun(images, batchSize, shards int, rate float64, noDecodeScale bool) (*tracedResult, *metrics.FleetSnapshot, error) {
+func tracedShardsRun(images, batchSize, shards int, rate float64, noDecodeScale, sample bool) (*tracedResult, *metrics.FleetSnapshot, error) {
 	const size = tracedRunSize
 	if shards < 1 {
 		return nil, nil, fmt.Errorf("dlbench: -shards %d", shards)
@@ -124,6 +124,11 @@ func tracedShardsRun(images, batchSize, shards int, rate float64, noDecodeScale 
 		payloads[i] = data
 	}
 
+	if sample {
+		// Fleet.Drain stops the samplers before the queues close, so the
+		// merged history ends on a final whole-run sample.
+		fl.StartSampler(metrics.SamplerConfig{Interval: sloSampleEvery})
+	}
 	fl.Start()
 	start := time.Now()
 	for i := 0; i < images; i++ {
@@ -145,8 +150,13 @@ func tracedShardsRun(images, batchSize, shards int, rate float64, noDecodeScale 
 	}
 
 	fsnap := fl.Snapshot()
+	var hist *metrics.History
+	if sample {
+		hist = fl.History()
+	}
 	return &tracedResult{
 		snap:    fsnap.Total,
+		hist:    hist,
 		images:  totalImages,
 		batches: int(totalBatches),
 		elapsed: elapsed,

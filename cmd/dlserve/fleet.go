@@ -85,7 +85,11 @@ func serveFleet(cfg serveConfig) error {
 	if cfg.snapFile != "" && cfg.snapEvery <= 0 {
 		fmt.Fprintf(os.Stderr, "dlserve: warning: -snapshot-file %q has no effect without -snapshot-every\n", cfg.snapFile)
 	}
-	telemetry := cfg.metricsAddr != "" || cfg.snapEvery > 0 || cfg.traceFile != ""
+	slo, histEvery, err := cfg.telemetryPlan()
+	if err != nil {
+		return err
+	}
+	telemetry := cfg.metricsAddr != "" || cfg.snapEvery > 0 || cfg.traceFile != "" || histEvery > 0
 	var flight *metrics.FlightRecorder
 	if cfg.flightDir != "" {
 		flight = metrics.NewFlightRecorder(metrics.FlightConfig{DumpDir: cfg.flightDir})
@@ -122,6 +126,12 @@ func serveFleet(cfg serveConfig) error {
 				reg = metrics.NewRegistry()
 				if flight != nil {
 					reg.AttachFlight(flight)
+				}
+				if shard == 0 {
+					// Runtime health gauges are process-wide: register
+					// them on exactly one shard so the fleet rollup
+					// (which sums gauges) doesn't count them ×N.
+					metrics.RegisterRuntimeGauges(reg)
 				}
 			}
 			bcfg := core.Config{
@@ -192,18 +202,26 @@ func serveFleet(cfg serveConfig) error {
 	}
 
 	if cfg.metricsAddr != "" {
-		if err := serveFleetMetrics(cfg.metricsAddr, fl); err != nil {
+		if err := serveFleetMetrics(cfg.metricsAddr, fl, histEvery > 0, cfg.pprof); err != nil {
 			return err
 		}
 	}
+	var snapStop chan struct{}
+	var snapDone chan struct{}
 	if cfg.snapEvery > 0 {
-		go fleetSnapshotLoop(fl, cfg.snapEvery, cfg.snapFile)
+		snapStop, snapDone = make(chan struct{}), make(chan struct{})
+		go fleetSnapshotLoop(fl, cfg.snapEvery, cfg.snapFile, snapStop, snapDone)
 	}
 	if flight != nil {
 		// Sample the richest registry of the faulted shard — the one
 		// whose degradation the recorder exists to explain.
 		stop := flight.SampleLoop(fl.Shards()[0].Booster().Registry(), time.Second)
 		defer stop()
+	}
+	if histEvery > 0 {
+		// Per-shard history rings behind the merged fleet view; Drain
+		// joins the samplers.
+		fl.StartSampler(metrics.SamplerConfig{Interval: histEvery, Capacity: cfg.historySamples})
 	}
 
 	fl.Start()
@@ -234,7 +252,19 @@ func serveFleet(cfg serveConfig) error {
 			}
 			waitEngines(engines, 3*time.Second)
 			cs.closeAll()
+			if snapStop != nil {
+				close(snapStop)
+				<-snapDone
+			}
 			reportShards(fl)
+			if histEvery > 0 {
+				if fd := fl.DiagnoseTrend(); fd != nil {
+					fmt.Fprintf(os.Stderr, "dlserve: fleet trend:\n%s", fd.Report())
+				}
+				if slo != nil {
+					fmt.Fprintf(os.Stderr, "dlserve: %s", slo.Evaluate(fl.History()).Report())
+				}
+			}
 			if cfg.traceFile != "" && telemetry {
 				writeFleetTraceFile(cfg.traceFile, fl)
 			}
@@ -288,10 +318,27 @@ func reportShards(fl *fleet.Fleet) {
 
 // serveFleetMetrics exposes the fleet rollup over HTTP: /metrics is
 // the fleet-total Prometheus exposition, /metrics.json the full
-// FleetSnapshot (per-shard snapshots plus totals), /trace.json a
-// Chrome trace timeline with one process track per shard.
-func serveFleetMetrics(addr string, fl *fleet.Fleet) error {
+// FleetSnapshot (per-shard snapshots plus totals), /history.json the
+// merged fleet telemetry ring (404 without -history), /trace.json a
+// Chrome trace timeline with one process track per shard. With -pprof,
+// net/http/pprof mounts under /debug/pprof/.
+func serveFleetMetrics(addr string, fl *fleet.Fleet, histOn, pprofOn bool) error {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/history.json", func(w http.ResponseWriter, _ *http.Request) {
+		if !histOn {
+			http.Error(w, "windowed telemetry is off; start the server with -history or -slo", http.StatusNotFound)
+			return
+		}
+		// Merged per request: shard rings roll up the way snapshots do.
+		data, err := fl.History().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	registerPprof(mux, pprofOn)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = fl.Snapshot().Total.WritePrometheus(w)
@@ -319,20 +366,32 @@ func serveFleetMetrics(addr string, fl *fleet.Fleet) error {
 }
 
 // fleetSnapshotLoop is snapshotLoop for a fleet: each tick renders the
-// full rollup (per-shard snapshots plus totals) to JSON.
-func fleetSnapshotLoop(fl *fleet.Fleet, every time.Duration, path string) {
+// full rollup (per-shard snapshots plus totals) to JSON, reporting
+// failures to stderr (rate-limited) and joining the drain via
+// stop/done like its single-pipeline counterpart.
+func fleetSnapshotLoop(fl *fleet.Fleet, every time.Duration, path string, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
 	t := time.NewTicker(every)
 	defer t.Stop()
-	for range t.C {
+	var warn snapWarner
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
 		data, err := fl.Snapshot().JSON()
 		if err != nil {
+			warn.warnf("rendering fleet snapshot: %v", err)
 			continue
 		}
 		if path == "" {
 			fmt.Fprintf(os.Stderr, "%s\n", data)
 			continue
 		}
-		_ = metrics.WriteFileAtomic(path, append(data, '\n'))
+		if err := metrics.WriteFileAtomic(path, append(data, '\n')); err != nil {
+			warn.warnf("writing %s: %v", path, err)
+		}
 	}
 }
 

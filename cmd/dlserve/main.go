@@ -44,6 +44,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -96,7 +97,11 @@ func main() {
 	decodeRetries := flag.Int("decode-retries", 0, "server: resubmit a failed decode command up to N times")
 	cmdTimeout := flag.Duration("cmd-timeout", 0, "server: per-command decode timeout (0 = wait forever)")
 	fallbackAfter := flag.Int("fallback-after", 0, "server: reroute decoding to the CPU after N consecutive FPGA failures (0 = never)")
-	metricsAddr := flag.String("metrics-addr", "", "server: serve telemetry on this address — /metrics (Prometheus text) and /metrics.json (snapshot)")
+	metricsAddr := flag.String("metrics-addr", "", "server: serve telemetry on this address — /metrics (Prometheus text), /metrics.json (snapshot) and /history.json (windowed telemetry ring when -history is on)")
+	history := flag.Duration("history", 0, "server: sample windowed telemetry at this interval into a bounded history ring (0 = off; enabled at 1s automatically by -slo)")
+	historySamples := flag.Int("history-samples", 0, "server: history ring capacity in samples (0 = default 120)")
+	sloSpec := flag.String("slo", "", "server: judge this SLO spec over the telemetry window at shutdown, e.g. tput=900,p99ms=250,shed=0.001,window=60s (keys: tput p99ms stage shed window)")
+	pprofOn := flag.Bool("pprof", false, "server: mount net/http/pprof under /debug/pprof/ on the -metrics-addr mux")
 	snapEvery := flag.Duration("snapshot-every", 0, "server: write a JSON telemetry snapshot at this interval (0 = off)")
 	snapFile := flag.String("snapshot-file", "", "server: overwrite this file with each periodic snapshot (default: stderr)")
 	traceFile := flag.String("trace-file", "", "server: write a Chrome trace_event timeline (Perfetto-loadable) to this file on shutdown; also serves /trace.json when -metrics-addr is set")
@@ -119,9 +124,13 @@ func main() {
 				CmdTimeout:    *cmdTimeout,
 				FallbackAfter: *fallbackAfter,
 			},
-			metricsAddr:   *metricsAddr,
-			snapEvery:     *snapEvery,
-			snapFile:      *snapFile,
+			metricsAddr:    *metricsAddr,
+			historyEvery:   *history,
+			historySamples: *historySamples,
+			sloSpec:        *sloSpec,
+			pprof:          *pprofOn,
+			snapEvery:      *snapEvery,
+			snapFile:       *snapFile,
 			traceFile:     *traceFile,
 			flightDir:     *flightDir,
 			cacheMB:       *cacheMB,
@@ -221,16 +230,27 @@ type serveConfig struct {
 	batchTimeout time.Duration
 	queueCap     int
 
-	// Telemetry: metricsAddr serves /metrics, /metrics.json and
-	// /trace.json over HTTP; snapEvery writes periodic JSON snapshots to
-	// snapFile (or stderr); traceFile receives a Chrome trace timeline on
-	// shutdown. Any of them enables full tracing on the pipeline.
-	// flightDir enables the always-on flight recorder independently.
+	// Telemetry: metricsAddr serves /metrics, /metrics.json,
+	// /history.json and /trace.json over HTTP; snapEvery writes periodic
+	// JSON snapshots to snapFile (or stderr); traceFile receives a
+	// Chrome trace timeline on shutdown. Any of them enables full
+	// tracing on the pipeline. flightDir enables the always-on flight
+	// recorder independently.
 	metricsAddr string
 	snapEvery   time.Duration
 	snapFile    string
 	traceFile   string
 	flightDir   string
+
+	// historyEvery > 0 runs the windowed-telemetry sampler at that
+	// interval into a ring of historySamples samples (0 = default);
+	// sloSpec, when set, is judged over the window at shutdown (and
+	// turns the sampler on at 1s if historyEvery is 0). pprof mounts
+	// net/http/pprof on the metricsAddr mux.
+	historyEvery   time.Duration
+	historySamples int
+	sloSpec        string
+	pprof          bool
 
 	// cacheMB > 0 gives the pipeline a decoded-tensor ReplayCache: a
 	// RAM tier of that size, plus an NVMe spill tier of cacheSpillMB
@@ -285,9 +305,16 @@ func serve(cfg serveConfig) error {
 	if cfg.snapFile != "" && cfg.snapEvery <= 0 {
 		fmt.Fprintf(os.Stderr, "dlserve: warning: -snapshot-file %q has no effect without -snapshot-every\n", cfg.snapFile)
 	}
+	slo, histEvery, err := cfg.telemetryPlan()
+	if err != nil {
+		return err
+	}
 	var reg *metrics.Registry
-	if cfg.metricsAddr != "" || cfg.snapEvery > 0 || cfg.traceFile != "" {
+	if cfg.metricsAddr != "" || cfg.snapEvery > 0 || cfg.traceFile != "" || histEvery > 0 {
 		reg = metrics.NewRegistry()
+		// Runtime health gauges are process-wide; one registry per
+		// process carries them (the fleet path registers on shard 0).
+		metrics.RegisterRuntimeGauges(reg)
 	}
 	var flight *metrics.FlightRecorder
 	if cfg.flightDir != "" {
@@ -364,26 +391,35 @@ func serve(cfg serveConfig) error {
 		return err
 	}
 
+	// The richest registry available: the booster's internal one carries
+	// queue depths and decoder stats even when no -metrics-addr registry
+	// exists. The flight recorder, the history sampler and the ingest
+	// probes all read/land there.
+	richReg := reg
+	if db, ok := backend.(*backends.DLBooster); ok {
+		richReg = db.Registry()
+	}
+	// Built here so /history.json can serve the ring, but started only
+	// after the ingest probes are registered below — every sample then
+	// carries the full probe set.
+	var sampler *metrics.Sampler
+	if histEvery > 0 {
+		sampler = metrics.NewSampler(richReg, metrics.SamplerConfig{Interval: histEvery, Capacity: cfg.historySamples})
+	}
 	if cfg.metricsAddr != "" {
-		if err := serveMetrics(cfg.metricsAddr, reg); err != nil {
+		if err := serveMetrics(cfg.metricsAddr, reg, sampler.History(), cfg.pprof); err != nil {
 			return err
 		}
 	}
+	var snapStop chan struct{}
+	var snapDone chan struct{}
 	if cfg.snapEvery > 0 {
-		go snapshotLoop(reg, cfg.snapEvery, cfg.snapFile)
+		snapStop, snapDone = make(chan struct{}), make(chan struct{})
+		go snapshotLoop(reg, cfg.snapEvery, cfg.snapFile, snapStop, snapDone)
 	}
-	if flight != nil {
-		// The recorder samples the richest registry available: the
-		// booster's internal one carries queue depths and decoder stats
-		// even when no -metrics-addr registry exists.
-		sampleReg := reg
-		if db, ok := backend.(*backends.DLBooster); ok {
-			sampleReg = db.Registry()
-		}
-		if sampleReg != nil {
-			stop := flight.SampleLoop(sampleReg, time.Second)
-			defer stop()
-		}
+	if flight != nil && richReg != nil {
+		stop := flight.SampleLoop(richReg, time.Second)
+		defer stop()
 	}
 	items := queue.New[core.Item](cfg.queueCap)
 	grace := cfg.batchTimeout
@@ -394,14 +430,10 @@ func serve(cfg serveConfig) error {
 	// Ingest probes land in the richest registry available, so the
 	// doctor's ingest-overloaded rule and the flight recorder see them
 	// even when no -metrics-addr registry exists.
-	ing.reg = reg
-	if ing.reg == nil {
-		if db, ok := backend.(*backends.DLBooster); ok {
-			ing.reg = db.Registry()
-		}
-	}
+	ing.reg = richReg
 	ing.reg.RegisterQueue("ingest_items", items.Len, items.Cap)
 	ing.reg.RegisterCounterFunc("serve_shed_total", ing.shed.Load)
+	sampler.Start()
 	go func() {
 		defer flight.DumpOnPanic()
 		if err := backend.RunEpoch(core.CollectorFromQueue(items)); err != nil {
@@ -461,6 +493,15 @@ func serve(cfg serveConfig) error {
 			case <-time.After(3 * time.Second):
 			}
 			cs.closeAll()
+			// Join the periodic-snapshot goroutine and the history
+			// sampler: both record state right up to the drain and
+			// neither outlives the server.
+			if snapStop != nil {
+				close(snapStop)
+				<-snapDone
+			}
+			sampler.Stop()
+			reportWindow(sampler.History(), slo)
 			if cfg.traceFile != "" && reg != nil {
 				writeTraceFile(cfg.traceFile, reg)
 			}
@@ -478,10 +519,50 @@ func serve(cfg serveConfig) error {
 	}
 }
 
+// telemetryPlan resolves the windowed-telemetry flags: the parsed SLO
+// (nil when -slo is unset) and the effective history sampling interval
+// — -history as given, forced to 1s when an SLO needs a window and no
+// interval was chosen.
+func (cfg serveConfig) telemetryPlan() (*metrics.SLO, time.Duration, error) {
+	var slo *metrics.SLO
+	if cfg.sloSpec != "" {
+		s, err := metrics.ParseSLO(cfg.sloSpec)
+		if err != nil {
+			return nil, 0, err
+		}
+		slo = s
+	}
+	histEvery := cfg.historyEvery
+	if slo != nil && histEvery <= 0 {
+		histEvery = time.Second
+	}
+	if cfg.historySamples > 0 && histEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "dlserve: warning: -history-samples %d has no effect without -history or -slo\n", cfg.historySamples)
+	}
+	return slo, histEvery, nil
+}
+
+// reportWindow prints the shutdown windowed-telemetry report: the
+// trend-aware doctor over the sampled history, then the SLO scorecard
+// when a spec was given. No-op without a history.
+func reportWindow(hist *metrics.History, slo *metrics.SLO) {
+	if hist == nil {
+		return
+	}
+	if td := metrics.DiagnoseHistory(hist); td != nil {
+		fmt.Fprintf(os.Stderr, "dlserve: %s", td.Report())
+	}
+	if slo != nil {
+		fmt.Fprintf(os.Stderr, "dlserve: %s", slo.Evaluate(hist).Report())
+	}
+}
+
 // serveMetrics exposes the registry over HTTP: /metrics is the
 // Prometheus text exposition, /metrics.json the full snapshot,
+// /history.json the windowed-telemetry ring (404 without -history),
 // /trace.json the recent spans and events as a Chrome trace timeline.
-func serveMetrics(addr string, reg *metrics.Registry) error {
+// With pprofOn, net/http/pprof mounts under /debug/pprof/.
+func serveMetrics(addr string, reg *metrics.Registry, hist *metrics.History, pprofOn bool) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -500,6 +581,8 @@ func serveMetrics(addr string, reg *metrics.Registry) error {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.Snapshot().WriteChromeTrace(w)
 	})
+	registerHistoryEndpoint(mux, hist)
+	registerPprof(mux, pprofOn)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -509,15 +592,74 @@ func serveMetrics(addr string, reg *metrics.Registry) error {
 	return nil
 }
 
+// registerHistoryEndpoint mounts /history.json: the full History ring
+// as JSON (capacity, lifetime sample count, samples oldest first). A
+// server without -history answers 404 so scrapers can tell "off" from
+// "empty".
+func registerHistoryEndpoint(mux *http.ServeMux, hist *metrics.History) {
+	mux.HandleFunc("/history.json", func(w http.ResponseWriter, _ *http.Request) {
+		if hist == nil {
+			http.Error(w, "windowed telemetry is off; start the server with -history or -slo", http.StatusNotFound)
+			return
+		}
+		data, err := hist.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+}
+
+// registerPprof mounts the net/http/pprof handlers on the telemetry
+// mux — the profiling workflow docs/METRICS.md describes (CPU: curl
+// /debug/pprof/profile?seconds=10; heap: /debug/pprof/heap).
+func registerPprof(mux *http.ServeMux, on bool) {
+	if !on {
+		return
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// snapWarner rate-limits the periodic-snapshot loops' error reporting:
+// a wedged disk or a marshalling bug surfaces on stderr, but at most
+// once per minute instead of once per tick.
+type snapWarner struct {
+	last time.Time
+}
+
+func (w *snapWarner) warnf(format string, args ...any) {
+	if now := time.Now(); now.Sub(w.last) >= time.Minute {
+		w.last = now
+		fmt.Fprintf(os.Stderr, "dlserve: snapshot: "+format+"\n", args...)
+	}
+}
+
 // snapshotLoop periodically renders the registry to JSON, overwriting
 // path each tick (or appending to stderr when path is empty) — the
-// capture mechanism EXPERIMENTS.md uses for offline analysis.
-func snapshotLoop(reg *metrics.Registry, every time.Duration, path string) {
+// capture mechanism EXPERIMENTS.md uses for offline analysis. Render
+// and write failures reach stderr (rate-limited) instead of vanishing;
+// closing stop ends the loop, and done is closed on the way out so the
+// drain path can join it.
+func snapshotLoop(reg *metrics.Registry, every time.Duration, path string, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
 	t := time.NewTicker(every)
 	defer t.Stop()
-	for range t.C {
+	var warn snapWarner
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
 		data, err := reg.Snapshot().JSON()
 		if err != nil {
+			warn.warnf("rendering snapshot: %v", err)
 			continue
 		}
 		if path == "" {
@@ -526,7 +668,9 @@ func snapshotLoop(reg *metrics.Registry, every time.Duration, path string) {
 		}
 		// Atomic (temp + fsync + rename): a scraper reading the file
 		// mid-write sees the previous snapshot, never a truncated one.
-		_ = metrics.WriteFileAtomic(path, append(data, '\n'))
+		if err := metrics.WriteFileAtomic(path, append(data, '\n')); err != nil {
+			warn.warnf("writing %s: %v", path, err)
+		}
 	}
 }
 

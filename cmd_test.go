@@ -196,6 +196,93 @@ func TestServeShards(t *testing.T) {
 	}
 }
 
+// TestServeHistorySLO is the ISSUE-8 acceptance scenario: a dlserve
+// run with windowed telemetry on must serve the sampled history ring at
+// /history.json, and the shutdown report must include the trend-doctor
+// verdict and the SLO scorecard judged over the window.
+func TestServeHistorySLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec test in -short mode")
+	}
+	bin := buildCmd(t, "dlserve")
+	srv := exec.Command(bin,
+		"-listen", "127.0.0.1:39478", "-batch", "4", "-size", "64",
+		"-history", "25ms", "-history-samples", "2000", "-slo", "tput=0.1,shed=0.5",
+		"-metrics-addr", "127.0.0.1:39479")
+	var srvOut bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = srv.Process.Kill()
+		_, _ = srv.Process.Wait()
+	}()
+	out := runClient(t, bin, &srvOut, "-connect", "127.0.0.1:39478", "-n", "16")
+	if !strings.Contains(out, "16 predictions, 0 shed") {
+		t.Fatalf("client output:\n%s\nserver:\n%s", out, srvOut.String())
+	}
+
+	// The ring has had time to collect several 25ms samples by the time
+	// the client round trip finished; /history.json serves the dump.
+	var dump struct {
+		Capacity int `json:"capacity"`
+		Recorded int `json:"recorded"`
+		Samples  []struct {
+			Delta struct {
+				Counters map[string]int64 `json:"counters"`
+			} `json:"delta"`
+		} `json:"samples"`
+	}
+	// The ring lags decode completion by up to one sampling interval, so
+	// poll until the interval deltas account for every decoded image.
+	var decoded int64
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://127.0.0.1:39479/history.json")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := json.Unmarshal(body, &dump); err != nil {
+				t.Fatalf("/history.json: %v\n%s", err, body)
+			}
+			decoded = 0
+			for _, s := range dump.Samples {
+				decoded += s.Delta.Counters["images_decoded_total"]
+			}
+			if len(dump.Samples) >= 3 && decoded == 16 {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if len(dump.Samples) < 3 || dump.Recorded < 3 {
+		t.Fatalf("history ring has %d samples (%d recorded)\nserver:\n%s",
+			len(dump.Samples), dump.Recorded, srvOut.String())
+	}
+	if decoded != 16 {
+		t.Fatalf("history deltas sum to %d decoded images, want 16", decoded)
+	}
+
+	// Shutdown: the drain report includes the trend verdict and the
+	// scorecard (16 images at any rate beats tput=0.1, nothing shed).
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := srvOut.String()
+		if strings.Contains(s, "SLO") && strings.Contains(s, "trend verdict") {
+			if !strings.Contains(s, "MET") {
+				t.Fatalf("scorecard not MET:\n%s", s)
+			}
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("shutdown report lacks trend verdict + scorecard:\n%s", srvOut.String())
+}
+
 func TestCommands(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exec smoke tests in -short mode")
@@ -322,6 +409,56 @@ func TestCommands(t *testing.T) {
 		}
 		if out, err := exec.Command(bins["benchdiff"], base, mismatch).CombinedOutput(); err == nil {
 			t.Fatalf("mismatched configs compared:\n%s", out)
+		}
+	})
+
+	t.Run("slo-gate", func(t *testing.T) {
+		dir := t.TempDir()
+		good := filepath.Join(dir, "BENCH_slo_good.json")
+		bad := filepath.Join(dir, "BENCH_slo_bad.json")
+		plain := filepath.Join(dir, "BENCH_plain.json")
+		// A generous SLO the traced run always meets…
+		out, err := exec.Command(bins["dlbench"], "-json", good,
+			"-metrics-images", "32", "-slo", "tput=0.1,shed=0.5").CombinedOutput()
+		if err != nil {
+			t.Fatalf("dlbench -slo: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "SLO") || !strings.Contains(string(out), "MET") {
+			t.Fatalf("no scorecard in -slo output:\n%s", out)
+		}
+		// …an unreachable one the gate must catch…
+		if out, err := exec.Command(bins["dlbench"], "-json", bad,
+			"-metrics-images", "32", "-slo", "tput=1e12,shed=0.5").CombinedOutput(); err != nil {
+			t.Fatalf("dlbench -slo: %v\n%s", err, out)
+		}
+		// …and a run that declared no SLO at all.
+		if out, err := exec.Command(bins["dlbench"], "-json", plain, "-metrics-images", "32").CombinedOutput(); err != nil {
+			t.Fatalf("dlbench -json: %v\n%s", err, out)
+		}
+		// Met scorecard: the gate passes alongside the threshold check.
+		out, err = exec.Command(bins["benchdiff"], "-threshold", "1000", "-slo-gate", good, good).CombinedOutput()
+		if err != nil || !strings.Contains(string(out), "SLO PASS") {
+			t.Fatalf("slo-gate on met scorecard: %v\n%s", err, out)
+		}
+		// Violated scorecard fails the gate (exit 1); the scorecard-less
+		// baseline is fine, only the new file must carry one.
+		out, err = exec.Command(bins["benchdiff"], "-threshold", "1000", "-slo-gate", plain, bad).CombinedOutput()
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("violated scorecard not gated (err %v):\n%s", err, out)
+		}
+		// A new result without a scorecard is misuse (exit 2), not a pass.
+		out, err = exec.Command(bins["benchdiff"], "-threshold", "1000", "-slo-gate", good, plain).CombinedOutput()
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+			t.Fatalf("missing scorecard not misuse (err %v):\n%s", err, out)
+		}
+		// Mismatched specs are never compared (exit 2).
+		out, err = exec.Command(bins["benchdiff"], "-threshold", "1000", "-slo-gate", good, bad).CombinedOutput()
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+			t.Fatalf("mismatched SLO specs compared (err %v):\n%s", err, out)
+		}
+		// A bad spec fails before the run.
+		if _, err := exec.Command(bins["dlbench"], "-json", bad, "-slo", "bogus=1").CombinedOutput(); err == nil {
+			t.Fatal("bad -slo spec accepted")
 		}
 	})
 

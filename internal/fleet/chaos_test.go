@@ -171,6 +171,34 @@ func TestFleetChaosZeroLossSteal(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
+	// Post-flip, shard 0's own CPU fallback races the stealer for the
+	// leftover backlog and can empty the queue before the stealer's next
+	// tick. A real wedged shard keeps receiving its affinity traffic, so
+	// model that: top its queue back up with fresh frames (unique seqs,
+	// same zero-loss accounting) until the stealer provably moved one.
+	nextSeq := n
+	stealDeadline := time.Now().Add(10 * time.Second)
+	for f.Steals() == 0 {
+		if time.Now().After(stealDeadline) {
+			t.Fatal("no items were stolen off the degraded shard")
+		}
+		for _, item := range fleetItems(t, 8) {
+			if f.Steals() > 0 {
+				break
+			}
+			item.Meta.Seq = nextSeq
+			pushed, err := f.Shards()[0].Queue().TryPush(item)
+			if err != nil {
+				t.Fatalf("top-up push: %v", err)
+			}
+			if pushed {
+				admitted[item.Meta.Seq] = true
+				nextSeq++
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
 	drainWatchdog(t, f)
 	wg.Wait()
 

@@ -197,9 +197,10 @@ type Fleet struct {
 	stealDone chan struct{}
 	epochWG   sync.WaitGroup
 
-	mu      sync.Mutex
-	errs    []error
-	started bool
+	mu       sync.Mutex
+	errs     []error
+	started  bool
+	samplers []*metrics.Sampler
 
 	drainOnce sync.Once
 	closeOnce sync.Once
@@ -340,6 +341,63 @@ func (f *Fleet) Diagnose(prev *metrics.FleetSnapshot) *metrics.FleetDiagnosis {
 	return metrics.DiagnoseFleet(f.Snapshot(), prev)
 }
 
+// StartSampler launches one windowed-telemetry sampler per shard, each
+// recording that shard's registry into its own History ring — the same
+// per-shard-then-merge shape Snapshot uses, so shard histories roll up
+// without cross-shard lock contention. Idempotent; StopSampler joins
+// every sampling goroutine.
+func (f *Fleet) StartSampler(cfg metrics.SamplerConfig) {
+	f.mu.Lock()
+	if f.samplers == nil {
+		for _, s := range f.shards {
+			f.samplers = append(f.samplers, metrics.NewSampler(s.b.Registry(), cfg))
+		}
+	}
+	samplers := f.samplers
+	f.mu.Unlock()
+	for _, sm := range samplers {
+		sm.Start()
+	}
+}
+
+// StopSampler stops and joins every shard sampler (no-op when
+// StartSampler was never called). The histories stay readable.
+func (f *Fleet) StopSampler() {
+	f.mu.Lock()
+	samplers := f.samplers
+	f.mu.Unlock()
+	for _, sm := range samplers {
+		sm.Stop()
+	}
+}
+
+// Histories returns the per-shard telemetry rings in shard order (nil
+// entries when StartSampler was never called).
+func (f *Fleet) Histories() []*metrics.History {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*metrics.History, len(f.shards))
+	for i, sm := range f.samplers {
+		out[i] = sm.History()
+	}
+	return out
+}
+
+// History merges the per-shard rings into one fleet history —
+// MergeHistories aligning samples from the newest end — the window the
+// fleet scorecard and trend doctor read. Nil before StartSampler.
+func (f *Fleet) History() *metrics.History {
+	return metrics.MergeHistories(f.Histories())
+}
+
+// DiagnoseTrend runs the trend-aware doctor over the merged fleet
+// history and every shard's own — "the fleet is decoder-bound
+// sustained; only shard 2 flaps". Nil until the samplers have at least
+// two samples.
+func (f *Fleet) DiagnoseTrend() *metrics.FleetTrendDiagnosis {
+	return metrics.DiagnoseFleetHistory(f.Histories())
+}
+
 // Drain shuts intake down in the order the zero-loss invariant needs:
 // stop the stealer first (so no item is ever in the stealer's hands
 // when a queue closes), then close every ingest queue (Submit starts
@@ -348,6 +406,9 @@ func (f *Fleet) Diagnose(prev *metrics.FleetSnapshot) *metrics.FleetDiagnosis {
 // accepted item. It returns the joined per-shard epoch errors.
 func (f *Fleet) Drain() error {
 	f.drainOnce.Do(func() {
+		// Join the telemetry samplers first: each records a final sample,
+		// so the histories cover the run right up to the drain.
+		f.StopSampler()
 		f.mu.Lock()
 		started := f.started
 		f.mu.Unlock()

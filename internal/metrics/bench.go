@@ -65,6 +65,10 @@ type BenchResult struct {
 	Stages map[string]Summary `json:"stages"`
 	// Counters holds the final counter values of the run.
 	Counters map[string]int64 `json:"counters"`
+	// SLO is the scorecard of a `dlbench -slo` run: the spec evaluated
+	// over the run's sampled telemetry history. Nil (omitted from JSON)
+	// when the run declared no SLO, so older baselines still compare.
+	SLO *Scorecard `json:"slo,omitempty"`
 }
 
 // WriteFile serialises the result to path atomically.
@@ -147,6 +151,45 @@ func CompareBenchSpeedup(base, cur *BenchResult, ratio float64) (*BenchRegressio
 		}, nil
 	}
 	return nil, nil
+}
+
+// CompareBenchSLO is the SLO-regression gate: the new result must carry
+// a scorecard (a `dlbench -slo` run) and every objective on it must be
+// met. A missing scorecard is a misuse error — the gate exists to catch
+// runs that silently dropped their SLO — as is comparing scorecards
+// evaluated against different specs when the baseline has one. The
+// baseline's scorecard, when present, supplies the Base column of each
+// regression so the report shows how far the objective moved.
+func CompareBenchSLO(base, cur *BenchResult) ([]BenchRegression, error) {
+	if cur == nil {
+		return nil, fmt.Errorf("metrics: nil bench result")
+	}
+	if cur.SLO == nil {
+		return nil, fmt.Errorf("metrics: new result %q carries no SLO scorecard (run dlbench with -slo)", cur.Name)
+	}
+	if base != nil && base.SLO != nil && base.SLO.Spec != cur.SLO.Spec {
+		return nil, fmt.Errorf("metrics: SLO spec mismatch: baseline %q vs new %q", base.SLO.Spec, cur.SLO.Spec)
+	}
+	baseObs := map[string]float64{}
+	if base != nil && base.SLO != nil {
+		for _, o := range base.SLO.Objectives {
+			baseObs[o.Name] = o.Observed
+		}
+	}
+	var regs []BenchRegression
+	for _, o := range cur.SLO.Objectives {
+		if o.Met {
+			continue
+		}
+		b, ok := baseObs[o.Name]
+		if !ok {
+			b = o.Target
+		}
+		regs = append(regs, BenchRegression{
+			Metric: "slo " + o.Name, Base: b, New: o.Observed, Limit: o.Target,
+		})
+	}
+	return regs, nil
 }
 
 // CompareBenchResults checks a new result against a baseline with a

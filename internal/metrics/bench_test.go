@@ -103,6 +103,74 @@ func TestCompareBenchResultsFloorAbsorbsNoise(t *testing.T) {
 	}
 }
 
+// benchCard evaluates a spec against a synthetic history sustaining the
+// given throughput, for attaching scorecards to bench fixtures.
+func benchCard(t *testing.T, spec string, tput float64) *Scorecard {
+	t.Helper()
+	s, err := ParseSLO(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := s.Evaluate(sloHistory(tput, 10, 0))
+	if card == nil {
+		t.Fatal("no scorecard from synthetic history")
+	}
+	return card
+}
+
+func TestCompareBenchSLOGate(t *testing.T) {
+	base, cur := benchFixture(), benchFixture()
+
+	// No scorecard on the new result is misuse, not a pass.
+	if _, err := CompareBenchSLO(base, cur); err == nil {
+		t.Fatal("missing scorecard accepted")
+	}
+	if _, err := CompareBenchSLO(base, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+
+	// Met scorecard: gate passes even when the baseline has none.
+	cur.SLO = benchCard(t, "tput=900", 1000)
+	regs, err := CompareBenchSLO(base, cur)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("met scorecard: regs = %v, err = %v", regs, err)
+	}
+
+	// Violated objective fails the gate; the baseline's observed value
+	// fills the Base column when its scorecard shares the spec.
+	base.SLO = benchCard(t, "tput=900", 1000)
+	cur.SLO = benchCard(t, "tput=900", 400)
+	regs, err = CompareBenchSLO(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "slo "+ObjectiveThroughput {
+		t.Fatalf("regs = %v", regs)
+	}
+	if regs[0].Base != 1000 || regs[0].New != 400 || regs[0].Limit != 900 {
+		t.Fatalf("regression columns = %+v", regs[0])
+	}
+
+	// Different specs are never compared.
+	base.SLO = benchCard(t, "tput=500", 1000)
+	if _, err := CompareBenchSLO(base, cur); err == nil {
+		t.Fatal("mismatched SLO specs compared")
+	}
+
+	// Scorecards survive the BENCH_<n>.json round trip.
+	path := filepath.Join(t.TempDir(), "BENCH_slo.json")
+	if err := cur.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SLO == nil || got.SLO.Spec != cur.SLO.Spec || got.SLO.Met {
+		t.Fatalf("scorecard lost in round trip: %+v", got.SLO)
+	}
+}
+
 func TestCompareBenchResultsMisuse(t *testing.T) {
 	base, cur := benchFixture(), benchFixture()
 	if _, err := CompareBenchResults(nil, cur, 2.0, 1.0); err == nil {

@@ -68,3 +68,101 @@ func TestSnapshotDeltaNilPrev(t *testing.T) {
 		t.Fatal("nil delta Rate != 0")
 	}
 }
+
+// TestSnapshotDeltaRegistryRestart pins the documented restart
+// signature: a counter lower in cur than in prev yields a negative
+// delta (and rate) rather than clamping — the caller's signal that the
+// registry restarted between captures.
+func TestSnapshotDeltaRegistryRestart(t *testing.T) {
+	t0 := time.Now()
+	prev := &PipelineSnapshot{
+		TakenAt: t0, UptimeSeconds: 100,
+		Counters: map[string]int64{"images_decoded_total": 5000, "decode_errors_total": 7},
+	}
+	cur := &PipelineSnapshot{
+		TakenAt: t0.Add(2 * time.Second), UptimeSeconds: 2, // restarted process
+		Counters: map[string]int64{"images_decoded_total": 40},
+	}
+	d := cur.Delta(prev)
+	if d.Counters["images_decoded_total"] != -4960 {
+		t.Fatalf("restart delta = %d, want -4960 (negative, not clamped)", d.Counters["images_decoded_total"])
+	}
+	// A counter present only in prev does not appear at all — Delta
+	// iterates cur's counters.
+	if _, ok := d.Counters["decode_errors_total"]; ok {
+		t.Fatal("counter absent from cur should be absent from the delta")
+	}
+	// Uptime went backwards too: Seconds is negative and rates are not
+	// computed (Seconds > 0 guard), never NaN/Inf.
+	if d.Seconds != -98 {
+		t.Fatalf("Seconds = %v, want -98", d.Seconds)
+	}
+	if len(d.Rates) != 0 {
+		t.Fatalf("rates over a negative interval = %v, want none", d.Rates)
+	}
+}
+
+// TestSnapshotDeltaEventAtBoundary pins the interval-boundary contract:
+// an event stamped exactly at prev.TakenAt belongs to the previous
+// interval (Delta keeps events strictly after prev), so adjacent
+// intervals never double-count a boundary event.
+func TestSnapshotDeltaEventAtBoundary(t *testing.T) {
+	t0 := time.Now()
+	mid := t0.Add(time.Second)
+	end := t0.Add(2 * time.Second)
+	events := []Event{
+		{Name: "before", At: mid.Add(-time.Millisecond)},
+		{Name: "boundary", At: mid},
+		{Name: "after", At: mid.Add(time.Millisecond)},
+	}
+	first := &PipelineSnapshot{TakenAt: mid, UptimeSeconds: 1,
+		Counters: map[string]int64{}, Events: events[:2]}
+	second := &PipelineSnapshot{TakenAt: end, UptimeSeconds: 2,
+		Counters: map[string]int64{}, Events: events}
+	d := second.Delta(first)
+	if len(d.Events) != 1 || d.Events[0].Name != "after" {
+		t.Fatalf("interval events = %v, want only the strictly-after one", d.Events)
+	}
+	// Conservation across the boundary: the whole-interval event set is
+	// the union of the first interval's (vs nil) and the second's.
+	whole := second.Delta(nil)
+	firstHalf := first.Delta(nil)
+	if len(firstHalf.Events)+len(d.Events) != len(whole.Events) {
+		t.Fatalf("boundary event double-counted or dropped: %d + %d != %d",
+			len(firstHalf.Events), len(d.Events), len(whole.Events))
+	}
+}
+
+// TestSnapshotDeltaConservation is the counter-conservation property:
+// for any three snapshots a ≤ b ≤ c, delta(a,b) + delta(b,c) equals
+// delta(a,c) counter-for-counter and in seconds — windowed telemetry
+// splits an interval without losing or double-counting anything.
+func TestSnapshotDeltaConservation(t *testing.T) {
+	t0 := time.Now()
+	mk := func(sec float64, decoded, shed, spans int64) *PipelineSnapshot {
+		return &PipelineSnapshot{
+			TakenAt:       t0.Add(time.Duration(sec * float64(time.Second))),
+			UptimeSeconds: sec,
+			Counters: map[string]int64{
+				"images_decoded_total": decoded,
+				"serve_shed_total":     shed,
+			},
+			SpansCompleted: spans,
+		}
+	}
+	a := mk(1, 100, 3, 10)
+	b := mk(4.5, 950, 40, 112)
+	c := mk(9, 2212, 41, 263)
+	ab, bc, ac := b.Delta(a), c.Delta(b), c.Delta(a)
+	for k := range ac.Counters {
+		if ab.Counters[k]+bc.Counters[k] != ac.Counters[k] {
+			t.Fatalf("counter %s: %d + %d != %d", k, ab.Counters[k], bc.Counters[k], ac.Counters[k])
+		}
+	}
+	if ab.Seconds+bc.Seconds != ac.Seconds {
+		t.Fatalf("seconds: %v + %v != %v", ab.Seconds, bc.Seconds, ac.Seconds)
+	}
+	if ab.SpansCompleted+bc.SpansCompleted != ac.SpansCompleted {
+		t.Fatalf("spans: %d + %d != %d", ab.SpansCompleted, bc.SpansCompleted, ac.SpansCompleted)
+	}
+}

@@ -1,0 +1,214 @@
+// Doctor v2: the trend-aware doctor. Diagnose reads one snapshot pair;
+// DiagnoseHistory runs it over every adjacent sample pair in a History
+// ring and ranks what it sees across time — a verdict sustained for
+// most of the window is the real story, a verdict that appears once is
+// a transient spike, and a window that keeps switching verdicts is
+// flapping (usually a load right at a capacity knee). This temporal
+// judgement is what single-capture diagnosis structurally cannot make,
+// and it is the sensing layer the ROADMAP's adaptive offloading
+// controller actuates on.
+
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trend thresholds: a verdict holding at least sustainedShare of the
+// windows is "sustained"; a run whose verdict changes on at least
+// flapTransitionShare of adjacent window pairs (with ≥ 2 distinct
+// verdicts) is "flapping"; a non-dominant verdict seen on at most
+// transientShare of windows is reported as a transient spike. At least
+// minTrendWindows window diagnoses are needed before any of these
+// labels apply.
+const (
+	sustainedShare      = 0.6
+	flapTransitionShare = 0.5
+	transientShare      = 0.25
+	minTrendWindows     = 3
+)
+
+// VerdictShare is one verdict's footprint across a history's windows.
+type VerdictShare struct {
+	// Verdict is the structural verdict code.
+	Verdict string `json:"verdict"`
+	// Windows is how many window diagnoses returned it; Share divides
+	// by the total window count.
+	Windows int     `json:"windows"`
+	Share   float64 `json:"share"`
+}
+
+// TrendDiagnosis is the trend-aware doctor's report over a History:
+// the dominant verdict with its persistence label (sustained /
+// transient-dominated / flapping), the full ranked verdict footprint,
+// the per-window verdict sequence (oldest first), and the latest
+// single-window diagnosis for point-in-time detail.
+type TrendDiagnosis struct {
+	// Verdict is the dominant structural verdict across the windows.
+	Verdict string `json:"verdict"`
+	// Sustained reports the dominant verdict held ≥ sustainedShare of
+	// the windows (with at least minTrendWindows windows).
+	Sustained bool `json:"sustained"`
+	// Flapping reports the verdict changed on ≥ flapTransitionShare of
+	// adjacent window pairs — load sitting at a capacity knee.
+	Flapping bool `json:"flapping"`
+	// Windows is how many adjacent-sample diagnoses were run;
+	// Transitions counts verdict changes between consecutive windows.
+	Windows     int `json:"windows"`
+	Transitions int `json:"transitions"`
+	// Ranked is every verdict's footprint, most windows first.
+	Ranked []VerdictShare `json:"ranked"`
+	// Transients are non-dominant verdicts seen on ≤ transientShare of
+	// windows — one-off spikes, not the story.
+	Transients []VerdictShare `json:"transients,omitempty"`
+	// Sequence is the per-window verdict list, oldest first.
+	Sequence []string `json:"sequence"`
+	// Latest is the newest window's full diagnosis.
+	Latest *Diagnosis `json:"latest,omitempty"`
+}
+
+// DiagnoseHistory runs the bottleneck doctor over every adjacent sample
+// pair in the history and ranks the verdicts across time. It needs at
+// least two samples (one window); nil or shorter histories return nil.
+func DiagnoseHistory(h *History) *TrendDiagnosis {
+	samples := h.Samples()
+	if len(samples) < 2 {
+		return nil
+	}
+	td := &TrendDiagnosis{}
+	var last *Diagnosis
+	for i := 1; i < len(samples); i++ {
+		d := Diagnose(samples[i].Snapshot, samples[i-1].Snapshot)
+		if d == nil {
+			continue
+		}
+		if n := len(td.Sequence); n > 0 && td.Sequence[n-1] != d.Verdict {
+			td.Transitions++
+		}
+		td.Sequence = append(td.Sequence, d.Verdict)
+		last = d
+	}
+	td.Windows = len(td.Sequence)
+	if td.Windows == 0 {
+		return nil
+	}
+	td.Latest = last
+
+	counts := make(map[string]int)
+	for _, v := range td.Sequence {
+		counts[v]++
+	}
+	for v, n := range counts {
+		td.Ranked = append(td.Ranked, VerdictShare{Verdict: v, Windows: n, Share: float64(n) / float64(td.Windows)})
+	}
+	sort.Slice(td.Ranked, func(i, j int) bool {
+		if td.Ranked[i].Windows != td.Ranked[j].Windows {
+			return td.Ranked[i].Windows > td.Ranked[j].Windows
+		}
+		return td.Ranked[i].Verdict < td.Ranked[j].Verdict
+	})
+	dominant := td.Ranked[0]
+	td.Verdict = dominant.Verdict
+	if td.Windows >= minTrendWindows {
+		td.Sustained = dominant.Share >= sustainedShare
+		td.Flapping = len(counts) >= 2 &&
+			float64(td.Transitions) >= flapTransitionShare*float64(td.Windows-1)
+		for _, vs := range td.Ranked[1:] {
+			if vs.Share <= transientShare {
+				td.Transients = append(td.Transients, vs)
+			}
+		}
+	}
+	return td
+}
+
+// Report renders the trend diagnosis as a human-readable block: the
+// headline persistence sentence, the ranked footprint, and the latest
+// window's full doctor report indented beneath it.
+func (td *TrendDiagnosis) Report() string {
+	if td == nil {
+		return "trend doctor: need at least two history samples\n"
+	}
+	var b strings.Builder
+	label := "intermittent"
+	switch {
+	case td.Flapping:
+		label = "FLAPPING"
+	case td.Sustained:
+		label = "sustained"
+	}
+	fmt.Fprintf(&b, "trend verdict: %s (%s — %d/%d windows", td.Verdict, label, td.Ranked[0].Windows, td.Windows)
+	if td.Transitions > 0 {
+		fmt.Fprintf(&b, ", %d transition(s)", td.Transitions)
+	}
+	b.WriteString(")\n")
+	for _, vs := range td.Ranked {
+		fmt.Fprintf(&b, "  %-20s %3d/%d windows (%.0f%%)\n", vs.Verdict, vs.Windows, td.Windows, 100*vs.Share)
+	}
+	for _, vs := range td.Transients {
+		fmt.Fprintf(&b, "  transient spike: %s (%d window(s)) — not the sustained story\n", vs.Verdict, vs.Windows)
+	}
+	if td.Latest != nil {
+		b.WriteString("\nlatest window:\n")
+		for _, line := range strings.Split(strings.TrimRight(td.Latest.Report(), "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	return b.String()
+}
+
+// FleetTrendDiagnosis is the fleet rollup of the trend doctor: the
+// merged-history trend (the fleet-wide story) plus each shard's own
+// trend, so "the fleet is decoder-bound" and "only shard 2 flaps" are
+// both visible.
+type FleetTrendDiagnosis struct {
+	// Fleet is the trend over the merged (MergeHistories) history.
+	Fleet *TrendDiagnosis `json:"fleet"`
+	// Shards holds each shard's own trend, index-aligned.
+	Shards []*TrendDiagnosis `json:"shards"`
+}
+
+// DiagnoseFleetHistory merges the per-shard histories (MergeHistories,
+// the same rollup MergeSnapshots performs point-in-time) and runs the
+// trend doctor on the merged ring and on every shard. Returns nil when
+// no shard has enough history.
+func DiagnoseFleetHistory(hs []*History) *FleetTrendDiagnosis {
+	fd := &FleetTrendDiagnosis{Fleet: DiagnoseHistory(MergeHistories(hs))}
+	any := fd.Fleet != nil
+	for _, h := range hs {
+		td := DiagnoseHistory(h)
+		fd.Shards = append(fd.Shards, td)
+		any = any || td != nil
+	}
+	if !any {
+		return nil
+	}
+	return fd
+}
+
+// Report renders the fleet trend: the merged story first, then one
+// headline line per shard.
+func (fd *FleetTrendDiagnosis) Report() string {
+	if fd == nil {
+		return "fleet trend doctor: no shard has enough history\n"
+	}
+	var b strings.Builder
+	b.WriteString(fd.Fleet.Report())
+	for i, td := range fd.Shards {
+		if td == nil {
+			fmt.Fprintf(&b, "shard %d: not enough history\n", i)
+			continue
+		}
+		label := "intermittent"
+		switch {
+		case td.Flapping:
+			label = "FLAPPING"
+		case td.Sustained:
+			label = "sustained"
+		}
+		fmt.Fprintf(&b, "shard %d: %s (%s, %d/%d windows)\n", i, td.Verdict, label, td.Ranked[0].Windows, td.Windows)
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// trendSnap builds one cumulative snapshot for the trend tests: decode
+// throughput 100 img/s with the queue fills chosen per sample.
+func trendSnap(t0 time.Time, sec int, fullLen, transLen int) *PipelineSnapshot {
+	return &PipelineSnapshot{
+		TakenAt:       t0.Add(time.Duration(sec) * time.Second),
+		UptimeSeconds: float64(sec),
+		Counters: map[string]int64{
+			"images_decoded_total": int64(100 * sec),
+			"fpga0_cmds_total":     int64(100 * sec),
+		},
+		Gauges: map[string]float64{"degraded": 0},
+		Stages: map[string]Summary{
+			StageFPGADecode: {Count: 100 * sec, Mean: 10, P50: 10, P95: 12},
+			StageBatchE2E:   {Count: 12 * sec, Mean: 20, P95: 30},
+		},
+		Queues: map[string]QueueDepth{
+			"full_batch":    {Len: fullLen, Cap: 8},
+			"trans0_full":   {Len: transLen, Cap: 2},
+			"hugepage_free": {Len: 4, Cap: 8},
+		},
+	}
+}
+
+// TestDiagnoseHistorySustainedVsTransient is the acceptance-criteria
+// test: the trend doctor tells a sustained decoder-bound window apart
+// from a single transient spike that a point-in-time doctor would
+// report with the same confidence.
+func TestDiagnoseHistorySustainedVsTransient(t *testing.T) {
+	t0 := time.Now()
+
+	// Sustained: every window shows the decoder-bound signature
+	// (downstream drained, decoder saturated at util 1.0).
+	sustained := NewHistory(16)
+	for i := 0; i <= 10; i++ {
+		sustained.Record(trendSnap(t0, i, 0, 0))
+	}
+	td := DiagnoseHistory(sustained)
+	if td == nil || td.Verdict != VerdictDecoderBound {
+		t.Fatalf("sustained verdict = %+v, want %s", td, VerdictDecoderBound)
+	}
+	if !td.Sustained || td.Flapping {
+		t.Fatalf("sustained run labelled sustained=%v flapping=%v:\n%s", td.Sustained, td.Flapping, td.Report())
+	}
+	if td.Windows != 10 || td.Ranked[0].Share != 1.0 {
+		t.Fatalf("footprint = %+v", td.Ranked)
+	}
+
+	// Transient: nine healthy windows around one dispatcher-bound spike.
+	// A single-capture doctor at the spike sample would report
+	// dispatcher-bound at 0.9 confidence; the trend doctor keeps the
+	// healthy story and files the spike as transient.
+	transient := NewHistory(16)
+	for i := 0; i <= 10; i++ {
+		full, trans := 4, 1 // mid fills → healthy
+		if i == 5 {
+			full, trans = 8, 0 // one spike: Full backed up, engines starved
+		}
+		transient.Record(trendSnap(t0, i, full, trans))
+	}
+	td = DiagnoseHistory(transient)
+	if td.Verdict != VerdictHealthy {
+		t.Fatalf("transient-spike verdict = %s, want %s:\n%s", td.Verdict, VerdictHealthy, td.Report())
+	}
+	if !td.Sustained {
+		t.Fatalf("dominant healthy share %.2f should read sustained:\n%s", td.Ranked[0].Share, td.Report())
+	}
+	if len(td.Transients) != 1 || td.Transients[0].Verdict != VerdictDispatcherBound {
+		t.Fatalf("transients = %+v, want one dispatcher-bound spike", td.Transients)
+	}
+	// The spike sample itself still diagnoses dispatcher-bound — the
+	// difference is temporal judgement, not a weaker doctor.
+	spike := Diagnose(trendSnap(t0, 5, 8, 0), trendSnap(t0, 4, 4, 1))
+	if spike.Verdict != VerdictDispatcherBound {
+		t.Fatalf("point-in-time spike verdict = %s", spike.Verdict)
+	}
+	if !strings.Contains(td.Report(), "transient spike") {
+		t.Fatalf("report lacks the transient callout:\n%s", td.Report())
+	}
+}
+
+func TestDiagnoseHistoryFlapping(t *testing.T) {
+	t0 := time.Now()
+	h := NewHistory(16)
+	for i := 0; i <= 10; i++ {
+		if i%2 == 0 {
+			h.Record(trendSnap(t0, i, 0, 0)) // decoder-bound signature
+		} else {
+			h.Record(trendSnap(t0, i, 8, 0)) // dispatcher-bound signature
+		}
+	}
+	td := DiagnoseHistory(h)
+	if !td.Flapping {
+		t.Fatalf("alternating verdicts not labelled flapping:\n%s", td.Report())
+	}
+	if td.Sustained {
+		t.Fatalf("flapping run labelled sustained:\n%s", td.Report())
+	}
+	if td.Transitions < 5 {
+		t.Fatalf("transitions = %d, want the alternation visible", td.Transitions)
+	}
+	if !strings.Contains(td.Report(), "FLAPPING") {
+		t.Fatalf("report lacks FLAPPING:\n%s", td.Report())
+	}
+}
+
+func TestDiagnoseHistoryTooShort(t *testing.T) {
+	if DiagnoseHistory(nil) != nil {
+		t.Fatal("nil history should diagnose nil")
+	}
+	h := NewHistory(4)
+	h.Record(trendSnap(time.Now(), 0, 0, 0))
+	if DiagnoseHistory(h) != nil {
+		t.Fatal("single-sample history should diagnose nil")
+	}
+	// Two samples = one window: a verdict, but no trend labels yet.
+	h.Record(trendSnap(time.Now(), 1, 0, 0))
+	td := DiagnoseHistory(h)
+	if td == nil || td.Windows != 1 {
+		t.Fatalf("two-sample trend = %+v", td)
+	}
+	if td.Sustained || td.Flapping {
+		t.Fatal("one window is below minTrendWindows — no persistence labels")
+	}
+	var nilTD *TrendDiagnosis
+	if !strings.Contains(nilTD.Report(), "two history samples") {
+		t.Fatal("nil trend report should explain itself")
+	}
+}
+
+func TestDiagnoseFleetHistory(t *testing.T) {
+	t0 := time.Now()
+	// Shard 0 decoder-bound throughout; shard 1 healthy throughout. The
+	// merged fleet history sums queues (16-cap full queue at fill 4/16,
+	// 4-cap trans at 1/4 → drained signature with decode saturated).
+	s0, s1 := NewHistory(16), NewHistory(16)
+	for i := 0; i <= 6; i++ {
+		s0.Record(trendSnap(t0, i, 0, 0))
+		s1.Record(trendSnap(t0, i, 4, 1))
+	}
+	fd := DiagnoseFleetHistory([]*History{s0, s1})
+	if fd == nil || fd.Fleet == nil {
+		t.Fatal("fleet trend missing")
+	}
+	if fd.Shards[0].Verdict != VerdictDecoderBound || !fd.Shards[0].Sustained {
+		t.Fatalf("shard 0 trend = %+v", fd.Shards[0])
+	}
+	if fd.Shards[1].Verdict != VerdictHealthy {
+		t.Fatalf("shard 1 trend = %+v", fd.Shards[1])
+	}
+	rep := fd.Report()
+	if !strings.Contains(rep, "shard 0: decoder-bound") || !strings.Contains(rep, "shard 1: healthy") {
+		t.Fatalf("fleet report lacks per-shard lines:\n%s", rep)
+	}
+	if DiagnoseFleetHistory(nil) != nil {
+		t.Fatal("no shards should diagnose nil")
+	}
+	if DiagnoseFleetHistory([]*History{NewHistory(4)}) != nil {
+		t.Fatal("shards without history should diagnose nil")
+	}
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeGauges(r)
+	// Burn a little garbage so the GC/scheduler histograms have mass.
+	for i := 0; i < 100; i++ {
+		_ = make([]byte, 1<<12)
+	}
+	runtime.GC()
+	s := r.Snapshot()
+	if g := s.Gauges[GaugeGoroutines]; g < 1 {
+		t.Fatalf("%s = %v, want ≥ 1", GaugeGoroutines, g)
+	}
+	if g := s.Gauges[GaugeHeapBytes]; g <= 0 {
+		t.Fatalf("%s = %v, want > 0", GaugeHeapBytes, g)
+	}
+	// The pause/latency p99s can legitimately be ~0 on an idle run but
+	// must be present and non-negative.
+	for _, name := range []string{GaugeGCPauseP99Ms, GaugeSchedLatencyP99Ms} {
+		g, ok := s.Gauges[name]
+		if !ok || g < 0 {
+			t.Fatalf("%s = %v (present %v), want non-negative gauge", name, g, ok)
+		}
+	}
+	// Visible in both text renderings.
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, name := range []string{GaugeGoroutines, GaugeHeapBytes, GaugeGCPauseP99Ms, GaugeSchedLatencyP99Ms} {
+		if !strings.Contains(b.String(), name) {
+			t.Fatalf("prometheus output lacks %s", name)
+		}
+	}
+	// Nil registry is a no-op.
+	RegisterRuntimeGauges(nil)
+}
+
+func TestHistP99(t *testing.T) {
+	if histP99(nil) != 0 {
+		t.Fatal("nil histogram p99 != 0")
+	}
+}

@@ -174,6 +174,28 @@ func TestEveryMetricNameDocumented(t *testing.T) {
 	}
 }
 
+// TestRuntimeGaugesDocumented pins the Go runtime health gauges: the
+// traced scenario above never registers them (they are dlserve wiring),
+// so they get their own registry and the same backtick check.
+func TestRuntimeGaugesDocumented(t *testing.T) {
+	docBytes, err := os.ReadFile("docs/METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(docBytes)
+	reg := metrics.NewRegistry()
+	metrics.RegisterRuntimeGauges(reg)
+	snap := reg.Snapshot()
+	if len(snap.Gauges) == 0 {
+		t.Fatal("RegisterRuntimeGauges registered nothing")
+	}
+	for name := range snap.Gauges {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("runtime gauge %q not documented", name)
+		}
+	}
+}
+
 // TestEveryStageConstantDocumented covers stages the scenario above may
 // not hit (degraded-mode decodes, timeouts): every stage constant and
 // span JSON field must appear in the reference regardless.

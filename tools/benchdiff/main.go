@@ -17,6 +17,12 @@
 // second file must show at least R× the first file's throughput. The
 // configs must match except for the shard count and per-shard rate —
 // the gate CI runs over dlbench -shards 1 vs -shards 2.
+//
+// With -slo-gate the new file must carry an SLO scorecard (a `dlbench
+// -slo` run) with every objective met; a missing scorecard or a spec
+// mismatch against the baseline's scorecard is a misuse error (exit 2),
+// and a violated objective fails the gate (exit 1). The flag composes
+// with either comparison mode.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"dlbooster/internal/metrics"
 )
@@ -32,9 +39,10 @@ func main() {
 	threshold := flag.Float64("threshold", 2.0, "regression multiplier: new throughput ≥ base/threshold, new stage p95 ≤ max(base p95, floor-ms)×threshold")
 	floorMs := flag.Float64("floor-ms", 1.0, "stage p95 floor in milliseconds, below which a base p95 is treated as this value")
 	speedup := flag.Float64("speedup", 0, "scaling gate: require the second file's throughput ≥ this multiple of the first's (configs may differ only in shard count and rate; 0 = regression mode)")
+	sloGate := flag.Bool("slo-gate", false, "SLO gate: require the second file to carry an SLO scorecard with every objective met")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] [-floor-ms 1.0] [-speedup 1.7] base.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 2.0] [-floor-ms 1.0] [-speedup 1.7] [-slo-gate] base.json new.json")
 		os.Exit(2)
 	}
 	var err error
@@ -43,10 +51,52 @@ func main() {
 	} else {
 		err = run(flag.Arg(0), flag.Arg(1), *threshold, *floorMs)
 	}
+	if err == nil && *sloGate {
+		err = runSLOGate(flag.Arg(0), flag.Arg(1))
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
+}
+
+// runSLOGate fails the diff when the new result's embedded scorecard —
+// required to be present — has violated objectives.
+func runSLOGate(basePath, curPath string) error {
+	base, err := metrics.ReadBenchResult(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := metrics.ReadBenchResult(curPath)
+	if err != nil {
+		return err
+	}
+	regs, err := metrics.CompareBenchSLO(base, cur)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchdiff: SLO gate on %s:\n", curPath)
+	fmt.Print(indent(cur.SLO.Report()))
+	if len(regs) > 0 {
+		fmt.Printf("benchdiff: FAIL — %d SLO violation(s):\n", len(regs))
+		for _, r := range regs {
+			fmt.Printf("  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: SLO PASS")
+	return nil
+}
+
+// indent prefixes every non-empty line with two spaces.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = "  " + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 // runSpeedup is the scaling gate: cur must reach ratio× base's
