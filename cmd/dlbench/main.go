@@ -61,9 +61,10 @@ func main() {
 	replayEpochs := flag.Int("replay-epochs", 0, "with -metrics/-doctor/-json: after the first decode epoch, serve this many epochs from the tiered ReplayCache and measure their throughput (0 = classic single-epoch run)")
 	cacheMode := flag.String("cache", "ram+nvme", "with -replay-epochs: cache configuration — cold (no cache), ram (RAM tier only) or ram+nvme (RAM tier with NVMe spill); the RAM tier is sized to half the decoded dataset")
 	sloSpec := flag.String("slo", "", "with -metrics/-doctor/-json: sample telemetry during the traced run, judge it against this SLO spec (e.g. tput=900,p99ms=250,shed=0.001) and print the scorecard; with -json the scorecard is embedded in the result for the benchdiff -slo-gate")
+	autotuneOn := flag.Bool("autotune", false, "with -json: run the adaptive-autotuner overload benchmark — a deterministic virtual-time simulation of a 2× open-loop overload served by a static tight-deadline config and again with the internal/control feedback loop actuating the knobs — and record both shed ledgers (BENCH_5.json); -slo overrides the scenario's default spec")
 	flag.Parse()
 
-	if *showMetrics || *doctor || *benchJSON != "" {
+	if *showMetrics || *doctor || *benchJSON != "" || *autotuneOn {
 		// A bad SLO spec fails before the run, not after it.
 		var slo *metrics.SLO
 		if *sloSpec != "" {
@@ -79,6 +80,10 @@ func main() {
 		var fleetSnap *metrics.FleetSnapshot
 		var err error
 		switch {
+		case *autotuneOn:
+			// The overload scenario declares its own SLO when -slo is
+			// unset, so the scorecard always lands in the result.
+			res, slo, err = tracedAutotuneRun(*metricsBatch, slo)
 		case *replayEpochs > 0:
 			res, err = tracedReplayRun(*metricsImages, *metricsBatch, *replayEpochs, *cacheMode, *noDecodeScale, slo != nil)
 		case *shards > 0:

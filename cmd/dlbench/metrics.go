@@ -162,6 +162,9 @@ func benchResult(res *tracedResult) *metrics.BenchResult {
 	if res.config.CacheMode != "" {
 		name = "traced-replay"
 	}
+	if res.config.AutotuneSpec != "" {
+		name = "autotune-overload"
+	}
 	return &metrics.BenchResult{
 		SchemaVersion:  metrics.BenchSchemaVersion,
 		Name:           name,

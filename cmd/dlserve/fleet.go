@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"dlbooster/internal/control"
 	"dlbooster/internal/core"
 	"dlbooster/internal/engine"
 	"dlbooster/internal/faults"
@@ -47,7 +48,12 @@ func (a *fleetAdmitter) admit(item core.Item) (int, int) {
 	case fleet.AdmitShed:
 		return shard, admitShed
 	default:
-		return 0, admitClosed
+		// The fleet books the refusal against a shard even while
+		// draining; keep the attribution for the status frame.
+		if shard < 0 {
+			shard = 0
+		}
+		return shard, admitClosed
 	}
 }
 
@@ -85,7 +91,7 @@ func serveFleet(cfg serveConfig) error {
 	if cfg.snapFile != "" && cfg.snapEvery <= 0 {
 		fmt.Fprintf(os.Stderr, "dlserve: warning: -snapshot-file %q has no effect without -snapshot-every\n", cfg.snapFile)
 	}
-	slo, histEvery, err := cfg.telemetryPlan()
+	slo, ctlSLO, histEvery, err := cfg.telemetryPlan()
 	if err != nil {
 		return err
 	}
@@ -224,7 +230,41 @@ func serveFleet(cfg serveConfig) error {
 		fl.StartSampler(metrics.SamplerConfig{Interval: histEvery, Capacity: cfg.historySamples})
 	}
 
+	// One autotuner per shard, each closing the loop over that shard's
+	// own history and knob block — a degraded shard retunes alone
+	// instead of dragging the fleet's operating point with it. The
+	// throughput target divides across shards (each holds its slice);
+	// latency and shed objectives are per-request and apply as given.
+	var ctls []*control.Controller
+	if ctlSLO != nil {
+		shardSLO := *ctlSLO
+		if shardSLO.TargetThroughput > 0 {
+			shardSLO.TargetThroughput /= float64(cfg.shards)
+		}
+		for i, s := range fl.Shards() {
+			c, err := control.New(
+				control.PipelinePlant{Booster: s.Booster(), Admission: s},
+				fl.Histories()[i],
+				control.Config{
+					SLO:      &shardSLO,
+					Interval: histEvery,
+					Registry: s.Booster().Registry(),
+					Name:     fmt.Sprintf("shard %d", s.ID()),
+				})
+			if err != nil {
+				return err
+			}
+			ctls = append(ctls, c)
+		}
+	}
+
 	fl.Start()
+	for _, c := range ctls {
+		c.Start()
+	}
+	if ctlSLO != nil {
+		fmt.Printf("dlserve: autotune steering %d shards toward %s every %v\n", cfg.shards, ctlSLO.String(), histEvery)
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -244,9 +284,15 @@ func serveFleet(cfg serveConfig) error {
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
-			// Drain: the fleet stops the stealer, closes every ingest
-			// queue and waits for the epochs; each shard's engine then
-			// finishes its in-flight predictions before connections drop.
+			// Drain: stop the autotuners first (no retuning a pipeline
+			// that is shutting down), then the fleet stops the stealer,
+			// closes every ingest queue and waits for the epochs; each
+			// shard's engine then finishes its in-flight predictions
+			// before connections drop.
+			for i, c := range ctls {
+				c.Stop()
+				reportAutotune(c, fmt.Sprintf("shard %d", i))
+			}
 			if derr := fl.Drain(); derr != nil {
 				fmt.Fprintf(os.Stderr, "dlserve: drain: %v\n", derr)
 			}

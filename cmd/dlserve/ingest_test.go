@@ -1,0 +1,86 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"dlbooster/internal/core"
+	"dlbooster/internal/metrics"
+	"dlbooster/internal/queue"
+)
+
+// TestIngestKnobAndClosedShedAccounting pins the single-pipeline front
+// door's ledger: the admission knob sheds at the effective cap without
+// the grace wait, and frames refused after the queue closes (the
+// shutdown grace window) count in serve_shed_total — with the closed
+// subset distinguishable — so offered = queued + shed reconciles
+// across a drain.
+func TestIngestKnobAndClosedShedAccounting(t *testing.T) {
+	items := queue.New[core.Item](8)
+	ing := &ingest{items: items, grace: time.Millisecond}
+	ing.effCap.Store(int64(items.Cap()))
+	reg := metrics.NewRegistry()
+	ing.reg = reg
+	reg.RegisterQueue("ingest_items", items.Len, ing.QueueCap)
+	reg.RegisterCounterFunc("serve_shed_total", ing.shed.Load)
+	reg.RegisterCounterFunc("serve_shed_closed_total", ing.shedClosed.Load)
+	reg.RegisterGauge("knob_queue_cap", func() float64 { return float64(ing.QueueCap()) })
+
+	if got := ing.QueueCap(); got != 8 {
+		t.Fatalf("default QueueCap = %d, want the physical 8", got)
+	}
+	ing.SetQueueCap(2)
+	if got := ing.QueueCap(); got != 2 {
+		t.Fatalf("QueueCap after retune = %d, want 2", got)
+	}
+
+	// Nothing drains the queue: items beyond the effective cap shed.
+	var admitted, shed int
+	for i := 0; i < 5; i++ {
+		switch _, outcome := ing.admit(core.Item{Meta: core.ItemMeta{Seq: i}}); outcome {
+		case admitOK:
+			admitted++
+		case admitShed:
+			shed++
+		}
+	}
+	if admitted != 2 || shed != 3 {
+		t.Fatalf("admitted %d / shed %d, want 2 / 3 at effective cap 2", admitted, shed)
+	}
+
+	// Drain: the closed queue refuses, and the refusals stay on the
+	// books instead of vanishing into a silent connection drop.
+	items.Close()
+	for i := 5; i < 7; i++ {
+		if _, outcome := ing.admit(core.Item{Meta: core.ItemMeta{Seq: i}}); outcome != admitClosed {
+			t.Fatalf("post-close admission = %d, want admitClosed", outcome)
+		}
+	}
+	if got := ing.shed.Load(); got != 5 {
+		t.Fatalf("serve_shed_total = %d, want 3 cap sheds + 2 closed refusals", got)
+	}
+	if got := ing.shedClosed.Load(); got != 2 {
+		t.Fatalf("serve_shed_closed_total = %d, want 2", got)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["serve_shed_total"] != 5 || snap.Counters["serve_shed_closed_total"] != 2 {
+		t.Fatalf("shed counters = %v", snap.Counters)
+	}
+	if g := snap.Gauges["knob_queue_cap"]; g != 2 {
+		t.Fatalf("knob_queue_cap gauge = %v, want 2", g)
+	}
+	if q := snap.Queues["ingest_items"]; q.Cap != 2 || q.Len != 2 {
+		t.Fatalf("ingest_items probe = %+v, want len 2 / effective cap 2", q)
+	}
+
+	// Clamps: floor 1, ceiling the physical queue.
+	ing.SetQueueCap(0)
+	if got := ing.QueueCap(); got != 1 {
+		t.Fatalf("QueueCap after 0 = %d, want 1", got)
+	}
+	ing.SetQueueCap(100)
+	if got := ing.QueueCap(); got != 8 {
+		t.Fatalf("QueueCap after overshoot = %d, want the physical 8", got)
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"dlbooster/internal/backends"
+	"dlbooster/internal/control"
 	"dlbooster/internal/core"
 	"dlbooster/internal/dataset"
 	"dlbooster/internal/engine"
@@ -101,6 +102,7 @@ func main() {
 	history := flag.Duration("history", 0, "server: sample windowed telemetry at this interval into a bounded history ring (0 = off; enabled at 1s automatically by -slo)")
 	historySamples := flag.Int("history-samples", 0, "server: history ring capacity in samples (0 = default 120)")
 	sloSpec := flag.String("slo", "", "server: judge this SLO spec over the telemetry window at shutdown, e.g. tput=900,p99ms=250,shed=0.001,window=60s (keys: tput p99ms stage shed window)")
+	autotuneSpec := flag.String("autotune", "", "server: run the adaptive SLO autotuner against this spec (same keys as -slo), actuating the batch-timeout, CPU-offload and admission knobs each sampling interval; dlbooster backend only, implies -history")
 	pprofOn := flag.Bool("pprof", false, "server: mount net/http/pprof under /debug/pprof/ on the -metrics-addr mux")
 	snapEvery := flag.Duration("snapshot-every", 0, "server: write a JSON telemetry snapshot at this interval (0 = off)")
 	snapFile := flag.String("snapshot-file", "", "server: overwrite this file with each periodic snapshot (default: stderr)")
@@ -128,6 +130,7 @@ func main() {
 			historyEvery:   *history,
 			historySamples: *historySamples,
 			sloSpec:        *sloSpec,
+			autotuneSpec:   *autotuneSpec,
 			pprof:          *pprofOn,
 			snapEvery:      *snapEvery,
 			snapFile:       *snapFile,
@@ -245,11 +248,14 @@ type serveConfig struct {
 	// historyEvery > 0 runs the windowed-telemetry sampler at that
 	// interval into a ring of historySamples samples (0 = default);
 	// sloSpec, when set, is judged over the window at shutdown (and
-	// turns the sampler on at 1s if historyEvery is 0). pprof mounts
-	// net/http/pprof on the metricsAddr mux.
+	// turns the sampler on at 1s if historyEvery is 0). autotuneSpec
+	// runs the internal/control feedback loop against its SLO at the
+	// sampling interval (and doubles as the shutdown -slo when none was
+	// given). pprof mounts net/http/pprof on the metricsAddr mux.
 	historyEvery   time.Duration
 	historySamples int
 	sloSpec        string
+	autotuneSpec   string
 	pprof          bool
 
 	// cacheMB > 0 gives the pipeline a decoded-tensor ReplayCache: a
@@ -305,9 +311,12 @@ func serve(cfg serveConfig) error {
 	if cfg.snapFile != "" && cfg.snapEvery <= 0 {
 		fmt.Fprintf(os.Stderr, "dlserve: warning: -snapshot-file %q has no effect without -snapshot-every\n", cfg.snapFile)
 	}
-	slo, histEvery, err := cfg.telemetryPlan()
+	slo, ctlSLO, histEvery, err := cfg.telemetryPlan()
 	if err != nil {
 		return err
+	}
+	if ctlSLO != nil && cfg.backend != "dlbooster" {
+		return fmt.Errorf("-autotune actuates the dlbooster pipeline's knobs; the %s backend has none", cfg.backend)
 	}
 	var reg *metrics.Registry
 	if cfg.metricsAddr != "" || cfg.snapEvery > 0 || cfg.traceFile != "" || histEvery > 0 {
@@ -427,13 +436,37 @@ func serve(cfg serveConfig) error {
 		grace = time.Millisecond
 	}
 	ing := &ingest{items: items, grace: grace, flight: flight}
+	ing.effCap.Store(int64(cfg.queueCap))
 	// Ingest probes land in the richest registry available, so the
 	// doctor's ingest-overloaded rule and the flight recorder see them
-	// even when no -metrics-addr registry exists.
+	// even when no -metrics-addr registry exists. The queue probe
+	// reports the effective (knob) cap, so occupancy ratios track the
+	// admission clients actually experience.
 	ing.reg = richReg
-	ing.reg.RegisterQueue("ingest_items", items.Len, items.Cap)
+	ing.reg.RegisterQueue("ingest_items", items.Len, ing.QueueCap)
 	ing.reg.RegisterCounterFunc("serve_shed_total", ing.shed.Load)
+	ing.reg.RegisterCounterFunc("serve_shed_closed_total", ing.shedClosed.Load)
+	ing.reg.RegisterGauge("knob_queue_cap", func() float64 { return float64(ing.QueueCap()) })
+	// The autotuner closes the loop over the same history the sampler
+	// records: plant = the booster's decode knobs + the ingest admission
+	// knob, judged against the -autotune SLO once per sampling interval.
+	var ctl *control.Controller
+	if ctlSLO != nil {
+		db := backend.(*backends.DLBooster) // guarded above
+		ctl, err = control.New(control.PipelinePlant{Booster: db, Admission: ing}, sampler.History(), control.Config{
+			SLO:      ctlSLO,
+			Interval: histEvery,
+			Registry: richReg,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	sampler.Start()
+	if ctl != nil {
+		ctl.Start()
+		fmt.Printf("dlserve: autotune steering toward %s every %v\n", ctlSLO.String(), histEvery)
+	}
 	go func() {
 		defer flight.DumpOnPanic()
 		if err := backend.RunEpoch(core.CollectorFromQueue(items)); err != nil {
@@ -500,6 +533,10 @@ func serve(cfg serveConfig) error {
 				close(snapStop)
 				<-snapDone
 			}
+			if ctl != nil {
+				ctl.Stop()
+				reportAutotune(ctl, "")
+			}
 			sampler.Stop()
 			reportWindow(sampler.History(), slo)
 			if cfg.traceFile != "" && reg != nil {
@@ -519,27 +556,48 @@ func serve(cfg serveConfig) error {
 	}
 }
 
-// telemetryPlan resolves the windowed-telemetry flags: the parsed SLO
-// (nil when -slo is unset) and the effective history sampling interval
-// — -history as given, forced to 1s when an SLO needs a window and no
-// interval was chosen.
-func (cfg serveConfig) telemetryPlan() (*metrics.SLO, time.Duration, error) {
-	var slo *metrics.SLO
+// telemetryPlan resolves the windowed-telemetry flags: the parsed
+// shutdown SLO (nil when unset), the autotuner's SLO (nil when
+// -autotune is unset), and the effective history sampling interval —
+// -history as given, forced to 1s when an SLO or the autotuner needs a
+// window and no interval was chosen. -autotune without -slo also judges
+// its own spec at shutdown, so the scorecard reports the objective the
+// controller steered toward.
+func (cfg serveConfig) telemetryPlan() (slo, ctlSLO *metrics.SLO, histEvery time.Duration, err error) {
 	if cfg.sloSpec != "" {
-		s, err := metrics.ParseSLO(cfg.sloSpec)
-		if err != nil {
-			return nil, 0, err
+		if slo, err = metrics.ParseSLO(cfg.sloSpec); err != nil {
+			return nil, nil, 0, err
 		}
-		slo = s
 	}
-	histEvery := cfg.historyEvery
-	if slo != nil && histEvery <= 0 {
+	if cfg.autotuneSpec != "" {
+		if ctlSLO, err = metrics.ParseSLO(cfg.autotuneSpec); err != nil {
+			return nil, nil, 0, fmt.Errorf("-autotune: %w", err)
+		}
+		if slo == nil {
+			slo = ctlSLO
+		}
+	}
+	histEvery = cfg.historyEvery
+	if (slo != nil || ctlSLO != nil) && histEvery <= 0 {
 		histEvery = time.Second
 	}
 	if cfg.historySamples > 0 && histEvery <= 0 {
 		fmt.Fprintf(os.Stderr, "dlserve: warning: -history-samples %d has no effect without -history or -slo\n", cfg.historySamples)
 	}
-	return slo, histEvery, nil
+	return slo, ctlSLO, histEvery, nil
+}
+
+// reportAutotune prints one controller's shutdown summary: the decision
+// ledger and the operating point it converged to. label distinguishes
+// fleet shards ("" on the single-pipeline path).
+func reportAutotune(ctl *control.Controller, label string) {
+	if label != "" {
+		label += ": "
+	}
+	base, cur := ctl.Base(), ctl.Current()
+	fmt.Fprintf(os.Stderr, "dlserve: autotune: %s%d retunes / %d holds over %d decisions; batch_timeout %v→%v, queue_cap %d→%d, cpu_share %.3f→%.3f\n",
+		label, ctl.Retunes(), ctl.Holds(), ctl.Decisions(),
+		base.BatchTimeout, cur.BatchTimeout, base.QueueCap, cur.QueueCap, base.CPUShare, cur.CPUShare)
 }
 
 // reportWindow prints the shutdown windowed-telemetry report: the
@@ -699,10 +757,35 @@ type ingest struct {
 	grace time.Duration
 	shed  atomic.Int64
 
+	// shedClosed is the subset of shed refused because the server was
+	// draining (closed ingest) rather than overloaded.
+	shedClosed atomic.Int64
+	// effCap is the admission knob: the effective queue cap, at most
+	// the physical capacity. Below it, admit sheds at the cap without
+	// waiting out the grace period.
+	effCap atomic.Int64
+
 	reg          *metrics.Registry
 	flight       *metrics.FlightRecorder
 	overloadOnce sync.Once
 }
+
+// SetQueueCap retunes the effective ingest cap — the admission knob the
+// autotuner actuates. Clamps to [1, physical capacity]; re-read at
+// every admission decision. Safe from any goroutine.
+func (g *ingest) SetQueueCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if c := g.items.Cap(); n > c {
+		n = c
+	}
+	g.effCap.Store(int64(n))
+}
+
+// QueueCap returns the effective ingest cap (the physical capacity
+// until the first SetQueueCap).
+func (g *ingest) QueueCap() int { return int(g.effCap.Load()) }
 
 // Admission outcomes of admitter.admit.
 const (
@@ -720,8 +803,20 @@ type admitter interface {
 }
 
 func (g *ingest) admit(item core.Item) (int, int) {
+	if g.items.Closed() {
+		// Classify before the cap check: a drain-time refusal is a
+		// closed refusal even when the backlog also sits at the cap.
+		return 0, g.refuseClosed()
+	}
+	if c := int(g.effCap.Load()); c < g.items.Cap() && g.items.Len() >= c {
+		// The admission knob sits below the physical queue: shed at the
+		// effective cap instead of waiting out the grace period against
+		// capacity that is deliberately off-limits.
+		g.noteShed()
+		return 0, admitShed
+	}
 	if ok, err := g.items.TryPush(item); err != nil {
-		return 0, admitClosed
+		return 0, g.refuseClosed()
 	} else if ok {
 		return 0, admitOK
 	}
@@ -729,21 +824,38 @@ func (g *ingest) admit(item core.Item) (int, int) {
 	// burst drain instead of bouncing straight to a shed.
 	ok, err := g.items.PushTimeout(item, g.grace)
 	if err != nil {
-		return 0, admitClosed
+		return 0, g.refuseClosed()
 	}
 	if !ok {
-		g.shed.Add(1)
-		g.overloadOnce.Do(func() {
-			detail := fmt.Sprintf("ingest queue full (%d items); shedding with status frames", g.items.Cap())
-			if g.reg != nil {
-				g.reg.Event("ingest_overloaded", detail)
-			} else {
-				g.flight.Note("ingest_overloaded", detail)
-			}
-		})
+		g.noteShed()
 		return 0, admitShed
 	}
 	return 0, admitOK
+}
+
+// noteShed books one queue-full shed and rings the one-shot overload
+// event.
+func (g *ingest) noteShed() {
+	g.shed.Add(1)
+	g.overloadOnce.Do(func() {
+		detail := fmt.Sprintf("ingest queue full (%d items); shedding with status frames", g.QueueCap())
+		if g.reg != nil {
+			g.reg.Event("ingest_overloaded", detail)
+		} else {
+			g.flight.Note("ingest_overloaded", detail)
+		}
+	})
+}
+
+// refuseClosed books one draining-time refusal — the frame arrived
+// after the ingest queue closed. It counts in serve_shed_total (the
+// client was refused either way), with serve_shed_closed_total keeping
+// the subset distinguishable, so offered = decoded + shed reconciles
+// across a shutdown instead of leaking the grace-window frames.
+func (g *ingest) refuseClosed() int {
+	g.shed.Add(1)
+	g.shedClosed.Add(1)
+	return admitClosed
 }
 
 func handleConn(nc net.Conn, cs *conns, ing admitter) {
@@ -779,6 +891,10 @@ func handleConn(nc net.Conn, cs *conns, ing admitter) {
 		case admitShed:
 			cs.sendStatus(id, seq, statusShed, shard)
 		case admitClosed:
+			// Draining: the refusal is already on the shed books; tell
+			// the client with a shed status frame before dropping the
+			// connection, so it isn't left waiting on a silent close.
+			cs.sendStatus(id, seq, statusShed, shard)
 			return
 		}
 		seq++

@@ -16,6 +16,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dlbooster/internal/metrics"
 )
 
 // buildCmds compiles every command into a temp dir once per test run.
@@ -266,21 +268,83 @@ func TestServeHistorySLO(t *testing.T) {
 
 	// Shutdown: the drain report includes the trend verdict and the
 	// scorecard (16 images at any rate beats tput=0.1, nothing shed).
+	// Join the process before reading the buffer — exec's output copier
+	// writes into srvOut until the child exits.
 	if err := srv.Process.Signal(os.Interrupt); err != nil {
 		t.Fatal(err)
 	}
-	deadline = time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		s := srvOut.String()
+	if s, ok := waitOutput(t, srv, &srvOut); ok {
 		if strings.Contains(s, "SLO") && strings.Contains(s, "trend verdict") {
 			if !strings.Contains(s, "MET") {
 				t.Fatalf("scorecard not MET:\n%s", s)
 			}
 			return
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
 	t.Fatalf("shutdown report lacks trend verdict + scorecard:\n%s", srvOut.String())
+}
+
+// TestServeAutotune is the ISSUE-9 acceptance scenario: a dlserve run
+// with the adaptive autotuner on must serve normally, and the shutdown
+// report must include the controller's decision ledger and knob
+// trajectory.
+func TestServeAutotune(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec test in -short mode")
+	}
+	bin := buildCmd(t, "dlserve")
+	srv := exec.Command(bin,
+		"-listen", "127.0.0.1:39480", "-batch", "4", "-size", "64",
+		"-batch-timeout", "50ms", "-queue", "64",
+		"-history", "25ms", "-autotune", "tput=0.1,window=1s")
+	var srvOut bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = srv.Process.Kill()
+		_, _ = srv.Process.Wait()
+	}()
+	out := runClient(t, bin, &srvOut, "-connect", "127.0.0.1:39480", "-n", "16")
+	if !strings.Contains(out, "16 predictions, 0 shed") {
+		t.Fatalf("client output:\n%s", out)
+	}
+	// Shutdown, then read the full transcript: the startup banner names
+	// the steering target, and the drain report includes the decision
+	// ledger with the knob trajectory.
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := waitOutput(t, srv, &srvOut)
+	if !ok {
+		t.Fatalf("server did not exit after SIGINT:\n%s", s)
+	}
+	if !strings.Contains(s, "autotune steering toward") {
+		t.Fatalf("no autotune banner:\n%s", s)
+	}
+	if !strings.Contains(s, "autotune:") || !strings.Contains(s, "decisions") ||
+		!strings.Contains(s, "batch_timeout") {
+		t.Fatalf("shutdown report lacks the autotune ledger:\n%s", s)
+	}
+}
+
+// waitOutput joins the server process after a shutdown signal — exec's
+// output copier writes into buf until the child exits, so reading the
+// buffer before Wait races with it — and returns the full transcript.
+// ok is false when the process outlived the drain deadline.
+func waitOutput(t *testing.T, srv *exec.Cmd, buf *bytes.Buffer) (string, bool) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { _ = srv.Wait(); close(done) }()
+	select {
+	case <-done:
+		return buf.String(), true
+	case <-time.After(15 * time.Second):
+		_ = srv.Process.Kill()
+		<-done
+		return buf.String(), false
+	}
 }
 
 func TestCommands(t *testing.T) {
@@ -459,6 +523,40 @@ func TestCommands(t *testing.T) {
 		// A bad spec fails before the run.
 		if _, err := exec.Command(bins["dlbench"], "-json", bad, "-slo", "bogus=1").CombinedOutput(); err == nil {
 			t.Fatal("bad -slo spec accepted")
+		}
+	})
+
+	t.Run("autotune-overload", func(t *testing.T) {
+		// The BENCH_5 scenario: a deterministic virtual-time 2× overload
+		// served static and then autotuned. The run must retune, beat the
+		// static shed ledger, and pass its own SLO gate.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "BENCH_autotune.json")
+		out, err := exec.Command(bins["dlbench"], "-autotune", "-json", path).CombinedOutput()
+		if err != nil {
+			t.Fatalf("dlbench -autotune: %v\n%s", err, out)
+		}
+		s := string(out)
+		for _, want := range []string{"static", "autotune", "retunes", "MET"} {
+			if !strings.Contains(s, want) {
+				t.Fatalf("-autotune output lacks %q:\n%s", want, s)
+			}
+		}
+		res, err := metrics.ReadBenchResult(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters["control_retunes_total"] == 0 {
+			t.Fatalf("the autotuned run never retuned: %v", res.Counters)
+		}
+		if res.Counters["static_shed_total"] == 0 {
+			t.Fatalf("no static ledger in counters: %v", res.Counters)
+		}
+		// Self-comparison through the gate: scorecard met AND the autotuned
+		// shed fraction below the static one.
+		out, err = exec.Command(bins["benchdiff"], "-threshold", "1000", "-slo-gate", path, path).CombinedOutput()
+		if err != nil || !strings.Contains(string(out), "SLO PASS") {
+			t.Fatalf("slo-gate on autotune result: %v\n%s", err, out)
 		}
 	})
 

@@ -209,6 +209,15 @@ type Booster struct {
 	// their own per-device counters.
 	scaledCPU metrics.Counter
 
+	// Runtime-tunable knob block (see knobs.go): the dynamic-batching
+	// deadline and the fractional CPU decode share, seeded from Config
+	// at New and retunable from any goroutine while epochs run.
+	batchTimeoutNs atomic.Int64
+	cpuShareUnits  atomic.Int64
+	// offloads counts images the fractional offload knob routed to the
+	// CPU decode path (distinct from failure-driven fallbacks).
+	offloads metrics.Counter
+
 	// Failure-policy accounting (see Resilience).
 	retries      metrics.Counter
 	timeouts     metrics.Counter
@@ -290,6 +299,7 @@ func New(cfg Config) (*Booster, error) {
 		flight: cfg.Flight,
 	}
 	b.spanned = b.traced || b.flight != nil
+	b.batchTimeoutNs.Store(int64(cfg.BatchTimeout))
 	if b.reg == nil {
 		b.reg = metrics.NewRegistry()
 	}
@@ -315,6 +325,7 @@ func (b *Booster) instrument() {
 	r.RegisterCounterFunc("late_finishes_total", b.lateFinishes.Value)
 	r.RegisterCounterFunc("batches_published_total", b.published.Value)
 	r.RegisterCounterFunc("serve_partial_flushes_total", b.partialFlush.Value)
+	r.RegisterCounterFunc("offload_decodes_total", b.offloads.Value)
 	r.RegisterCounterFunc("cache_replay_images_total", b.cacheReplayImages.Value)
 	r.RegisterCounterFunc("cache_replay_bytes_total", b.cacheReplayBytes.Value)
 	r.RegisterCounterFunc("cache_ram_hit_images_total", b.cacheRAMHitImages.Value)
@@ -339,6 +350,12 @@ func (b *Booster) instrument() {
 		}
 		return 0
 	})
+	// Knob gauges: the effective runtime-tunable values, so a retune by
+	// the autotuner is visible in every snapshot and history sample.
+	r.RegisterGauge("knob_batch_timeout_ms", func() float64 {
+		return float64(b.BatchTimeout()) / float64(time.Millisecond)
+	})
+	r.RegisterGauge("knob_cpu_share", b.CPUShare)
 	r.RegisterGauge("cache_batches", func() float64 { return float64(b.CachedBatches()) })
 	r.RegisterGauge("cache_bytes", func() float64 { return float64(b.cacheStats().RAMBytes) })
 	r.RegisterGauge("cache_spill_bytes", func() float64 { return float64(b.cacheStats().SpillBytes) })

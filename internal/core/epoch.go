@@ -63,9 +63,16 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 	// Dynamic batching: flushAt is the deadline by which the building
 	// batch must seal even if short — armed when its first item lands,
 	// disarmed at every seal. Only meaningful with BatchTimeout set and
-	// a streaming collector.
-	bt := b.cfg.BatchTimeout
+	// a streaming collector. bt is re-read from the knob at every
+	// deadline arm (see SetBatchTimeout's ordering contract), so a
+	// runtime retune applies from the next batch, never mid-batch.
+	bt := b.BatchTimeout()
 	var flushAt time.Time
+	// offloadAcc is the error-diffusion accumulator of the fractional
+	// CPU-share knob: it gains CPUShare per submission and routes one
+	// item to the CPU decode path each time it crosses 1, spreading the
+	// offloaded items evenly through the batch instead of bursting.
+	var offloadAcc float64
 
 	// live tracks every buffer this epoch has taken from the pool but
 	// not yet published. On an abnormal exit (pool or decoder closed
@@ -419,8 +426,11 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 				tr.BufAcquired = time.Now()
 			}
 			live[cur] = true
+			// The first item of a batch arms its flush deadline — and
+			// re-reads the knob, the point SetBatchTimeout's ordering
+			// contract pins: a retune is effective here, at the next arm.
+			bt = b.BatchTimeout()
 			if bt > 0 {
-				// The first item of a batch arms its flush deadline.
 				flushAt = time.Now().Add(bt)
 			}
 		}
@@ -443,9 +453,25 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			OutH:     b.cfg.OutH,
 			Channels: b.cfg.Channels,
 		}
-		if b.degraded.Load() {
-			// Degraded mode: decode rerouted to the CPU backend path,
-			// bypassing the decoder entirely.
+		degraded := b.degraded.Load()
+		offload := false
+		if !degraded {
+			// Fractional FPGA/CPU split (SetCPUShare): the knob is
+			// re-read per submission, so a retune takes effect on the
+			// very next item. Degraded mode overrides the share — every
+			// decode is already on the CPU and counted as a fallback.
+			if share := b.CPUShare(); share > 0 {
+				offloadAcc += share
+				if offloadAcc >= 1 {
+					offloadAcc--
+					offload = true
+				}
+			}
+		}
+		if degraded || offload {
+			// Decode rerouted to the CPU backend path, bypassing the
+			// decoder entirely — the failure policy's degraded mode, or
+			// the offload knob's deliberate load-splitting.
 			dst := cur.batch.Buf.Bytes()[cmd.DMAOff : cmd.DMAOff+imageBytes]
 			var t0 time.Time
 			if b.traced {
@@ -453,9 +479,16 @@ func (b *Booster) RunEpoch(col DataCollector) error {
 			}
 			if b.cpuDecode(item.Ref, dst) == nil {
 				b.images.Add(1)
-				b.fallbacks.Add(1)
-				if b.traced {
-					b.reg.ObserveSince(metrics.StageCPUFallback, t0)
+				if offload {
+					b.offloads.Add(1)
+					if b.traced {
+						b.reg.ObserveSince(metrics.StageCPUOffload, t0)
+					}
+				} else {
+					b.fallbacks.Add(1)
+					if b.traced {
+						b.reg.ObserveSince(metrics.StageCPUFallback, t0)
+					}
 				}
 				if tr := cur.batch.Trace; tr != nil {
 					tr.Fallback++

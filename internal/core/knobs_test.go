@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dlbooster/internal/dataset"
+	"dlbooster/internal/fpga"
+	"dlbooster/internal/metrics"
+)
+
+// TestKnobBatchTimeoutRetune pins the runtime-retunable deadline: the
+// collector must read the knob, not the Config value it was built with
+// (the stale `bt := b.cfg.BatchTimeout` bug), so a SetBatchTimeout
+// issued before a batch arms applies to that batch. The configured
+// deadline here is far above the test timeout — only the retuned value
+// can flush the partial batch in time.
+func TestKnobBatchTimeoutRetune(t *testing.T) {
+	spec := dataset.MNISTLike(8)
+	b := newBooster(t, Config{
+		BatchSize: 8, OutW: 28, OutH: 28, Channels: 1,
+		PoolBatches: 4, BatchTimeout: 30 * time.Second,
+		Metrics: metrics.NewRegistry(),
+	})
+	if got := b.BatchTimeout(); got != 30*time.Second {
+		t.Fatalf("BatchTimeout seeded to %v, want the Config value 30s", got)
+	}
+	b.SetBatchTimeout(25 * time.Millisecond)
+	if got := b.BatchTimeout(); got != 25*time.Millisecond {
+		t.Fatalf("BatchTimeout after retune = %v, want 25ms", got)
+	}
+
+	q := newItemQueue(16)
+	epochDone := make(chan error, 1)
+	go func() { epochDone <- b.RunEpoch(CollectorFromQueue(q)) }()
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := q.Push(Item{
+			Ref:  fpga.DataRef{Inline: mustJPEG(t, spec, i)},
+			Meta: ItemMeta{Seq: i, ReceivedAt: time.Now()},
+		}); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	got := make(chan *Batch, 1)
+	go func() { batch, _ := b.Batches().Pop(); got <- batch }()
+	var batch *Batch
+	select {
+	case batch = <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no batch in 10s — the retuned deadline was ignored (stale cfg.BatchTimeout)")
+	}
+	if waited := time.Since(start); waited > 8*time.Second {
+		t.Fatalf("partial batch took %v — flushed by something other than the retuned deadline", waited)
+	}
+	if batch.Images != 3 {
+		t.Fatalf("batch images = %d, want 3", batch.Images)
+	}
+	if err := b.RecycleBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.PartialFlushes(); got != 1 {
+		t.Fatalf("PartialFlushes = %d, want 1", got)
+	}
+	snap := b.Snapshot()
+	if ms := snap.Gauges["knob_batch_timeout_ms"]; ms != 25 {
+		t.Fatalf("knob_batch_timeout_ms gauge = %v, want 25", ms)
+	}
+	q.Close()
+	if err := <-epochDone; err != nil {
+		t.Fatalf("epoch: %v", err)
+	}
+
+	// Clamp: negative retunes floor at 0 (strict batches).
+	b.SetBatchTimeout(-time.Second)
+	if got := b.BatchTimeout(); got != 0 {
+		t.Fatalf("negative retune gave %v, want 0", got)
+	}
+}
+
+// TestKnobCPUShareOffload drives the fractional FPGA/CPU split: a 0.25
+// share over 16 items must CPU-decode exactly every 4th item (error
+// diffusion, not bursts), count them as offloads — not failure-path
+// fallbacks — and observe them under the cpu_offload stage.
+func TestKnobCPUShareOffload(t *testing.T) {
+	spec := dataset.MNISTLike(16)
+	b := newBooster(t, Config{
+		BatchSize: 8, OutW: 28, OutH: 28, Channels: 1,
+		PoolBatches: 4, Metrics: metrics.NewRegistry(),
+	})
+	b.SetCPUShare(0.25)
+	if got := b.CPUShare(); got != 0.25 {
+		t.Fatalf("CPUShare = %v, want 0.25", got)
+	}
+
+	items := make([]Item, 0, 16)
+	for i := 0; i < 16; i++ {
+		items = append(items, Item{Ref: fpga.DataRef{Inline: mustJPEG(t, spec, i)}, Meta: ItemMeta{Seq: i}})
+	}
+	results := drainAll(t, b)
+	if err := b.RunEpoch(CollectorFromItems(items)); err != nil {
+		t.Fatalf("epoch: %v", err)
+	}
+	b.CloseBatches()
+	for _, d := range <-results {
+		for i := 0; i < d.images; i++ {
+			if !d.valid[i] {
+				t.Fatalf("batch %d slot %d invalid — the offloaded decode failed", d.seq, i)
+			}
+		}
+	}
+
+	if got := b.OffloadDecodes(); got != 4 {
+		t.Fatalf("OffloadDecodes = %d, want 4 (0.25 share × 16 items)", got)
+	}
+	if got := b.FallbackDecodes(); got != 0 {
+		t.Fatalf("FallbackDecodes = %d, want 0 — offloads must not count as failure fallbacks", got)
+	}
+	if got := b.Images(); got != 16 {
+		t.Fatalf("Images = %d, want 16", got)
+	}
+	snap := b.Snapshot()
+	if got := snap.Counters["offload_decodes_total"]; got != 4 {
+		t.Fatalf("offload_decodes_total = %d, want 4", got)
+	}
+	if got := snap.Gauges["knob_cpu_share"]; got != 0.25 {
+		t.Fatalf("knob_cpu_share gauge = %v, want 0.25", got)
+	}
+	if st := snap.Stages[metrics.StageCPUOffload]; st.Count != 4 {
+		t.Fatalf("cpu_offload stage count = %d, want 4", st.Count)
+	}
+
+	// Clamp: out-of-range shares saturate at [0, 1].
+	b.SetCPUShare(1.5)
+	if got := b.CPUShare(); got != 1 {
+		t.Fatalf("CPUShare after 1.5 = %v, want 1", got)
+	}
+	b.SetCPUShare(-0.5)
+	if got := b.CPUShare(); got != 0 {
+		t.Fatalf("CPUShare after -0.5 = %v, want 0", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dlbooster/internal/core"
@@ -54,6 +55,9 @@ const (
 	// shard's queue stayed full past the grace period.
 	AdmitShed
 	// AdmitClosed means the fleet is draining; no new work is taken.
+	// The refusal is still booked in the routed shard's serve_shed_total
+	// (and serve_shed_closed_total), so offered = decoded + shed holds
+	// through shutdown.
 	AdmitClosed
 )
 
@@ -122,7 +126,14 @@ type Shard struct {
 	items *queue.Queue[core.Item]
 	grace time.Duration
 
+	// effCap is the admission knob: the effective ingest cap, at most
+	// the physical queue capacity. Below the physical cap, admit sheds
+	// as soon as the queue reaches it — no grace wait — which is how
+	// the autotuner trades queueing delay away under overload.
+	effCap atomic.Int64
+
 	shed         metrics.Counter
+	shedClosed   metrics.Counter
 	stolenOut    metrics.Counter
 	stolenIn     metrics.Counter
 	overloadOnce sync.Once
@@ -138,8 +149,32 @@ func (s *Shard) Booster() *core.Booster { return s.b }
 // Queue exposes the shard's ingest queue, for tests and probes.
 func (s *Shard) Queue() *queue.Queue[core.Item] { return s.items }
 
-// Shed returns how many items this shard's admission control refused.
+// Shed returns how many items this shard's admission control refused —
+// queue-full sheds plus refusals that arrived after the queue closed.
 func (s *Shard) Shed() int64 { return s.shed.Value() }
+
+// ShedClosed returns the subset of Shed that was refused because the
+// shard was draining (closed ingest), not because the queue was full.
+func (s *Shard) ShedClosed() int64 { return s.shedClosed.Value() }
+
+// SetQueueCap retunes the shard's effective ingest cap — the admission
+// knob. Values clamp to [1, physical capacity]; the physical queue is
+// never reallocated, admission just refuses earlier. Re-read at every
+// admission decision, so a retune applies to the next Submit. Safe
+// from any goroutine.
+func (s *Shard) SetQueueCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if c := s.items.Cap(); n > c {
+		n = c
+	}
+	s.effCap.Store(int64(n))
+}
+
+// QueueCap returns the effective ingest cap (the physical capacity
+// until the first SetQueueCap).
+func (s *Shard) QueueCap() int { return int(s.effCap.Load()) }
 
 // StolenOut returns how many queued items the stealer moved off this
 // shard after its boards degraded.
@@ -153,34 +188,68 @@ func (s *Shard) StolenIn() int64 { return s.stolenIn.Value() }
 // of backpressure — the same front-door contract dlserve's single
 // pipeline had, now per shard.
 func (s *Shard) admit(item core.Item) Admission {
+	if s.items.Closed() {
+		// Classify before the cap check: a drain-time refusal is a
+		// closed refusal even when the backlog also sits at the cap.
+		return s.refuseClosed()
+	}
+	if c := int(s.effCap.Load()); c < s.items.Cap() && s.items.Len() >= c {
+		// The admission knob sits below the physical queue: shed
+		// immediately at the effective cap instead of waiting out the
+		// grace period against capacity that is deliberately off-limits.
+		s.noteShed()
+		return AdmitShed
+	}
 	if ok, err := s.items.TryPush(item); err != nil {
-		return AdmitClosed
+		return s.refuseClosed()
 	} else if ok {
 		return AdmitOK
 	}
 	ok, err := s.items.PushTimeout(item, s.grace)
 	if err != nil {
-		return AdmitClosed
+		return s.refuseClosed()
 	}
 	if !ok {
-		s.shed.Add(1)
-		s.overloadOnce.Do(func() {
-			s.b.Registry().Event("ingest_overloaded",
-				fmt.Sprintf("shard %d ingest queue full (%d items); shedding with status frames", s.id, s.items.Cap()))
-		})
+		s.noteShed()
 		return AdmitShed
 	}
 	return AdmitOK
+}
+
+// noteShed books one queue-full shed and rings the one-shot overload
+// event.
+func (s *Shard) noteShed() {
+	s.shed.Add(1)
+	s.overloadOnce.Do(func() {
+		s.b.Registry().Event("ingest_overloaded",
+			fmt.Sprintf("shard %d ingest queue full (%d items); shedding with status frames", s.id, s.QueueCap()))
+	})
+}
+
+// refuseClosed books one draining-time refusal: the frame arrived after
+// this shard's ingest closed. It counts in serve_shed_total — the
+// client was refused either way — with serve_shed_closed_total keeping
+// the subset distinguishable, so offered = decoded + shed reconciles
+// across a shutdown instead of leaking the grace-window frames.
+func (s *Shard) refuseClosed() Admission {
+	s.shed.Add(1)
+	s.shedClosed.Add(1)
+	return AdmitClosed
 }
 
 // instrument hangs the shard's fleet-level probes off its Booster's
 // registry, so per-shard snapshots (and the fleet rollup) carry them.
 func (s *Shard) instrument() {
 	r := s.b.Registry()
-	r.RegisterQueue("ingest_items", s.items.Len, s.items.Cap)
+	// The queue probe reports the effective (knob) cap, so occupancy
+	// ratios — what the ingest-overloaded verdict reads — track the
+	// admission the clients actually experience.
+	r.RegisterQueue("ingest_items", s.items.Len, s.QueueCap)
 	r.RegisterCounterFunc("serve_shed_total", s.shed.Value)
+	r.RegisterCounterFunc("serve_shed_closed_total", s.shedClosed.Value)
 	r.RegisterCounterFunc("fleet_stolen_out_total", s.stolenOut.Value)
 	r.RegisterCounterFunc("fleet_stolen_in_total", s.stolenIn.Value)
+	r.RegisterGauge("knob_queue_cap", func() float64 { return float64(s.QueueCap()) })
 }
 
 // Fleet is N Booster shards behind one Submit front door, with the
@@ -229,6 +298,7 @@ func New(cfg Config) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: building shard %d: %w", i, err)
 		}
 		s := &Shard{id: i, b: b, items: queue.New[core.Item](cfg.QueueCap), grace: cfg.Grace}
+		s.effCap.Store(int64(cfg.QueueCap))
 		s.instrument()
 		f.shards = append(f.shards, s)
 	}
@@ -275,12 +345,21 @@ func (f *Fleet) noteErr(err error) {
 // Submit routes one item to a shard and admits it — the fleet's front
 // door. key feeds the consistent-hash placement (use a stable client
 // identity for affinity); least-loaded placement ignores it. The
-// returned shard index is where the item landed (meaningful for
-// AdmitOK and AdmitShed; -1 when the fleet is draining).
+// returned shard index is where the item landed — or, for AdmitClosed,
+// the shard the refusal was booked against, so the shed ledger stays
+// per-shard even through a drain.
 func (f *Fleet) Submit(item core.Item, key uint64) (int, Admission) {
 	s := f.route(key)
 	if s == nil {
-		return -1, AdmitClosed
+		// Draining: every ingest queue is closed. The refusal still
+		// lands on a shard's books — attributed by key — so
+		// offered = decoded + shed reconciles across shutdown.
+		if len(f.shards) == 0 {
+			return -1, AdmitClosed
+		}
+		s = f.shards[int(key%uint64(len(f.shards)))]
+		s.refuseClosed()
+		return s.id, AdmitClosed
 	}
 	return s.id, s.admit(item)
 }

@@ -220,8 +220,19 @@ func TestFleetSubmitAfterDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	item := fleetItems(t, 1)[0]
-	if shard, adm := f.Submit(item, 0); adm != AdmitClosed || shard != -1 {
+	shard, adm := f.Submit(item, 0)
+	if adm != AdmitClosed || shard != 0 {
 		t.Fatalf("post-drain submit: shard %d, admission %v", shard, adm)
+	}
+	// The refusal is on the books: it counts as a shed, attributed to
+	// the routed shard, with the closed subset distinguishable.
+	s := f.Shards()[shard]
+	if s.Shed() != 1 || s.ShedClosed() != 1 {
+		t.Fatalf("post-drain refusal not booked: shed %d, closed %d, want 1/1", s.Shed(), s.ShedClosed())
+	}
+	snap := s.Booster().Snapshot()
+	if snap.Counters["serve_shed_total"] != 1 || snap.Counters["serve_shed_closed_total"] != 1 {
+		t.Fatalf("post-drain refusal missing from counters: %v", snap.Counters)
 	}
 }
 
@@ -269,5 +280,73 @@ func TestFleetAdmissionShedsWhenFull(t *testing.T) {
 	snap := f.Snapshot()
 	if got := snap.Total.Counters["serve_shed_total"]; got != 1 {
 		t.Fatalf("fleet serve_shed_total = %d", got)
+	}
+}
+
+// TestFleetQueueCapKnob drives the admission knob end to end: an
+// effective cap below the physical queue sheds at the cap without
+// waiting out the grace period, the knob is visible in telemetry, and
+// the shed ledger reconciles offered = queued + shed across a drain —
+// including the frames refused after the queues closed.
+func TestFleetQueueCapKnob(t *testing.T) {
+	f := newFleet(t, Config{
+		Shards: 1,
+		NewBooster: func(int) (*core.Booster, error) {
+			return core.New(shardConfig())
+		},
+	})
+	s := f.Shards()[0]
+	if got := s.QueueCap(); got != 256 {
+		t.Fatalf("default QueueCap = %d, want the physical 256", got)
+	}
+	s.SetQueueCap(4)
+	if got := s.QueueCap(); got != 4 {
+		t.Fatalf("QueueCap after retune = %d, want 4", got)
+	}
+
+	// Epochs deliberately not started: the queue cannot drain, so the
+	// 5th item onward must shed at the effective cap.
+	items := fleetItems(t, 12)
+	var admitted, shed int
+	for i := 0; i < 10; i++ {
+		if _, adm := f.Submit(items[i], uint64(i)); adm == AdmitOK {
+			admitted++
+		} else if adm == AdmitShed {
+			shed++
+		}
+	}
+	if admitted != 4 || shed != 6 {
+		t.Fatalf("admitted %d / shed %d, want 4 / 6 at effective cap 4", admitted, shed)
+	}
+	snap := s.Booster().Snapshot()
+	if g := snap.Gauges["knob_queue_cap"]; g != 4 {
+		t.Fatalf("knob_queue_cap gauge = %v, want 4", g)
+	}
+	if q := snap.Queues["ingest_items"]; q.Cap != 4 || q.Len != 4 {
+		t.Fatalf("ingest_items probe = %+v, want len 4 / effective cap 4", q)
+	}
+
+	if err := f.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 12; i++ {
+		if _, adm := f.Submit(items[i], uint64(i)); adm != AdmitClosed {
+			t.Fatalf("post-drain admission = %v, want AdmitClosed", adm)
+		}
+	}
+	// Conservation: 12 offered = 4 queued + 6 cap sheds + 2 closed
+	// refusals; the closed subset is distinguishable.
+	if s.Shed() != 8 || s.ShedClosed() != 2 {
+		t.Fatalf("shed ledger = %d total / %d closed, want 8 / 2", s.Shed(), s.ShedClosed())
+	}
+
+	// Clamps: the knob floors at 1 and cannot exceed the physical queue.
+	s.SetQueueCap(0)
+	if got := s.QueueCap(); got != 1 {
+		t.Fatalf("QueueCap after 0 = %d, want 1", got)
+	}
+	s.SetQueueCap(1 << 20)
+	if got := s.QueueCap(); got != 256 {
+		t.Fatalf("QueueCap after overshoot = %d, want the physical 256", got)
 	}
 }

@@ -40,6 +40,14 @@ type BenchConfig struct {
 	// ReplayEpochs is how many epochs past the first a replay run
 	// served from the cache; zero for non-replay runs.
 	ReplayEpochs int `json:"replay_epochs,omitempty"`
+	// AutotuneSpec is the SLO spec a `dlbench -autotune` overload run
+	// steered toward; empty (omitted from JSON) for non-autotune runs,
+	// so older baselines still compare.
+	AutotuneSpec string `json:"autotune_spec,omitempty"`
+	// OverloadX is the open-loop offered-load multiple of the
+	// calibrated capacity in an autotune run (e.g. 2.0); zero for
+	// closed-loop runs.
+	OverloadX float64 `json:"overload_x,omitempty"`
 }
 
 // BenchResult is one benchmark run, serialised as BENCH_<n>.json.
@@ -159,7 +167,9 @@ func CompareBenchSpeedup(base, cur *BenchResult, ratio float64) (*BenchRegressio
 // runs that silently dropped their SLO — as is comparing scorecards
 // evaluated against different specs when the baseline has one. The
 // baseline's scorecard, when present, supplies the Base column of each
-// regression so the report shows how far the objective moved.
+// regression so the report shows how far the objective moved. Results
+// carrying an autotune static ledger (static_shed_total) additionally
+// gate the autotuned shed fraction against the static one.
 func CompareBenchSLO(base, cur *BenchResult) ([]BenchRegression, error) {
 	if cur == nil {
 		return nil, fmt.Errorf("metrics: nil bench result")
@@ -188,6 +198,28 @@ func CompareBenchSLO(base, cur *BenchResult) ([]BenchRegression, error) {
 		regs = append(regs, BenchRegression{
 			Metric: "slo " + o.Name, Base: b, New: o.Observed, Limit: o.Target,
 		})
+	}
+	// The autotune-overload scenario folds the static config's ledger
+	// into the same counter map (static_shed_total,
+	// static_images_decoded_total). When present, the gate additionally
+	// requires the autotuned run to shed a smaller fraction of its
+	// offered load than the static config did under the same overload —
+	// the scenario's whole claim, judged on fractions so the two
+	// ledgers need not cover identical offered counts.
+	if staticShed, ok := cur.Counters["static_shed_total"]; ok {
+		shedFraction := func(shed, good int64) float64 {
+			if shed+good <= 0 {
+				return 0
+			}
+			return float64(shed) / float64(shed+good)
+		}
+		staticFrac := shedFraction(staticShed, cur.Counters["static_images_decoded_total"])
+		autoFrac := shedFraction(cur.Counters["serve_shed_total"], cur.Counters["images_decoded_total"])
+		if autoFrac >= staticFrac {
+			regs = append(regs, BenchRegression{
+				Metric: "slo autotune shed fraction", Base: staticFrac, New: autoFrac, Limit: staticFrac,
+			})
+		}
 	}
 	return regs, nil
 }

@@ -171,6 +171,45 @@ func TestCompareBenchSLOGate(t *testing.T) {
 	}
 }
 
+func TestCompareBenchSLOAutotuneShedGate(t *testing.T) {
+	// A result carrying the autotune static ledger is additionally
+	// gated on shed fractions: autotune must shed a smaller fraction
+	// of its offered load than the static config did.
+	cur := benchFixture()
+	cur.SLO = benchCard(t, "tput=900", 1000)
+	cur.Counters = map[string]int64{
+		"images_decoded_total":        800,
+		"serve_shed_total":            200, // 20% shed
+		"static_images_decoded_total": 400,
+		"static_shed_total":           600, // 60% shed
+	}
+	regs, err := CompareBenchSLO(nil, cur)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("improved shed fraction: regs = %v, err = %v", regs, err)
+	}
+
+	// Shedding at least the static fraction fails the gate.
+	cur.Counters["serve_shed_total"] = 1200 // 60% shed
+	cur.Counters["images_decoded_total"] = 800
+	regs, err = CompareBenchSLO(nil, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "slo autotune shed fraction" {
+		t.Fatalf("regs = %v", regs)
+	}
+	if regs[0].Base != 0.6 || regs[0].New != 0.6 {
+		t.Fatalf("regression columns = %+v", regs[0])
+	}
+
+	// Results without the ledger (every other scenario) are untouched.
+	delete(cur.Counters, "static_shed_total")
+	regs, err = CompareBenchSLO(nil, cur)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("ledger-free result gated: regs = %v, err = %v", regs, err)
+	}
+}
+
 func TestCompareBenchResultsMisuse(t *testing.T) {
 	base, cur := benchFixture(), benchFixture()
 	if _, err := CompareBenchResults(nil, cur, 2.0, 1.0); err == nil {

@@ -56,6 +56,32 @@ func (s *PipelineSnapshot) Delta(prev *PipelineSnapshot) *SnapshotDelta {
 	return d
 }
 
+// Rebase re-times the delta onto a measured interval length: Seconds
+// is replaced and every rate re-derived from the counter differences.
+// History.Record uses it to stamp the real wall-clock elapsed time
+// (TakenAt differences) over the uptime-diff estimate — under CPU
+// saturation time.Ticker drops ticks and one "interval" silently spans
+// several, a registry restart makes the uptime diff negative (zeroing
+// every rate), and a merged fleet snapshot's UptimeSeconds is a
+// cross-shard maximum; the sample wall clock is right in all three
+// cases. Non-positive seconds clear the rates — an unmeasurable
+// interval makes no rate claims.
+func (d *SnapshotDelta) Rebase(seconds float64) {
+	if d == nil {
+		return
+	}
+	d.Seconds = seconds
+	for k := range d.Rates {
+		delete(d.Rates, k)
+	}
+	if seconds <= 0 {
+		return
+	}
+	for k, v := range d.Counters {
+		d.Rates[k] = float64(v) / seconds
+	}
+}
+
 // Rate returns the per-second rate of one counter over the interval
 // (0 when the counter is unknown or the interval empty).
 func (d *SnapshotDelta) Rate(name string) float64 {

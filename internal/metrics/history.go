@@ -27,6 +27,14 @@ import (
 type HistorySample struct {
 	// TakenAt is when the sample was captured.
 	TakenAt time.Time `json:"taken_at"`
+	// Seconds is the measured interval length: the wall-clock gap
+	// between this sample's TakenAt and its predecessor's, not the
+	// sampler's nominal tick. Under CPU saturation time.Ticker drops
+	// ticks and one sample spans several nominal intervals; every rate
+	// in Delta is derived from this measured value, so windowed rates
+	// and SLO burn math stay honest when the sampler stalls. The first
+	// sample covers the whole registry uptime.
+	Seconds float64 `json:"seconds"`
 	// Snapshot is the cumulative snapshot, trimmed of events and recent
 	// spans so a long ring stays bounded (events live in Delta instead).
 	Snapshot *PipelineSnapshot `json:"snapshot"`
@@ -173,6 +181,16 @@ func (h *History) Record(s *PipelineSnapshot) {
 	sample := HistorySample{TakenAt: s.TakenAt, Snapshot: trimSnapshot(s)}
 	if prev != nil {
 		sample.Delta = s.Delta(prev.Snapshot)
+		// Stamp the measured elapsed time and re-derive the rates from
+		// it: the snapshots' own wall clocks, not the uptime diff (wrong
+		// after a registry restart or across merged fleet snapshots) and
+		// not the nominal sampler tick (wrong when the ticker drops
+		// ticks under CPU saturation).
+		sample.Seconds = sample.Delta.Seconds
+		if !prev.TakenAt.IsZero() && s.TakenAt.After(prev.TakenAt) {
+			sample.Seconds = s.TakenAt.Sub(prev.TakenAt).Seconds()
+		}
+		sample.Delta.Rebase(sample.Seconds)
 		sample.IntervalStages = make(map[string]Summary, len(s.Stages))
 		for k, cur := range s.Stages {
 			iv := SubtractSummaries(cur, prev.Snapshot.Stages[k])
@@ -182,6 +200,7 @@ func (h *History) Record(s *PipelineSnapshot) {
 		}
 	} else {
 		sample.Delta = s.Delta(nil)
+		sample.Seconds = sample.Delta.Seconds
 		sample.IntervalStages = s.Stages
 	}
 	if len(h.ring) < h.cap {

@@ -376,3 +376,58 @@ func BenchmarkHistoryRecord(b *testing.B) {
 		h.Record(histSnap(t0, time.Duration(i)*time.Millisecond, int64(i), i%8))
 	}
 }
+
+// TestSamplerStalledTicks is the regression test for the uniform-tick
+// assumption: under CPU saturation time.Ticker drops ticks, so one
+// recorded sample really spans several nominal intervals. The sample
+// must carry the measured wall-clock gap (TakenAt differences) and
+// derive its rates from it — not from what a per-tick uptime delta
+// claims the interval was.
+func TestSamplerStalledTicks(t *testing.T) {
+	t0 := time.Now()
+	h := NewHistory(8)
+	h.Record(histSnap(t0, 0, 0, 0))
+	// The sampler stalls: the next sample lands 3s later (two dropped
+	// ticks) while a uniform-tick clock would stamp the nominal 1s.
+	stalled := histSnap(t0, 3*time.Second, 300, 0)
+	stalled.UptimeSeconds = 1
+	h.Record(stalled)
+	s := h.Latest()
+	if s.Seconds < 2.999 || s.Seconds > 3.001 {
+		t.Fatalf("sample seconds = %v, want the 3s wall-clock gap", s.Seconds)
+	}
+	if s.Delta.Seconds != s.Seconds {
+		t.Fatalf("delta seconds %v != sample seconds %v", s.Delta.Seconds, s.Seconds)
+	}
+	if r := s.Delta.Rate("images_decoded_total"); r < 99 || r > 101 {
+		t.Fatalf("rate = %v img/s, want ~100 (300 images over 3 measured seconds)", r)
+	}
+	if r := h.Window(0).Rate("images_decoded_total"); r < 99 || r > 101 {
+		t.Fatalf("window rate = %v img/s, want ~100", r)
+	}
+}
+
+// TestSamplerRestartElapsed pins the other failure of uptime-diff
+// timing: a registry restart between captures makes the uptime diff
+// negative, which silently zeroed every interval rate. The wall clock
+// still measures the interval, so Seconds stays positive and the rates
+// stay derivable (the negative counter diff itself is the documented
+// restart signal).
+func TestSamplerRestartElapsed(t *testing.T) {
+	t0 := time.Now()
+	h := NewHistory(8)
+	old := histSnap(t0, 0, 500, 0)
+	old.UptimeSeconds = 40
+	h.Record(old)
+	fresh := histSnap(t0, 2*time.Second, 80, 0)
+	fresh.UptimeSeconds = 1 // restarted registry: uptime reset below prev
+	h.Record(fresh)
+	s := h.Latest()
+	if s.Seconds < 1.999 || s.Seconds > 2.001 {
+		t.Fatalf("restart sample seconds = %v, want the 2s wall-clock gap", s.Seconds)
+	}
+	// 80 − 500 = −420 over 2s: the rate is computed, not zeroed.
+	if r := s.Delta.Rate("images_decoded_total"); r > -209 || r < -211 {
+		t.Fatalf("restart rate = %v, want −210 over the measured gap", r)
+	}
+}

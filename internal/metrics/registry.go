@@ -21,6 +21,10 @@ const (
 	// StageCPUFallback is the duration of one CPU rescue/degraded-mode
 	// decode.
 	StageCPUFallback = "cpu_fallback"
+	// StageCPUOffload is the duration of one CPU decode routed by the
+	// fractional offload knob (core.Booster.SetCPUShare) — deliberate
+	// load-splitting, distinct from the failure-driven cpu_fallback path.
+	StageCPUOffload = "cpu_offload"
 	// StageGetItemWait is the time the FPGAReader blocked in get_item
 	// waiting for a free HugePage buffer (back-pressure).
 	StageGetItemWait = "get_item_wait"

@@ -21,8 +21,12 @@
 // With -slo-gate the new file must carry an SLO scorecard (a `dlbench
 // -slo` run) with every objective met; a missing scorecard or a spec
 // mismatch against the baseline's scorecard is a misuse error (exit 2),
-// and a violated objective fails the gate (exit 1). The flag composes
-// with either comparison mode.
+// and a violated objective fails the gate (exit 1). A result carrying
+// the autotune scenario's static ledger (`dlbench -autotune`,
+// static_shed_total in its counters) is additionally required to shed
+// a smaller fraction of its offered load than the static config did —
+// the adaptive controller must beat the config it replaces, not just
+// meet the spec. The flag composes with either comparison mode.
 package main
 
 import (
