@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"dlbooster/internal/cpukernel"
 	"dlbooster/internal/experiments"
 	"dlbooster/internal/metrics"
 )
@@ -56,6 +57,7 @@ func main() {
 	metricsImages := flag.Int("metrics-images", 64, "with -metrics/-doctor/-json: images to push through the pipeline")
 	metricsBatch := flag.Int("metrics-batch", 8, "with -metrics/-doctor/-json: batch size")
 	noDecodeScale := flag.Bool("no-decode-scale", false, "with -metrics/-doctor/-json: disable the decode-to-scale fast path (full-resolution decode + resize)")
+	noSIMD := flag.Bool("no-simd", false, "pin the portable scalar decode kernels and sequential entropy decode process-wide (the cpukernel kill switch), for ablations against the fast kernel layer")
 	shards := flag.Int("shards", 0, "with -metrics/-doctor/-json: run the traced pipeline as this many fleet shards, each engine paced at -shard-rate (0 = classic single pipeline)")
 	shardRate := flag.Float64("shard-rate", 40, "with -shards: modelled per-shard accelerator rate in images/s")
 	replayEpochs := flag.Int("replay-epochs", 0, "with -metrics/-doctor/-json: after the first decode epoch, serve this many epochs from the tiered ReplayCache and measure their throughput (0 = classic single-epoch run)")
@@ -63,6 +65,10 @@ func main() {
 	sloSpec := flag.String("slo", "", "with -metrics/-doctor/-json: sample telemetry during the traced run, judge it against this SLO spec (e.g. tput=900,p99ms=250,shed=0.001) and print the scorecard; with -json the scorecard is embedded in the result for the benchdiff -slo-gate")
 	autotuneOn := flag.Bool("autotune", false, "with -json: run the adaptive-autotuner overload benchmark — a deterministic virtual-time simulation of a 2× open-loop overload served by a static tight-deadline config and again with the internal/control feedback loop actuating the knobs — and record both shed ledgers (BENCH_5.json); -slo overrides the scenario's default spec")
 	flag.Parse()
+
+	if *noSIMD {
+		cpukernel.SetScalarOnly(true)
+	}
 
 	if *showMetrics || *doctor || *benchJSON != "" || *autotuneOn {
 		// A bad SLO spec fails before the run, not after it.

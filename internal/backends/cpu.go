@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dlbooster/internal/core"
+	"dlbooster/internal/cpukernel"
 	"dlbooster/internal/fpga"
 	"dlbooster/internal/imageproc"
 	"dlbooster/internal/jpeg"
@@ -88,6 +89,11 @@ type CPUConfig struct {
 	// full-resolution decode + resize. The zero value keeps the fast
 	// path on.
 	DisableScaledDecode bool
+	// DisableSIMDKernels engages the process-wide cpukernel kill switch
+	// (scalar decode kernels, sequential entropy decode) — the CPU
+	// baseline's mirror of core.Config.DisableSIMDKernels, with the same
+	// one-way semantics.
+	DisableSIMDKernels bool
 }
 
 // NewCPU builds the baseline and starts its workers.
@@ -97,6 +103,9 @@ func NewCPU(cfg CPUConfig) (*CPU, error) {
 	}
 	if cfg.BatchTimeout < 0 {
 		return nil, fmt.Errorf("backends: negative batch timeout %v", cfg.BatchTimeout)
+	}
+	if cfg.DisableSIMDKernels {
+		cpukernel.SetScalarOnly(true)
 	}
 	b, err := newBase(baseConfig{
 		BatchSize: cfg.BatchSize, OutW: cfg.OutW, OutH: cfg.OutH,

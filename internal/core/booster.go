@@ -7,9 +7,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dlbooster/internal/cpukernel"
 	"dlbooster/internal/fpga"
 	"dlbooster/internal/hugepage"
 	"dlbooster/internal/imageproc"
+	"dlbooster/internal/jpeg"
 	"dlbooster/internal/metrics"
 	"dlbooster/internal/pix"
 	"dlbooster/internal/queue"
@@ -67,6 +69,17 @@ type Config struct {
 	// value keeps the fast path on (it is byte-compatible in spirit and
 	// parity-tested against the full pipeline; see internal/jpeg).
 	DisableScaledDecode bool
+	// DisableSIMDKernels engages the process-wide cpukernel kill switch:
+	// every decode path (this Booster's, and — because kernel selection
+	// is process-global, the kernels being pure functions — any other
+	// Booster in the process) pins the portable scalar decode kernels
+	// and sequential entropy decode. The fast kernels are byte-exact
+	// against scalar, so this trades speed only; it exists as the
+	// ablation/escape hatch (mirrors dlbench -no-simd and the
+	// DLBOOSTER_NO_SIMD environment variable). One-way: constructing a
+	// Booster with the zero value does not re-enable kernels a previous
+	// config disabled; use cpukernel.SetScalarOnly(false) for that.
+	DisableSIMDKernels bool
 	// Resilience is the failure policy (retry, timeout, CPU fallback).
 	Resilience Resilience
 	// Metrics, when non-nil, enables full observability: per-batch trace
@@ -168,6 +181,9 @@ func (c *Config) normalize() error {
 	}
 	if c.DisableScaledDecode {
 		c.FPGA.DisableScaledDecode = true
+	}
+	if c.DisableSIMDKernels {
+		cpukernel.SetScalarOnly(true)
 	}
 	if c.Cache.RAMBytes == 0 && c.CacheLimitBytes > 0 {
 		c.Cache.RAMBytes = c.CacheLimitBytes
@@ -344,6 +360,12 @@ func (b *Booster) instrument() {
 		}
 		return n
 	})
+	// Kernel-layer counters. These are process-global (kernel selection
+	// is, too — see internal/cpukernel), so in a multi-Booster process
+	// every registry reports the same totals rather than a per-Booster
+	// share; the doc rows in docs/METRICS.md carry the same caveat.
+	r.RegisterCounterFunc("decode_kernel_simd_total", jpeg.KernelSIMDDecodes)
+	r.RegisterCounterFunc("decode_parallel_scans_total", jpeg.ParallelScans)
 	r.RegisterGauge("degraded", func() float64 {
 		if b.degraded.Load() {
 			return 1

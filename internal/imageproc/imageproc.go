@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dlbooster/internal/cpukernel"
 	"dlbooster/internal/pix"
 )
 
@@ -87,8 +88,18 @@ func resizeNearest(src, dst *pix.Image) {
 }
 
 // resizeBilinear uses 8-bit fixed-point weights with half-pixel centre
-// alignment, the conventional definition.
+// alignment, the conventional definition. It dispatches to the fast
+// kernel (resize_fast.go) when the cpukernel selection allows and the
+// geometry fits; the scalar body below is the portable reference the
+// fast kernel is byte-exact against.
 func resizeBilinear(src, dst *pix.Image) {
+	if cpukernel.Fast() && resizeBilinearFast(src, dst) {
+		return
+	}
+	resizeBilinearScalar(src, dst)
+}
+
+func resizeBilinearScalar(src, dst *pix.Image) {
 	c := src.C
 	const fbits = 8
 	const fone = 1 << fbits

@@ -1,6 +1,9 @@
 package jpeg
 
 import (
+	"fmt"
+
+	"dlbooster/internal/cpukernel"
 	"dlbooster/internal/imageproc"
 	"dlbooster/internal/pix"
 )
@@ -62,16 +65,19 @@ type Header struct {
 
 	hMax, vMax   int
 	mcusX, mcusY int
-	scan         []byte // entropy-coded data following the SOS header
+	scan         []byte        // entropy-coded data following the SOS header
+	segs         []scanSegment // restart-segment scratch (parallel.go), reused across parses
 }
 
-// reset clears the header for reuse while keeping the Components
-// allocation, so repeated parses into the same Header reach steady-state
-// zero allocations.
+// reset clears the header for reuse while keeping the Components and
+// restart-segment allocations, so repeated parses into the same Header
+// reach steady-state zero allocations.
 func (h *Header) reset() {
 	comps := h.Components[:0]
+	segs := h.segs[:0]
 	*h = Header{}
 	h.Components = comps
+	h.segs = segs
 }
 
 // Coefficients holds the entropy-decoded, still-quantised DCT levels —
@@ -390,7 +396,11 @@ func (h *Header) EntropyDecode() (*Coefficients, error) {
 
 // entropyDecodeInto is the reusable form of EntropyDecode: co's grids are
 // grown on demand and reused across calls, so steady-state decoding does
-// not allocate.
+// not allocate. Scans whose restart intervals carve the entropy data into
+// enough independent segments are decoded in parallel (parallel.go);
+// everything else — and any scan whose parallel decode hits a corrupt
+// segment — runs the sequential reference decoder, so the bytes produced
+// and the errors surfaced are identical either way.
 func (h *Header) entropyDecodeInto(co *Coefficients) error {
 	for _, c := range h.Components {
 		if !h.quantOK[c.QuantID] {
@@ -400,6 +410,19 @@ func (h *Header) entropyDecodeInto(co *Coefficients) error {
 			return FormatError("missing huffman table")
 		}
 	}
+	if segs, ok := h.restartSegments(); ok {
+		if err := h.entropyDecodeSegments(co, segs); err == nil {
+			parallelScansRun.Add(1)
+			return nil
+		}
+		// Fall through: the sequential re-run below re-initialises co and
+		// reproduces the exact error the sequential decoder surfaces.
+	}
+	return h.entropyDecodeSequential(co)
+}
+
+// entropyDecodeSequential is the reference single-goroutine scan decode.
+func (h *Header) entropyDecodeSequential(co *Coefficients) error {
 	co.init(h)
 	rd := bitReader{data: h.scan}
 	r := &rd
@@ -407,12 +430,14 @@ func (h *Header) entropyDecodeInto(co *Coefficients) error {
 	dcPred := dcPredArr[:len(h.Components)]
 	mcus := h.mcusX * h.mcusY
 	sinceRestart := 0
+	interval := 0 // index of the restart interval being decoded
 	nextRST := byte(mRST0)
 	for m := 0; m < mcus; m++ {
 		if h.RestartInterval > 0 && sinceRestart == h.RestartInterval {
-			if err := h.expectRestart(r, nextRST); err != nil {
+			if err := h.expectRestart(r, nextRST, interval); err != nil {
 				return err
 			}
+			interval++
 			nextRST = mRST0 + (nextRST-mRST0+1)%8
 			for i := range dcPred {
 				dcPred[i] = 0
@@ -428,7 +453,7 @@ func (h *Header) entropyDecodeInto(co *Coefficients) error {
 					by := my*c.V + v
 					blk := &co.comp[i][by*co.blocksX[i]+bx]
 					if err := h.decodeBlock(r, i, blk, &dcPred[i]); err != nil {
-						return err
+						return restartIntervalError(h, interval, err)
 					}
 				}
 			}
@@ -476,16 +501,34 @@ func (co *Coefficients) init(h *Header) {
 }
 
 // expectRestart consumes the next restart marker, resynchronising the bit
-// reader.
-func (h *Header) expectRestart(r *bitReader, want byte) error {
+// reader. interval is the index of the restart interval just decoded, so
+// a corrupt or missing marker is attributed to the segment that broke —
+// the attribution the parallel segment decoder needs and that a plain
+// "marker out of sequence" loses.
+func (h *Header) expectRestart(r *bitReader, want byte, interval int) error {
 	m, err := r.nextMarker()
 	if err != nil {
-		return errShortData
+		return FormatError(fmt.Sprintf("restart interval %d: missing marker RST%d", interval, want-mRST0))
 	}
 	if m != want {
-		return FormatError("restart marker out of sequence")
+		return FormatError(fmt.Sprintf("restart interval %d: marker out of sequence (got 0x%02X, want RST%d)", interval, m, want-mRST0))
 	}
 	return nil
+}
+
+// restartIntervalError attributes an entropy-decode error inside a scan
+// with restart intervals to the interval it occurred in. Scans without
+// restart intervals pass errors through untouched, keeping the historic
+// error surface for the common case.
+func restartIntervalError(h *Header, interval int, err error) error {
+	if h.RestartInterval <= 0 {
+		return err
+	}
+	msg := err.Error()
+	if fe, ok := err.(FormatError); ok {
+		msg = string(fe)
+	}
+	return FormatError(fmt.Sprintf("restart interval %d: %s", interval, msg))
 }
 
 // decodeBlock decodes one 8×8 block of quantised levels into blk, in
@@ -557,6 +600,13 @@ func (co *Coefficients) Reconstruct() (*Planes, error) {
 func (co *Coefficients) reconstructInto(p *Planes, s int) error {
 	h := co.hdr
 	p.init(h)
+	// Branch once on the kernel selection and call the implementations
+	// directly: calling through kernelTable's function pointers would make
+	// the stack scratch below escape (three heap allocations per image).
+	fast := cpukernel.Fast()
+	if fast {
+		kernelSIMDDecodes.Add(1)
+	}
 	for i := range h.Components {
 		if !h.quantOK[h.Components[i].QuantID] {
 			return FormatError("missing quant table")
@@ -572,7 +622,11 @@ func (co *Coefficients) reconstructInto(p *Planes, s int) error {
 				for bx := 0; bx < co.blocksX[i]; bx++ {
 					blk := &co.comp[i][by*co.blocksX[i]+bx]
 					dequantize(blk, q, &deq)
-					idct(&deq, &samples)
+					if fast {
+						idctFast(&deq, &samples)
+					} else {
+						idct(&deq, &samples)
+					}
 					for y := 0; y < 8; y++ {
 						copy(plane[(by*8+y)*stride+bx*8:], samples[y*8:y*8+8])
 					}
@@ -584,7 +638,11 @@ func (co *Coefficients) reconstructInto(p *Planes, s int) error {
 		for by := 0; by < co.blocksY[i]; by++ {
 			for bx := 0; bx < co.blocksX[i]; bx++ {
 				blk := &co.comp[i][by*co.blocksX[i]+bx]
-				idctScaled(blk, q, s, &samples)
+				if fast {
+					idctScaledFast(blk, q, s, &samples)
+				} else {
+					idctScaled(blk, q, s, &samples)
+				}
 				for y := 0; y < s; y++ {
 					copy(plane[(by*s+y)*stride+bx*s:], samples[y*s:y*s+s])
 				}
@@ -662,18 +720,13 @@ func (p *Planes) renderInto(dst *pix.Image) {
 		}
 	}
 	out := dst.Pix
+	rowFn := activeKernels().ycbcrRow
 	for y := 0; y < dst.H; y++ {
 		yRow := p.data[0][(y>>shy[0])*p.stride[0]:]
 		cbRow := p.data[1][(y>>shy[1])*p.stride[1]:]
 		crRow := p.data[2][(y>>shy[2])*p.stride[2]:]
 		o := y * dst.W * 3
-		for x := 0; x < dst.W; x++ {
-			r, g, b := ycbcrToRGB(yRow[x>>shx[0]], cbRow[x>>shx[1]], crRow[x>>shx[2]])
-			out[o] = r
-			out[o+1] = g
-			out[o+2] = b
-			o += 3
-		}
+		rowFn(out[o:o+dst.W*3], yRow, cbRow, crRow, dst.W, shx)
 	}
 }
 

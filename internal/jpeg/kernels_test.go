@@ -1,0 +1,422 @@
+package jpeg
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dlbooster/internal/cpukernel"
+	"dlbooster/internal/imageproc"
+	"dlbooster/internal/pix"
+)
+
+// The kernel layer's contract is exact numeric parity: every fast kernel
+// must produce byte-identical output to its scalar reference on every
+// input, so the cpukernel selection (and the kill switch) can never
+// change decoded pixels. These tests enforce that contract three ways —
+// exhaustive/randomised unit parity per kernel, golden-corpus decode
+// parity with the kill switch toggled, and structural checks on the
+// kernel tables themselves.
+
+// scalarOnlyGuard flips the kill switch for a test and restores the
+// previous state on cleanup.
+func scalarOnlyGuard(t *testing.T, disable bool) {
+	t.Helper()
+	prev := cpukernel.ScalarOnly()
+	cpukernel.SetScalarOnly(disable)
+	t.Cleanup(func() { cpukernel.SetScalarOnly(prev) })
+}
+
+func TestKernelRegistryState(t *testing.T) {
+	names := cpukernel.Names()
+	want := map[string]bool{cpukernel.ScalarName: false, swarKernelName: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("registry missing kernel %q (have %v)", n, names)
+		}
+	}
+	scalarOnlyGuard(t, false)
+	if got := cpukernel.Active(); got != swarKernelName {
+		t.Errorf("active kernel %q with kill switch released, want %q", got, swarKernelName)
+	}
+	if !cpukernel.Fast() {
+		t.Error("Fast() false with swar active")
+	}
+	cpukernel.SetScalarOnly(true)
+	if got := cpukernel.Active(); got != cpukernel.ScalarName {
+		t.Errorf("active kernel %q under kill switch, want scalar", got)
+	}
+	if cpukernel.Fast() {
+		t.Error("Fast() true under kill switch")
+	}
+	if KernelName() != cpukernel.ScalarName {
+		t.Errorf("KernelName() = %q under kill switch", KernelName())
+	}
+}
+
+func TestKernelTablesComplete(t *testing.T) {
+	for _, tab := range []*kernelTable{&scalarKernelTable, &swarKernelTable} {
+		if tab.name == "" || tab.idct == nil || tab.idctScaled == nil || tab.ycbcrRow == nil {
+			t.Errorf("kernel table %+v has missing entries", tab.name)
+		}
+	}
+	scalarOnlyGuard(t, true)
+	if activeKernels() != &scalarKernelTable {
+		t.Error("activeKernels() not scalar under kill switch")
+	}
+	cpukernel.SetScalarOnly(false)
+	if activeKernels() != &swarKernelTable {
+		t.Error("activeKernels() not swar with kill switch released")
+	}
+}
+
+func TestKernelClamp8BranchlessMatchesClamp8(t *testing.T) {
+	for v := int32(-1 << 20); v <= 1<<20; v++ {
+		if got, want := clamp8Branchless(v), clamp8(v); got != want {
+			t.Fatalf("clamp8Branchless(%d) = %d, want %d", v, got, want)
+		}
+	}
+	for _, v := range []int32{math.MinInt32, math.MinInt32 + 1, math.MaxInt32 - 1, math.MaxInt32} {
+		if got, want := clamp8Branchless(v), clamp8(v); got != want {
+			t.Fatalf("clamp8Branchless(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// randomSparseBlock fills a block with n nonzero coefficients at random
+// natural-order positions, with realistic post-dequantise magnitudes.
+func randomSparseBlock(rng *rand.Rand, n int) block {
+	var blk block
+	for k := 0; k < n; k++ {
+		blk[rng.Intn(64)] = int32(rng.Intn(4001) - 2000)
+	}
+	return blk
+}
+
+func TestKernelIDCTExactParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	densities := []int{0, 1, 2, 3, 5, 8, 16, 32, 64}
+	for _, n := range densities {
+		for trial := 0; trial < 200; trial++ {
+			blk := randomSparseBlock(rng, n)
+			if trial%4 == 1 && n > 0 {
+				blk = block{} // DC-only shape
+				blk[0] = int32(rng.Intn(4001) - 2000)
+			}
+			if trial%4 == 2 && n > 0 {
+				// Single-column shape: exercises the column short-cuts.
+				col := rng.Intn(8)
+				keep := blk
+				blk = block{}
+				for u := 0; u < 8; u++ {
+					blk[u*8+col] = keep[u*8+col]
+				}
+			}
+			var want, got [64]byte
+			idct(&blk, &want)
+			idctFast(&blk, &got)
+			if want != got {
+				t.Fatalf("idctFast diverges from idct (density %d, trial %d)\nblk:  %v\nwant: %v\ngot:  %v", n, trial, blk, want, got)
+			}
+		}
+	}
+}
+
+func TestKernelIDCTScaledExactParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8072026))
+	var q QuantTable
+	for s := range []int{1, 2, 4} {
+		_ = s
+	}
+	for _, s := range []int{1, 2, 4} {
+		for trial := 0; trial < 400; trial++ {
+			for i := range q {
+				q[i] = uint16(1 + rng.Intn(255))
+			}
+			var blk block
+			switch trial % 4 {
+			case 0: // dense
+				blk = randomSparseBlock(rng, 64)
+			case 1: // EOB after DC
+				blk[0] = int32(rng.Intn(2001) - 1000)
+			case 2: // sparse corner
+				blk = randomSparseBlock(rng, 1+rng.Intn(4))
+			default: // empty
+			}
+			var want, got [16]byte
+			idctScaled(&blk, &q, s, &want)
+			idctScaledFast(&blk, &q, s, &got)
+			if want != got {
+				t.Fatalf("idctScaledFast diverges at scale %d (trial %d)\nblk:  %v\nwant: %v\ngot:  %v", s, trial, blk, want, got)
+			}
+		}
+	}
+}
+
+func TestKernelYCbCrRowExactParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(91881))
+	shapes := [][3]uint{{0, 1, 1}, {0, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for _, shx := range shapes {
+		for _, w := range []int{1, 2, 3, 31, 32, 97, 500} {
+			yRow := make([]byte, w)
+			cbRow := make([]byte, w)
+			crRow := make([]byte, w)
+			for i := 0; i < w; i++ {
+				yRow[i] = byte(rng.Intn(256))
+				cbRow[i] = byte(rng.Intn(256))
+				crRow[i] = byte(rng.Intn(256))
+			}
+			want := make([]byte, w*3)
+			got := make([]byte, w*3)
+			ycbcrRowScalar(want, yRow, cbRow, crRow, w, shx)
+			ycbcrRowFast(got, yRow, cbRow, crRow, w, shx)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("ycbcrRowFast diverges (shx %v, w %d)", shx, w)
+			}
+		}
+	}
+}
+
+// goldenCorpus encodes a spread of layouts, qualities and restart
+// intervals — the decode shapes the pipeline sees in production.
+func goldenCorpus(t *testing.T) map[string][]byte {
+	t.Helper()
+	corpus := map[string][]byte{}
+	add := func(name string, img *pix.Image, opt EncodeOptions) {
+		data, err := Encode(img, opt)
+		if err != nil {
+			t.Fatalf("encode %s: %v", name, err)
+		}
+		corpus[name] = data
+	}
+	add("420-q88", smoothImage(500, 375, 3, 1), DefaultEncodeOptions())
+	add("422-q90", smoothImage(320, 240, 3, 2), EncodeOptions{Quality: 90, Subsample422: true})
+	add("444-q95", smoothImage(160, 120, 3, 3), EncodeOptions{Quality: 95})
+	add("gray-q85", smoothImage(256, 192, 1, 4), EncodeOptions{Quality: 85})
+	add("420-q60-odd", smoothImage(251, 187, 3, 5), EncodeOptions{Quality: 60, Subsample420: true})
+	add("420-dri", smoothImage(512, 384, 3, 6), EncodeOptions{Quality: 88, Subsample420: true, RestartInterval: 8})
+	add("gray-dri", smoothImage(320, 320, 1, 7), EncodeOptions{Quality: 88, RestartInterval: 16})
+	return corpus
+}
+
+// TestKernelGoldenCorpusByteParity is the tentpole acceptance test: every
+// stream in the corpus must decode byte-identically with the fast
+// kernels and with the kill switch engaged — full decode and the fused
+// decode-to-scale path at several target geometries.
+func TestKernelGoldenCorpusByteParity(t *testing.T) {
+	corpus := goldenCorpus(t)
+	targets := []struct{ w, h int }{{96, 96}, {64, 48}, {224, 224}, {33, 27}}
+	for name, data := range corpus {
+		scalarOnlyGuard(t, true)
+		wantFull, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: scalar decode: %v", name, err)
+		}
+		cpukernel.SetScalarOnly(false)
+		gotFull, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: fast decode: %v", name, err)
+		}
+		if !bytes.Equal(wantFull.Pix, gotFull.Pix) {
+			t.Errorf("%s: full decode differs between scalar and fast kernels", name)
+		}
+		for _, tg := range targets {
+			var scScalar, scFast Scratch
+			want := pix.New(tg.w, tg.h, wantFull.C)
+			got := pix.New(tg.w, tg.h, wantFull.C)
+			cpukernel.SetScalarOnly(true)
+			wantScale, err := DecodeScaledInto(data, want, &scScalar)
+			if err != nil {
+				t.Fatalf("%s→%dx%d: scalar scaled decode: %v", name, tg.w, tg.h, err)
+			}
+			cpukernel.SetScalarOnly(false)
+			gotScale, err := DecodeScaledInto(data, got, &scFast)
+			if err != nil {
+				t.Fatalf("%s→%dx%d: fast scaled decode: %v", name, tg.w, tg.h, err)
+			}
+			if wantScale != gotScale {
+				t.Errorf("%s→%dx%d: scale %d vs %d across kill switch", name, tg.w, tg.h, wantScale, gotScale)
+			}
+			if !bytes.Equal(want.Pix, got.Pix) {
+				t.Errorf("%s→%dx%d: scaled decode differs between scalar and fast kernels", name, tg.w, tg.h)
+			}
+		}
+	}
+}
+
+// TestKernelSIMDCounter: the simd counter moves exactly when a fast
+// reconstruction runs.
+func TestKernelSIMDCounter(t *testing.T) {
+	img := smoothImage(64, 64, 3, 9)
+	data, err := Encode(img, DefaultEncodeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarOnlyGuard(t, true)
+	before := KernelSIMDDecodes()
+	if _, err := Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := KernelSIMDDecodes(); got != before {
+		t.Errorf("simd counter moved %d under kill switch", got-before)
+	}
+	cpukernel.SetScalarOnly(false)
+	if _, err := Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := KernelSIMDDecodes(); got != before+1 {
+		t.Errorf("simd counter %d after fast decode, want %d", got, before+1)
+	}
+}
+
+// TestDecodeScaledIntoPerScaleZeroAllocs extends the steady-state pin to
+// every iDCT scale, so a kernel swap cannot silently reintroduce
+// allocations on any of the per-scale code paths.
+func TestDecodeScaledIntoPerScaleZeroAllocs(t *testing.T) {
+	for _, cse := range perScaleBenchCases() {
+		t.Run(cse.name, func(t *testing.T) {
+			img := smoothImage(cse.srcW, cse.srcH, 3, 50)
+			data, err := Encode(img, DefaultEncodeOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sc Scratch
+			dst := pix.New(cse.dstW, cse.dstH, 3)
+			scale, err := DecodeScaledInto(data, dst, &sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scale != cse.scale {
+				t.Fatalf("geometry %dx%d→%dx%d decoded at scale %d, want %d", cse.srcW, cse.srcH, cse.dstW, cse.dstH, scale, cse.scale)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if _, err := DecodeScaledInto(data, dst, &sc); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("scale %d: %.1f allocs per decode, want 0", cse.scale, allocs)
+			}
+		})
+	}
+}
+
+type perScaleCase struct {
+	name       string
+	srcW, srcH int
+	dstW, dstH int
+	scale      int
+}
+
+// perScaleBenchCases pins one geometry per iDCT scale: a 512×512 source
+// whose target lands each branch of ScaleFor.
+func perScaleBenchCases() []perScaleCase {
+	return []perScaleCase{
+		{"1x1", 512, 512, 64, 64, 1},
+		{"2x2", 512, 512, 128, 128, 2},
+		{"4x4", 512, 512, 256, 256, 4},
+		{"8x8", 512, 512, 384, 384, 8},
+	}
+}
+
+// BenchmarkDecodeScaledInto measures the fused decode at each iDCT
+// scale with a dedicated per-worker Scratch (the backends.CPU worker
+// configuration). Run with -benchmem: allocs/op must be 0.
+func BenchmarkDecodeScaledInto(b *testing.B) {
+	for _, cse := range perScaleBenchCases() {
+		b.Run(cse.name, func(b *testing.B) {
+			img := smoothImage(cse.srcW, cse.srcH, 3, 51)
+			data, err := Encode(img, DefaultEncodeOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sc Scratch
+			dst := pix.New(cse.dstW, cse.dstH, 3)
+			if _, err := DecodeScaledInto(data, dst, &sc); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := DecodeScaledInto(data, dst, &sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeScaledIntoScalar is the same hot loop with the kill
+// switch engaged — the ablation pair for BenchmarkDecodeScaledInto.
+func BenchmarkDecodeScaledIntoScalar(b *testing.B) {
+	prev := cpukernel.ScalarOnly()
+	cpukernel.SetScalarOnly(true)
+	b.Cleanup(func() { cpukernel.SetScalarOnly(prev) })
+	for _, cse := range perScaleBenchCases() {
+		b.Run(cse.name, func(b *testing.B) {
+			img := smoothImage(cse.srcW, cse.srcH, 3, 51)
+			data, err := Encode(img, DefaultEncodeOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sc Scratch
+			dst := pix.New(cse.dstW, cse.dstH, 3)
+			if _, err := DecodeScaledInto(data, dst, &sc); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := DecodeScaledInto(data, dst, &sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelKillSwitchFullPipeline drives the legacy staged pipeline
+// (Parse → EntropyDecode → Reconstruct → ToImage → ResizeInto) across
+// the kill switch, covering the resize kernel dispatch in imageproc.
+func TestKernelKillSwitchFullPipeline(t *testing.T) {
+	img := smoothImage(333, 251, 3, 10)
+	data, err := Encode(img, DefaultEncodeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *pix.Image {
+		full, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := pix.New(96, 96, 3)
+		if err := imageproc.ResizeInto(full, dst, imageproc.Bilinear); err != nil {
+			t.Fatal(err)
+		}
+		return dst
+	}
+	scalarOnlyGuard(t, true)
+	want := run()
+	cpukernel.SetScalarOnly(false)
+	got := run()
+	if !bytes.Equal(want.Pix, got.Pix) {
+		t.Error("full pipeline output differs across the kernel kill switch")
+	}
+}
+
+func init() {
+	// Kernel parity tests toggle the process-global kill switch; make any
+	// accidental parallel use loud instead of flaky.
+	if cpukernel.Active() == "" {
+		panic(fmt.Sprintf("cpukernel registry empty: %v", cpukernel.Names()))
+	}
+}

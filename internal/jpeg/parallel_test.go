@@ -1,0 +1,394 @@
+package jpeg
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dlbooster/internal/pix"
+)
+
+// parallelismGuard pins the entropy fan-out width for a test and
+// restores the previous width afterwards (the knob is process-global).
+func parallelismGuard(t *testing.T, n int) {
+	t.Helper()
+	prev := EntropyParallelism()
+	SetEntropyParallelism(n)
+	t.Cleanup(func() { SetEntropyParallelism(prev) })
+}
+
+func encodeDRI(t *testing.T, w, h, c int, seed int64, opt EncodeOptions) []byte {
+	t.Helper()
+	data, err := Encode(smoothImage(w, h, c, seed), opt)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}
+
+func TestEntropyParallelismClamp(t *testing.T) {
+	prev := EntropyParallelism()
+	t.Cleanup(func() { SetEntropyParallelism(prev) })
+	SetEntropyParallelism(0)
+	if got := EntropyParallelism(); got != 1 {
+		t.Fatalf("SetEntropyParallelism(0) clamped to %d, want 1", got)
+	}
+	SetEntropyParallelism(-3)
+	if got := EntropyParallelism(); got != 1 {
+		t.Fatalf("SetEntropyParallelism(-3) clamped to %d, want 1", got)
+	}
+	SetEntropyParallelism(6)
+	if got := EntropyParallelism(); got != 6 {
+		t.Fatalf("SetEntropyParallelism(6) = %d", got)
+	}
+}
+
+// TestRestartSegmentsStructure checks the segment scanner's geometry:
+// one segment per restart interval, contiguous MCU coverage, ordered
+// byte ranges inside the captured scan.
+func TestRestartSegmentsStructure(t *testing.T) {
+	parallelismGuard(t, 4)
+	scalarOnlyGuard(t, false)
+	const ri = 8
+	data := encodeDRI(t, 512, 384, 3, 21, EncodeOptions{Quality: 88, Subsample420: true, RestartInterval: ri})
+	h, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	segs, ok := h.restartSegments()
+	if !ok {
+		t.Fatal("restartSegments declined a clean DRI stream")
+	}
+	mcus := h.mcusX * h.mcusY
+	if want := ceilDiv(mcus, ri); len(segs) != want {
+		t.Fatalf("got %d segments, want ceil(%d/%d) = %d", len(segs), mcus, ri, want)
+	}
+	wantMCU := 0
+	prevEnd := 0
+	for i, sg := range segs {
+		if sg.mcu0 != wantMCU {
+			t.Fatalf("segment %d starts at MCU %d, want %d (coverage gap)", i, sg.mcu0, wantMCU)
+		}
+		if sg.mcu1 <= sg.mcu0 {
+			t.Fatalf("segment %d has empty MCU range [%d,%d)", i, sg.mcu0, sg.mcu1)
+		}
+		if i < len(segs)-1 && sg.mcu1-sg.mcu0 != ri {
+			t.Fatalf("segment %d covers %d MCUs, want %d", i, sg.mcu1-sg.mcu0, ri)
+		}
+		if sg.start < prevEnd || sg.end < sg.start || sg.end > len(h.scan) {
+			t.Fatalf("segment %d byte range [%d,%d) out of order (prev end %d, scan %d)",
+				i, sg.start, sg.end, prevEnd, len(h.scan))
+		}
+		prevEnd = sg.end
+		wantMCU = sg.mcu1
+	}
+	if wantMCU != mcus {
+		t.Fatalf("segments cover %d MCUs, want %d", wantMCU, mcus)
+	}
+}
+
+// TestRestartSegmentsBailouts checks every gate that must force the
+// sequential reference decoder.
+func TestRestartSegmentsBailouts(t *testing.T) {
+	parse := func(t *testing.T, data []byte) *Header {
+		t.Helper()
+		h, err := Parse(data)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return h
+	}
+	dri := encodeDRI(t, 512, 384, 3, 22, EncodeOptions{Quality: 85, Subsample420: true, RestartInterval: 8})
+
+	t.Run("no-restart-interval", func(t *testing.T) {
+		parallelismGuard(t, 4)
+		scalarOnlyGuard(t, false)
+		plain := encodeDRI(t, 512, 384, 3, 22, EncodeOptions{Quality: 85, Subsample420: true})
+		if _, ok := parse(t, plain).restartSegments(); ok {
+			t.Fatal("restartSegments accepted a stream without restart intervals")
+		}
+	})
+	t.Run("parallelism-one", func(t *testing.T) {
+		parallelismGuard(t, 1)
+		scalarOnlyGuard(t, false)
+		if _, ok := parse(t, dri).restartSegments(); ok {
+			t.Fatal("restartSegments accepted with one worker")
+		}
+	})
+	t.Run("kill-switch", func(t *testing.T) {
+		parallelismGuard(t, 4)
+		scalarOnlyGuard(t, true)
+		if _, ok := parse(t, dri).restartSegments(); ok {
+			t.Fatal("restartSegments accepted under the scalar-only kill switch")
+		}
+	})
+	t.Run("too-few-mcus", func(t *testing.T) {
+		parallelismGuard(t, 4)
+		scalarOnlyGuard(t, false)
+		small := encodeDRI(t, 96, 96, 3, 23, EncodeOptions{Quality: 85, Subsample420: true, RestartInterval: 2})
+		if _, ok := parse(t, small).restartSegments(); ok {
+			t.Fatal("restartSegments accepted a scan below the MCU floor")
+		}
+	})
+	t.Run("interval-exceeds-scan", func(t *testing.T) {
+		parallelismGuard(t, 4)
+		scalarOnlyGuard(t, false)
+		wide := encodeDRI(t, 512, 384, 3, 24, EncodeOptions{Quality: 85, Subsample420: true, RestartInterval: 4000})
+		if _, ok := parse(t, wide).restartSegments(); ok {
+			t.Fatal("restartSegments accepted a restart interval wider than the scan")
+		}
+	})
+}
+
+// TestRestartParallelByteParity is the tentpole guarantee: for every
+// production layout, the restart-parallel decode produces bytes
+// identical to the sequential reference — full decode and every
+// DecodeScaledInto scale — and the parallel-scan counter moves only
+// when the parallel path actually ran.
+func TestRestartParallelByteParity(t *testing.T) {
+	scalarOnlyGuard(t, false)
+	fixture := func(name string) []byte {
+		data, err := os.ReadFile(filepath.Join("testdata", "dri", name))
+		if err != nil {
+			t.Fatalf("fixture %s: %v (regenerate with go run ./tools/genjpegfixtures)", name, err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"420-fixture", fixture("dri-420.jpg")},
+		{"422-fixture", fixture("dri-422.jpg")},
+		{"gray-fixture", fixture("dri-gray.jpg")},
+		{"444-encoded", encodeDRI(t, 512, 384, 3, 25, EncodeOptions{Quality: 92, RestartInterval: 5})},
+	}
+	targets := []struct{ w, h int }{{96, 96}, {64, 64}, {224, 160}}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			parallelismGuard(t, 1)
+			seqImg, err := Decode(tc.data)
+			if err != nil {
+				t.Fatalf("sequential decode: %v", err)
+			}
+
+			parallelismGuard(t, 4)
+			before := ParallelScans()
+			parImg, err := Decode(tc.data)
+			if err != nil {
+				t.Fatalf("parallel decode: %v", err)
+			}
+			if ParallelScans() == before {
+				t.Fatal("parallel path did not engage (decode_parallel_scans_total unchanged)")
+			}
+			if parImg.W != seqImg.W || parImg.H != seqImg.H || parImg.C != seqImg.C {
+				t.Fatalf("geometry diverged: parallel %dx%dx%d, sequential %dx%dx%d",
+					parImg.W, parImg.H, parImg.C, seqImg.W, seqImg.H, seqImg.C)
+			}
+			if !bytes.Equal(parImg.Pix, seqImg.Pix) {
+				t.Fatal("parallel full decode is not byte-identical to sequential")
+			}
+
+			var sc Scratch
+			for _, tg := range targets {
+				seqOut := pix.New(tg.w, tg.h, seqImg.C)
+				parOut := pix.New(tg.w, tg.h, seqImg.C)
+				parallelismGuard(t, 1)
+				seqScale, err := DecodeScaledInto(tc.data, seqOut, &sc)
+				if err != nil {
+					t.Fatalf("sequential DecodeScaledInto %dx%d: %v", tg.w, tg.h, err)
+				}
+				parallelismGuard(t, 4)
+				parScale, err := DecodeScaledInto(tc.data, parOut, &sc)
+				if err != nil {
+					t.Fatalf("parallel DecodeScaledInto %dx%d: %v", tg.w, tg.h, err)
+				}
+				if seqScale != parScale {
+					t.Fatalf("scale diverged at %dx%d: parallel %d, sequential %d", tg.w, tg.h, parScale, seqScale)
+				}
+				if !bytes.Equal(parOut.Pix, seqOut.Pix) {
+					t.Fatalf("parallel DecodeScaledInto %dx%d is not byte-identical to sequential", tg.w, tg.h)
+				}
+			}
+		})
+	}
+}
+
+// TestRestartParallelCounterGates checks decode_parallel_scans_total
+// stays flat when the parallel path is gated off.
+func TestRestartParallelCounterGates(t *testing.T) {
+	data := encodeDRI(t, 512, 384, 3, 26, EncodeOptions{Quality: 88, Subsample420: true, RestartInterval: 8})
+	t.Run("parallelism-one", func(t *testing.T) {
+		parallelismGuard(t, 1)
+		scalarOnlyGuard(t, false)
+		before := ParallelScans()
+		if _, err := Decode(data); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got := ParallelScans(); got != before {
+			t.Fatalf("counter moved %d with one worker", got-before)
+		}
+	})
+	t.Run("kill-switch", func(t *testing.T) {
+		parallelismGuard(t, 4)
+		scalarOnlyGuard(t, true)
+		before := ParallelScans()
+		if _, err := Decode(data); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got := ParallelScans(); got != before {
+			t.Fatalf("counter moved %d under the kill switch", got-before)
+		}
+	})
+}
+
+// decodeErrString decodes under the given fan-out width and returns the
+// error string ("" on success) plus the decoded bytes.
+func decodeErrString(t *testing.T, data []byte, workers int) (string, []byte) {
+	t.Helper()
+	parallelismGuard(t, workers)
+	img, err := Decode(data)
+	if err != nil {
+		return err.Error(), nil
+	}
+	return "", img.Pix
+}
+
+// TestRestartCorruptSegmentAttribution checks satellite 1: a corrupt
+// segment surfaces a FormatError naming the restart interval it broke
+// in, and the parallel configuration surfaces the exact same error the
+// sequential reference does.
+func TestRestartCorruptSegmentAttribution(t *testing.T) {
+	scalarOnlyGuard(t, false)
+	base := encodeDRI(t, 512, 384, 3, 27, EncodeOptions{Quality: 88, Subsample420: true, RestartInterval: 8})
+
+	t.Run("marker-out-of-sequence", func(t *testing.T) {
+		// Replace the first RST3 with RST5: the scanner refuses the
+		// stream, and the sequential decoder attributes the bad marker to
+		// restart interval 3.
+		idx := bytes.Index(base, []byte{0xFF, 0xD3})
+		if idx < 0 {
+			t.Fatal("no RST3 marker in test stream")
+		}
+		corrupt := append([]byte(nil), base...)
+		corrupt[idx+1] = 0xD5
+		seqErr, _ := decodeErrString(t, corrupt, 1)
+		parErr, _ := decodeErrString(t, corrupt, 4)
+		if seqErr == "" || parErr == "" {
+			t.Fatalf("corrupt stream decoded: seq=%q par=%q", seqErr, parErr)
+		}
+		if seqErr != parErr {
+			t.Fatalf("error diverged:\n  sequential: %s\n  parallel:   %s", seqErr, parErr)
+		}
+		if !bytes.Contains([]byte(seqErr), []byte("restart interval 3:")) {
+			t.Fatalf("error does not attribute restart interval 3: %s", seqErr)
+		}
+	})
+
+	t.Run("marker-inside-segment", func(t *testing.T) {
+		// Plant a non-RST marker just after RST0, truncating segment 1's
+		// entropy data: the scanner sees the scan end early and bails, and
+		// the sequential decoder fails inside restart interval 1.
+		idx := bytes.Index(base, []byte{0xFF, 0xD0})
+		if idx < 0 {
+			t.Fatal("no RST0 marker in test stream")
+		}
+		corrupt := append([]byte(nil), base...)
+		corrupt[idx+4] = 0xFF
+		corrupt[idx+5] = 0xC4
+		seqErr, _ := decodeErrString(t, corrupt, 1)
+		parErr, _ := decodeErrString(t, corrupt, 4)
+		if seqErr == "" || parErr == "" {
+			t.Fatalf("corrupt stream decoded: seq=%q par=%q", seqErr, parErr)
+		}
+		if seqErr != parErr {
+			t.Fatalf("error diverged:\n  sequential: %s\n  parallel:   %s", seqErr, parErr)
+		}
+		if !bytes.Contains([]byte(seqErr), []byte("restart interval 1:")) {
+			t.Fatalf("error does not attribute restart interval 1: %s", seqErr)
+		}
+	})
+
+	t.Run("bit-flip-outcome-parity", func(t *testing.T) {
+		// Corruptions the segment scanner cannot detect (marker layout
+		// intact, entropy bytes damaged) must still end byte-identical:
+		// the parallel attempt either matches sequential output or its
+		// failure triggers the sequential re-run, reproducing the exact
+		// sequential error. Flip a byte at several fixed scan offsets and
+		// demand outcome parity for each.
+		idx := bytes.Index(base, []byte{0xFF, 0xD1})
+		if idx < 0 {
+			t.Fatal("no RST1 marker in test stream")
+		}
+		for _, off := range []int{idx + 7, idx + 64, idx + 301} {
+			corrupt := append([]byte(nil), base...)
+			if corrupt[off] == 0xFF || corrupt[off-1] == 0xFF {
+				off++ // don't manufacture or destroy marker prefixes
+			}
+			corrupt[off] ^= 0x5B
+			seqErr, seqPix := decodeErrString(t, corrupt, 1)
+			parErr, parPix := decodeErrString(t, corrupt, 4)
+			if seqErr != parErr {
+				t.Fatalf("offset %d: error diverged:\n  sequential: %s\n  parallel:   %s", off, seqErr, parErr)
+			}
+			if seqErr == "" && !bytes.Equal(seqPix, parPix) {
+				t.Fatalf("offset %d: decode succeeded but bytes diverged", off)
+			}
+		}
+	})
+
+	t.Run("restart-interval-mismatch", func(t *testing.T) {
+		// Lie in the DRI segment (8 → 7): the marker census no longer
+		// matches, the scanner bails, and both configurations surface the
+		// sequential decoder's out-of-sequence error identically.
+		idx := bytes.Index(base, []byte{0xFF, 0xDD, 0x00, 0x04})
+		if idx < 0 {
+			t.Fatal("no DRI segment in test stream")
+		}
+		corrupt := append([]byte(nil), base...)
+		corrupt[idx+4], corrupt[idx+5] = 0, 7
+		seqErr, _ := decodeErrString(t, corrupt, 1)
+		parErr, _ := decodeErrString(t, corrupt, 4)
+		if seqErr == "" || parErr == "" {
+			t.Fatalf("mismatched DRI decoded: seq=%q par=%q", seqErr, parErr)
+		}
+		if seqErr != parErr {
+			t.Fatalf("error diverged:\n  sequential: %s\n  parallel:   %s", seqErr, parErr)
+		}
+		if !bytes.Contains([]byte(seqErr), []byte("restart interval")) {
+			t.Fatalf("error lacks restart-interval attribution: %s", seqErr)
+		}
+	})
+}
+
+// TestRestartFixturesGeometry pins the checked-in DRI fixtures to the
+// layouts they were generated with, so a stale regeneration is caught.
+func TestRestartFixturesGeometry(t *testing.T) {
+	cases := []struct {
+		name       string
+		w, h, c    int
+		restartInt int
+	}{
+		{"dri-420.jpg", 512, 384, 3, 8},
+		{"dri-422.jpg", 480, 320, 3, 12},
+		{"dri-gray.jpg", 320, 320, 1, 16},
+	}
+	for _, tc := range cases {
+		data, err := os.ReadFile(filepath.Join("testdata", "dri", tc.name))
+		if err != nil {
+			t.Fatalf("fixture %s: %v (regenerate with go run ./tools/genjpegfixtures)", tc.name, err)
+		}
+		h, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if h.Width != tc.w || h.Height != tc.h || len(h.Components) != tc.c {
+			t.Fatalf("%s: got %dx%d c=%d, want %dx%d c=%d",
+				tc.name, h.Width, h.Height, len(h.Components), tc.w, tc.h, tc.c)
+		}
+		if h.RestartInterval != tc.restartInt {
+			t.Fatalf("%s: restart interval %d, want %d", tc.name, h.RestartInterval, tc.restartInt)
+		}
+	}
+}
